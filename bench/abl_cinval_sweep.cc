@@ -1,0 +1,17 @@
+// Ablation AB1: how Cache and Invalidate's cost depends on the
+// invalidation-recording cost C_inval, extending figures 4/5 from the two
+// endpoints (0 and 60 ms) to a sweep.  Only the CI column varies.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.SetUpdateProbability(0.3);
+  bench::PrintHeader("Ablation AB1",
+                     "query cost vs C_inval at P = 0.3, model 1", params);
+  bench::PrintSweep("C_inval",
+                    cost::SweepInvalidationCost(
+                        params, cost::ProcModel::kModel1,
+                        {0, 5, 10, 15, 20, 30, 40, 50, 60, 80, 100}));
+  return 0;
+}

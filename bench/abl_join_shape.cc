@@ -1,0 +1,65 @@
+// Ablation AB7: the paper's §8 note that a statically optimized Rete
+// network is shaped by the expected update pattern.  The workload updates
+// only R1, so the right-deep network (figure 16: the join tail is one
+// precomputed, shared beta-memory) should clearly beat a left-deep
+// compilation of the same procedures, which cascades every R1 token
+// through per-procedure intermediate memories.  Measured, model 2.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "proc/update_cache_rvm.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.N = 20000;
+  params.N1 = 20;
+  params.N2 = 20;
+  params.f = 0.005;
+  params.q = 60;
+
+  bench::PrintHeader("Ablation AB7",
+                     "Rete join shape vs update pattern (measured ms/query, "
+                     "model 2, updates hit R1 only)",
+                     params);
+
+  TablePrinter table({"P", "RVM right-deep", "RVM left-deep", "left/right"});
+  for (double p : {0.1, 0.3, 0.6}) {
+    cost::Params point = params;
+    point.SetUpdateProbability(p);
+    sim::Simulator::Options options;
+    options.params = point;
+    options.model = cost::ProcModel::kModel2;
+    options.seed = 91;
+    double costs[2] = {0, 0};
+    int i = 0;
+    for (rete::ReteNetwork::JoinShape shape :
+         {rete::ReteNetwork::JoinShape::kRightDeep,
+          rete::ReteNetwork::JoinShape::kLeftDeep}) {
+      Result<sim::SimulationResult> run = sim::Simulator::RunWithFactory(
+          [&](sim::Database* db) {
+            return std::make_unique<proc::UpdateCacheRvmStrategy>(
+                db->catalog.get(), db->executor.get(), &db->meter,
+                static_cast<std::size_t>(point.S), shape);
+          },
+          options);
+      if (!run.ok()) {
+        std::cerr << run.status().ToString() << "\n";
+        return 1;
+      }
+      costs[i++] = run.ValueOrDie().avg_ms_per_query;
+    }
+    table.AddRow({TablePrinter::FormatDouble(p, 2),
+                  TablePrinter::FormatDouble(costs[0], 1),
+                  TablePrinter::FormatDouble(costs[1], 1),
+                  TablePrinter::FormatDouble(costs[1] / costs[0], 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nWith updates concentrated on the base relation, the "
+               "right-deep (paper) shape wins; a workload updating the inner "
+               "relations instead would reverse the preference — the "
+               "statistics-driven choice the paper leaves to future work.\n";
+  return 0;
+}

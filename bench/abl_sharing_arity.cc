@@ -1,0 +1,48 @@
+// Ablation AB2: the paper's §8 claim that the AVM-vs-RVM comparison is
+// governed by (1) the sharing factor and (2) the number of joins.  Prints
+// the SF crossover point for both join arities, and the RVM/AVM cost ratio
+// at several SF values under each model.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+
+  bench::PrintHeader("Ablation AB2", "sharing benefit vs join arity", params);
+
+  TablePrinter table({"model", "SF", "AVM ms", "RVM ms", "RVM/AVM"});
+  for (cost::ProcModel model :
+       {cost::ProcModel::kModel1, cost::ProcModel::kModel2}) {
+    for (double sf : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      cost::Params p = params;
+      p.SF = sf;
+      cost::AnalyticModel analytic(p, model);
+      const double avm =
+          analytic.CostPerQuery(cost::Strategy::kUpdateCacheAvm);
+      const double rvm =
+          analytic.CostPerQuery(cost::Strategy::kUpdateCacheRvm);
+      table.AddRow({model == cost::ProcModel::kModel1 ? "2-way" : "3-way",
+                    TablePrinter::FormatDouble(sf, 2),
+                    TablePrinter::FormatDouble(avm, 1),
+                    TablePrinter::FormatDouble(rvm, 1),
+                    TablePrinter::FormatDouble(rvm / avm, 3)});
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nSF crossover (RVM == AVM):\n";
+  for (cost::ProcModel model :
+       {cost::ProcModel::kModel1, cost::ProcModel::kModel2}) {
+    const double crossover = cost::SharingCrossover(params, model);
+    std::cout << "  " << (model == cost::ProcModel::kModel1 ? "2-way" : "3-way")
+              << ": "
+              << (crossover < 0 ? std::string("never")
+                                : TablePrinter::FormatDouble(crossover, 3))
+              << "\n";
+  }
+  std::cout << "paper: ~0.97 for 2-way (RVM rarely worth it), ~0.47 for "
+               "3-way\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+#ifndef PROCSIM_BENCH_BENCH_COMMON_H_
+#define PROCSIM_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cost/model.h"
+#include "cost/sweeps.h"
+#include "util/table_printer.h"
+
+namespace procsim::bench {
+
+/// Prints a figure header in a consistent format across bench binaries.
+inline void PrintHeader(const std::string& figure, const std::string& title,
+                        const cost::Params& params) {
+  std::cout << "=== " << figure << ": " << title << " ===\n";
+  std::cout << params.ToString() << "\n\n";
+}
+
+/// Prints a cost-vs-x series (the paper's line plots) as an aligned table.
+inline void PrintSweep(const std::string& x_name,
+                       const std::vector<cost::SweepPoint>& series,
+                       int precision = 1) {
+  TablePrinter table({x_name, "AlwaysRecompute", "CacheInvalidate",
+                      "UpdateCache/AVM", "UpdateCache/RVM"});
+  for (const cost::SweepPoint& point : series) {
+    table.AddRow({TablePrinter::FormatDouble(point.x, 3),
+                  TablePrinter::FormatDouble(point.always_recompute, precision),
+                  TablePrinter::FormatDouble(point.cache_invalidate, precision),
+                  TablePrinter::FormatDouble(point.update_cache_avm, precision),
+                  TablePrinter::FormatDouble(point.update_cache_rvm,
+                                             precision)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+/// Single-letter region codes used by the winner-region maps.
+inline char WinnerCode(cost::Strategy strategy) {
+  switch (strategy) {
+    case cost::Strategy::kAlwaysRecompute:
+      return 'R';  // recompute
+    case cost::Strategy::kCacheInvalidate:
+      return 'C';  // cache & invalidate
+    case cost::Strategy::kUpdateCacheAvm:
+      return 'A';  // update cache (AVM)
+    case cost::Strategy::kUpdateCacheRvm:
+      return 'V';  // update cache (RVM)
+  }
+  return '?';
+}
+
+/// Prints a winner-region map (the paper's figures 12/13/19): rows are
+/// object sizes f (log scale), columns update probabilities P.
+inline void PrintWinnerRegions(const cost::WinnerRegionGrid& grid) {
+  std::cout << "winner codes: R=AlwaysRecompute C=CacheInvalidate "
+               "A=UpdateCache/AVM V=UpdateCache/RVM\n";
+  std::cout << "       P =";
+  for (double p : grid.p_values) {
+    std::cout << " " << TablePrinter::FormatDouble(p, 2);
+  }
+  std::cout << "\n";
+  for (std::size_t i = 0; i < grid.f_values.size(); ++i) {
+    std::string f_label = TablePrinter::FormatDouble(grid.f_values[i], 6);
+    if (f_label.size() < 9) f_label.insert(0, 9 - f_label.size(), ' ');
+    std::cout << f_label << "  ";
+    for (std::size_t j = 0; j < grid.p_values.size(); ++j) {
+      std::cout << " " << WinnerCode(grid.winner[i][j])
+                << std::string(
+                       TablePrinter::FormatDouble(grid.p_values[j], 2).size() -
+                           1,
+                       ' ');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+/// Prints a closeness map (figures 14/15): '#' where Cache-and-Invalidate is
+/// within `threshold`× of the best Update Cache variant, '.' elsewhere.
+inline void PrintClosenessRegions(const cost::ClosenessGrid& grid,
+                                  double threshold) {
+  std::cout << "'#' = CacheInvalidate within " << threshold
+            << "x of best UpdateCache; '.' = worse\n";
+  std::cout << "       P =";
+  for (double p : grid.p_values) {
+    std::cout << " " << TablePrinter::FormatDouble(p, 2);
+  }
+  std::cout << "\n";
+  for (std::size_t i = 0; i < grid.f_values.size(); ++i) {
+    std::string f_label = TablePrinter::FormatDouble(grid.f_values[i], 6);
+    if (f_label.size() < 9) f_label.insert(0, 9 - f_label.size(), ' ');
+    std::cout << f_label << "  ";
+    for (std::size_t j = 0; j < grid.p_values.size(); ++j) {
+      std::cout << " " << (grid.ratio[i][j] <= threshold ? '#' : '.')
+                << std::string(
+                       TablePrinter::FormatDouble(grid.p_values[j], 2).size() -
+                           1,
+                       ' ');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace procsim::bench
+
+#endif  // PROCSIM_BENCH_BENCH_COMMON_H_

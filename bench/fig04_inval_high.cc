@@ -1,0 +1,17 @@
+// Figure 4 (paper §5): query cost vs. update probability when recording an
+// invalidation costs two disk I/Os (C_inval = 2*C2 = 60 ms) — the naive
+// flag-on-the-object's-first-page scheme.  Cache and Invalidate's per-update
+// T3 term dominates; the paper's point is that a cheap invalidation
+// mechanism is essential.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.C_inval = 60.0;
+  bench::PrintHeader("Figure 4", "query cost vs P, high invalidation cost",
+                     params);
+  bench::PrintSweep("P", cost::SweepUpdateProbability(
+                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
+  return 0;
+}

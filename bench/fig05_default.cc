@@ -1,0 +1,16 @@
+// Figure 5 (paper §5): query cost vs. update probability with cheap
+// invalidation (C_inval = 0, e.g. battery-backed memory) — the paper's
+// default model-1 comparison.  Expected shape: AR flat; CI rises to a
+// plateau slightly above AR; both Update Cache variants cheapest at low P
+// and blowing up as P -> 1.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;  // figure-2 defaults, C_inval = 0
+  bench::PrintHeader("Figure 5", "query cost vs P, default parameters",
+                     params);
+  bench::PrintSweep("P", cost::SweepUpdateProbability(
+                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 6 (paper §5): query cost vs. update probability for large objects
+// (f = 0.01: P1 procedures hold 1000 tuples, P2 100 tuples).  Expected:
+// Update Cache clearly beats Cache and Invalidate at low P, because
+// incrementally patching a big object is far cheaper than recomputing it.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.f = 0.01;
+  bench::PrintHeader("Figure 6", "query cost vs P, large objects (f=0.01)",
+                     params);
+  bench::PrintSweep("P", cost::SweepUpdateProbability(
+                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
+  return 0;
+}

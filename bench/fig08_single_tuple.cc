@@ -1,0 +1,21 @@
+// Figure 8 (paper §5): the smallest possible objects — every procedure
+// selects a single tuple (N1 = 100, N2 = 0, f = 1/N).  Expected: Cache and
+// Invalidate is essentially equivalent to Update Cache, minus the severe
+// degradation at large P.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.N1 = 100;
+  params.N2 = 0;
+  params.f = 1.0 / params.N;
+  bench::PrintHeader("Figure 8",
+                     "query cost vs P, single-tuple objects (f=1/N, N2=0)",
+                     params);
+  bench::PrintSweep("P",
+                    cost::SweepUpdateProbability(
+                        params, cost::ProcModel::kModel1, 0.0, 0.9, 19),
+                    2);
+  return 0;
+}

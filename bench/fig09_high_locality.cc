@@ -1,0 +1,16 @@
+// Figure 9 (paper §5): high locality of reference (Z = 0.05: 5% of the
+// procedures receive 95% of the accesses).  Expected: Cache and Invalidate
+// benefits (hot objects are re-validated cheaply and rarely found invalid)
+// while Update Cache pays the same maintenance regardless of access skew.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.Z = 0.05;
+  bench::PrintHeader("Figure 9", "query cost vs P, high locality (Z=0.05)",
+                     params);
+  bench::PrintSweep("P", cost::SweepUpdateProbability(
+                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
+  return 0;
+}

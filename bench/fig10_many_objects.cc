@@ -1,0 +1,17 @@
+// Figure 10 (paper §5): a large procedure population (N1 = N2 = 1000).
+// Expected: the same cost at P = 0, but the per-update maintenance terms
+// scale with the object count, so the Update Cache curves climb much more
+// steeply and Cache and Invalidate reaches its plateau at smaller P.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.N1 = 1000;
+  params.N2 = 1000;
+  bench::PrintHeader("Figure 10",
+                     "query cost vs P, many objects (N1=N2=1000)", params);
+  bench::PrintSweep("P", cost::SweepUpdateProbability(
+                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
+  return 0;
+}

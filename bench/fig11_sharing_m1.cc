@@ -1,0 +1,23 @@
+// Figure 11 (paper §5): AVM vs RVM cost vs. sharing factor SF, model 1
+// (2-way joins).  Expected: AVM flat in SF; RVM's cost falls as SF grows
+// but only becomes comparable to AVM when nearly every P2 procedure shares
+// its selection subexpression (crossover near SF ≈ 0.97).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  bench::PrintHeader("Figure 11", "Update Cache cost vs SF, model 1 (2-way)",
+                     params);
+  bench::PrintSweep("SF", cost::SweepSharingFactor(
+                              params, cost::ProcModel::kModel1, 21));
+  const double crossover =
+      cost::SharingCrossover(params, cost::ProcModel::kModel1);
+  if (crossover < 0) {
+    std::cout << "RVM never reaches AVM's cost in [0, 1]\n";
+  } else {
+    std::cout << "AVM/RVM crossover at SF = "
+              << procsim::TablePrinter::FormatDouble(crossover, 3) << "\n";
+  }
+  return 0;
+}

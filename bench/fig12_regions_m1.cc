@@ -1,0 +1,15 @@
+// Figure 12 (paper §5): which strategy wins over the (object size f) ×
+// (update probability P) plane, model 1.  Expected: Update Cache wins the
+// low-P band (narrowing as f grows, since big objects are touched by almost
+// every update), Always Recompute wins at high P, and Cache and Invalidate
+// only claims a sliver — while staying close to Update Cache nearby.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  bench::PrintHeader("Figure 12", "winner regions, f x P, model 1", params);
+  bench::PrintWinnerRegions(cost::ComputeWinnerRegions(
+      params, cost::ProcModel::kModel1, 1e-5, 0.05, 13, 0.02, 0.95, 16));
+  return 0;
+}

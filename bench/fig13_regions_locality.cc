@@ -1,0 +1,16 @@
+// Figure 13 (paper §5): winner regions with high locality of reference
+// (Z = 0.05).  Expected: Cache and Invalidate gains territory for small
+// objects (f below ~0.002) because hot caches are usually still valid,
+// while Update Cache gets no benefit from access skew.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.Z = 0.05;
+  bench::PrintHeader("Figure 13",
+                     "winner regions, f x P, high locality (Z=0.05)", params);
+  bench::PrintWinnerRegions(cost::ComputeWinnerRegions(
+      params, cost::ProcModel::kModel1, 1e-5, 0.05, 13, 0.02, 0.95, 16));
+  return 0;
+}

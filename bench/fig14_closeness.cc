@@ -1,0 +1,17 @@
+// Figure 14 (paper §5): where Cache and Invalidate is within a factor of
+// two of (or better than) the best Update Cache variant, default
+// parameters.  Expected: the high-P band (UC degrades) and the small-object
+// low-P corner.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  bench::PrintHeader("Figure 14",
+                     "CI within 2x of best Update Cache, model 1", params);
+  bench::PrintClosenessRegions(
+      cost::ComputeClosenessGrid(params, cost::ProcModel::kModel1, 1e-5, 0.05,
+                                 13, 0.02, 0.95, 16),
+      2.0);
+  return 0;
+}

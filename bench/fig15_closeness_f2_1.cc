@@ -1,0 +1,19 @@
+// Figure 15 (paper §5): the same closeness map with f2 = 1, which removes
+// false invalidations (every broken i-lock really changes the P2 result).
+// Expected: Cache and Invalidate does even better for small objects.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  params.f2 = 1.0;
+  bench::PrintHeader(
+      "Figure 15",
+      "CI within 2x of best Update Cache, no false invalidation (f2=1)",
+      params);
+  bench::PrintClosenessRegions(
+      cost::ComputeClosenessGrid(params, cost::ProcModel::kModel1, 1e-5, 0.05,
+                                 13, 0.02, 0.95, 16),
+      2.0);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 17 (paper §7): query cost vs. update probability for model 2
+// (3-way-join P2 procedures), default parameters.  Expected: same shape as
+// figure 5, but with RVM close to (and, at the default SF = 0.5, at or
+// slightly past the crossover with) AVM.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  bench::PrintHeader("Figure 17",
+                     "query cost vs P, model 2 (3-way joins), defaults",
+                     params);
+  bench::PrintSweep("P", cost::SweepUpdateProbability(
+                             params, cost::ProcModel::kModel2, 0.0, 0.9, 19));
+  return 0;
+}

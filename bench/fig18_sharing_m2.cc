@@ -1,0 +1,25 @@
+// Figure 18 (paper §7): AVM vs RVM cost vs. sharing factor SF, model 2
+// (3-way joins).  Expected: crossover near SF ≈ 0.47 — with a precomputed
+// 2-way-join β-memory on its right input, RVM only performs one join per
+// changed tuple while AVM must perform two, so moderate sharing already
+// pays for the α-memory refresh overhead.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  bench::PrintHeader("Figure 18", "Update Cache cost vs SF, model 2 (3-way)",
+                     params);
+  bench::PrintSweep("SF", cost::SweepSharingFactor(
+                              params, cost::ProcModel::kModel2, 21));
+  const double crossover =
+      cost::SharingCrossover(params, cost::ProcModel::kModel2);
+  if (crossover < 0) {
+    std::cout << "RVM never reaches AVM's cost in [0, 1]\n";
+  } else {
+    std::cout << "AVM/RVM crossover at SF = "
+              << procsim::TablePrinter::FormatDouble(crossover, 3)
+              << " (paper: ~0.47)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 19 (paper §7): winner regions for model 2.  Expected: similar to
+// figure 12, except the winning Update Cache variant is RVM rather than AVM
+// (the default SF = 0.5 is past the model-2 crossover).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  bench::PrintHeader("Figure 19", "winner regions, f x P, model 2", params);
+  bench::PrintWinnerRegions(cost::ComputeWinnerRegions(
+      params, cost::ProcModel::kModel2, 1e-5, 0.05, 13, 0.02, 0.95, 16));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The component tables embedded in §4.3 and §4.4 of the paper: the named
+// pieces of the Update Cache cost formulas (screening, refresh, delta-set
+// overhead, join probes, read) evaluated at the default parameters, for
+// both maintenance algorithms and both procedure models.  Also prints the
+// Cache-and-Invalidate decomposition (T1/T2/T3/IP) from §4.2.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params params;
+  bench::PrintHeader("§4 component tables",
+                     "cost-formula components at default parameters",
+                     params);
+
+  TablePrinter uc({"component", "m1 AVM", "m1 RVM", "m2 AVM", "m2 RVM"});
+  cost::CostBreakdown b[4];
+  int i = 0;
+  for (cost::ProcModel model :
+       {cost::ProcModel::kModel1, cost::ProcModel::kModel2}) {
+    cost::AnalyticModel analytic(params, model);
+    b[i++] = analytic.Breakdown(cost::Strategy::kUpdateCacheAvm);
+    b[i++] = analytic.Breakdown(cost::Strategy::kUpdateCacheRvm);
+  }
+  auto row = [&](const std::string& name, double cost::CostBreakdown::*field) {
+    uc.AddRow({name, TablePrinter::FormatDouble(b[0].*field, 2),
+               TablePrinter::FormatDouble(b[1].*field, 2),
+               TablePrinter::FormatDouble(b[2].*field, 2),
+               TablePrinter::FormatDouble(b[3].*field, 2)});
+  };
+  row("screen P1 tuples (C_screenP1)", &cost::CostBreakdown::c_screen_p1);
+  row("screen P2 tuples (C_screenP2)", &cost::CostBreakdown::c_screen_p2);
+  row("refresh P1 copies (C_refreshP1)", &cost::CostBreakdown::c_refresh_p1);
+  row("refresh left alpha (C_refresh-a)",
+      &cost::CostBreakdown::c_refresh_alpha);
+  row("refresh P2 copies (C_refreshP2)", &cost::CostBreakdown::c_refresh_p2);
+  row("A/D set overhead (C_overhead)", &cost::CostBreakdown::c_overhead);
+  row("join deltas to base rels (C_join)", &cost::CostBreakdown::c_join);
+  row("probe right memory (C_join-mem)",
+      &cost::CostBreakdown::c_join_memory);
+  row("read procedure value (C_read)", &cost::CostBreakdown::c_read);
+  row("TOTAL per access", &cost::CostBreakdown::total);
+  uc.Print(std::cout);
+
+  std::cout << "\nCache and Invalidate decomposition (§4.2):\n";
+  TablePrinter ci({"quantity", "model 1", "model 2"});
+  cost::CostBreakdown c1 =
+      cost::AnalyticModel(params, cost::ProcModel::kModel1)
+          .Breakdown(cost::Strategy::kCacheInvalidate);
+  cost::CostBreakdown c2 =
+      cost::AnalyticModel(params, cost::ProcModel::kModel2)
+          .Breakdown(cost::Strategy::kCacheInvalidate);
+  auto ci_row = [&](const std::string& name,
+                    double cost::CostBreakdown::*field, int precision = 2) {
+    ci.AddRow({name, TablePrinter::FormatDouble(c1.*field, precision),
+               TablePrinter::FormatDouble(c2.*field, precision)});
+  };
+  ci_row("recompute + refresh (T1)", &cost::CostBreakdown::t1);
+  ci_row("read valid cache (T2)", &cost::CostBreakdown::t2);
+  ci_row("invalidation recording (T3)", &cost::CostBreakdown::t3);
+  ci_row("P(cache invalid at access) (IP)",
+         &cost::CostBreakdown::invalid_probability, 4);
+  ci_row("expected pages per value (ProcSize)",
+         &cost::CostBreakdown::proc_size_pages);
+  ci_row("TOTAL per access", &cost::CostBreakdown::total);
+  ci.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 2 of the paper: the cost-model parameters and their default
+// values, printed from the implementation's Params struct so the bench
+// suite documents exactly what every other binary runs with.
+#include <iostream>
+
+#include "cost/params.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace procsim;
+  cost::Params p;
+  std::cout << "=== Figure 2: procedure query cost parameters and default "
+               "values ===\n\n";
+  TablePrinter table({"parameter", "definition", "default"});
+  auto row = [&](const std::string& name, const std::string& definition,
+                 double value, int precision = 4) {
+    table.AddRow({name, definition, TablePrinter::FormatDouble(value,
+                                                               precision)});
+  };
+  row("N", "number of tuples in relation R1", p.N, 0);
+  row("S", "bytes per tuple", p.S, 0);
+  row("B", "bytes per block", p.B, 0);
+  row("b", "total blocks (ceil(N*S/B))", p.b(), 0);
+  row("d", "bytes per B+-tree index record", p.d, 0);
+  row("k", "number of update transactions", p.k, 0);
+  row("l", "tuples modified per update transaction", p.l, 0);
+  row("q", "number of procedure accesses", p.q, 0);
+  row("u=kl/q", "tuples updated between queries", p.k * p.l / p.q, 1);
+  row("P=k/(k+q)", "probability an operation is an update",
+      p.UpdateProbability(), 3);
+  row("Z", "locality skew (Z of objects get 1-Z of refs)", p.Z, 2);
+  row("f", "selectivity of predicate term C_f", p.f, 6);
+  row("f2", "selectivity of predicate term C_f2", p.f2, 3);
+  row("f_R2", "|R2| as a fraction of N", p.f_R2, 3);
+  row("f_R3", "|R3| as a fraction of N", p.f_R3, 3);
+  row("N1", "number of P1-type procedures", p.N1, 0);
+  row("N2", "number of P2-type procedures", p.N2, 0);
+  row("SF", "sharing factor", p.SF, 2);
+  row("C1", "ms CPU to screen a record against a predicate", p.C1, 1);
+  row("C2", "ms per disk read or write", p.C2, 1);
+  row("C3", "ms per tuple to maintain A/D delta sets", p.C3, 1);
+  row("C_inval", "ms to record one invalidation", p.C_inval, 1);
+  row("H1", "B-tree height (derived)", p.H1(), 0);
+  table.Print(std::cout);
+  std::cout << "\naccess methods: R1 B-tree primary on C_f's attribute; "
+               "R2/R3 hashed primary on the join attributes.\n";
+  return 0;
+}

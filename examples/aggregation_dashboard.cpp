@@ -1,0 +1,144 @@
+// Aggregation over database procedures (§1 feature 5 of the paper):
+// a sales dashboard whose per-region COUNT/SUM/AVG/MAX tiles are aggregate
+// views over a stored procedure, maintained incrementally from the same
+// delta stream an Update Cache strategy uses — no rescan per refresh.
+#include <iostream>
+
+#include "ivm/aggregate.h"
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using namespace procsim;
+using rel::Column;
+using rel::Conjunction;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+int main() {
+  CostMeter meter;
+  storage::SimulatedDisk disk(4000, &meter);
+  rel::Catalog catalog(&disk);
+  rel::Executor executor(&catalog, &meter);
+  Rng rng(99);
+
+  rel::Relation::Options options;
+  options.tuple_width_bytes = 100;
+  options.btree_column = 0;
+  rel::Relation* sales =
+      catalog
+          .CreateRelation("SALES",
+                          rel::Schema({Column{"id", ValueType::kInt64},
+                                       Column{"region", ValueType::kInt64},
+                                       Column{"amount", ValueType::kInt64}}),
+                          options)
+          .ValueOrDie();
+  std::vector<storage::RecordId> rids;
+  {
+    storage::MeteringGuard guard(&disk);
+    for (int64_t i = 0; i < 1000; ++i) {
+      rids.push_back(
+          sales
+              ->Insert(Tuple({Value(i),
+                              Value(static_cast<int64_t>(rng.Uniform(4))),
+                              Value(static_cast<int64_t>(rng.Uniform(500)))}))
+              .ValueOrDie());
+    }
+  }
+
+  // The stored procedure: all current-quarter sales (modeled as the id
+  // range that keeps growing).
+  rel::ProcedureQuery quarter;
+  quarter.base = rel::BaseSelection{"SALES", 0, 1'000'000, Conjunction{}};
+
+  // Four dashboard tiles over its output.
+  struct Tile {
+    std::string label;
+    ivm::AggregateViewMaintainer view;
+  };
+  auto make_spec = [](ivm::AggregateFunction fn) {
+    ivm::AggregateSpec spec;
+    spec.function = fn;
+    spec.value_column = 2;  // amount
+    spec.group_by = 1;      // region
+    return spec;
+  };
+  std::vector<Tile> tiles;
+  tiles.push_back({"orders", {quarter, make_spec(ivm::AggregateFunction::kCount),
+                              &executor}});
+  tiles.push_back({"revenue", {quarter, make_spec(ivm::AggregateFunction::kSum),
+                               &executor}});
+  tiles.push_back({"avg ticket", {quarter,
+                                  make_spec(ivm::AggregateFunction::kAvg),
+                                  &executor}});
+  tiles.push_back({"largest sale", {quarter,
+                                    make_spec(ivm::AggregateFunction::kMax),
+                                    &executor}});
+  for (Tile& tile : tiles) {
+    Status st = tile.view.Initialize();
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  auto print_dashboard = [&](const std::string& when) {
+    std::cout << "--- " << when << " ---\n";
+    TablePrinter table({"region", "orders", "revenue", "avg ticket",
+                        "largest sale"});
+    // All tiles share the group set; iterate region rows of the first.
+    for (const ivm::AggregateRow& row : tiles[0].view.Read()) {
+      std::vector<std::string> cells{std::to_string(row.group)};
+      for (Tile& tile : tiles) {
+        for (const ivm::AggregateRow& r : tile.view.Read()) {
+          if (r.group == row.group) {
+            cells.push_back(TablePrinter::FormatDouble(r.value, 1));
+          }
+        }
+      }
+      table.AddRow(std::move(cells));
+    }
+    table.Print(std::cout);
+  };
+
+  print_dashboard("opening");
+
+  // A burst of business: 300 corrections and 200 new sales, all flowing
+  // through the same insert/delete delta stream the view strategies use.
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t pick = rng.Uniform(rids.size());
+    Tuple old_row;
+    {
+      storage::MeteringGuard guard(&disk);
+      old_row = sales->Read(rids[pick]).ValueOrDie();
+    }
+    const Tuple new_row({old_row.value(0), old_row.value(1),
+                         Value(static_cast<int64_t>(rng.Uniform(500)))});
+    {
+      storage::MeteringGuard guard(&disk);
+      (void)sales->UpdateInPlace(rids[pick], new_row);
+    }
+    for (Tile& tile : tiles) {
+      (void)tile.view.ApplyOutputDelta({new_row}, {old_row});
+    }
+  }
+  for (int64_t i = 0; i < 200; ++i) {
+    const Tuple row({Value(int64_t{1000} + i),
+                     Value(static_cast<int64_t>(rng.Uniform(4))),
+                     Value(static_cast<int64_t>(rng.Uniform(2000)))});
+    {
+      storage::MeteringGuard guard(&disk);
+      (void)sales->Insert(row);
+    }
+    for (Tile& tile : tiles) {
+      (void)tile.view.ApplyOutputDelta({row}, {});
+    }
+  }
+
+  print_dashboard("after 500 transactions");
+  std::cout << "\nEvery tile stayed current through per-tuple deltas; no "
+               "table scan was needed after the initial load.\n";
+  return 0;
+}

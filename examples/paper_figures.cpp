@@ -1,0 +1,151 @@
+// Command-line driver for the analytic model: regenerate any of the
+// paper's figure series with custom parameters, print winner regions, or
+// ask for a recommendation — without recompiling.
+//
+// Usage:
+//   paper_figures sweep-p   [--f X] [--sf X] [--z X] [--cinval X]
+//                           [--n1 X] [--n2 X] [--model 1|2]
+//   paper_figures sweep-sf  [--model 1|2] [...]
+//   paper_figures regions   [--model 1|2] [--z X] [...]
+//   paper_figures closeness [--threshold X] [--f2 X] [...]
+//   paper_figures advise    [--p X] [...]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cost/advisor.h"
+#include "cost/sweeps.h"
+#include "bench/bench_common.h"
+
+using namespace procsim;
+
+namespace {
+
+struct Cli {
+  std::string command;
+  cost::Params params;
+  cost::ProcModel model = cost::ProcModel::kModel1;
+  double p = 0.3;
+  double threshold = 2.0;
+  bool csv = false;
+};
+
+bool ParseArgs(int argc, char** argv, Cli* cli) {
+  if (argc < 2) return false;
+  cli->command = argv[1];
+  for (int i = 2; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--csv") {
+      cli->csv = true;
+      --i;  // boolean flag consumes one token
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << flag << "\n";
+      return false;
+    }
+    const double value = std::atof(argv[i + 1]);
+    if (flag == "--f") {
+      cli->params.f = value;
+    } else if (flag == "--f2") {
+      cli->params.f2 = value;
+    } else if (flag == "--sf") {
+      cli->params.SF = value;
+    } else if (flag == "--z") {
+      cli->params.Z = value;
+    } else if (flag == "--cinval") {
+      cli->params.C_inval = value;
+    } else if (flag == "--n1") {
+      cli->params.N1 = value;
+    } else if (flag == "--n2") {
+      cli->params.N2 = value;
+    } else if (flag == "--n") {
+      cli->params.N = value;
+    } else if (flag == "--l") {
+      cli->params.l = value;
+    } else if (flag == "--p") {
+      cli->p = value;
+    } else if (flag == "--threshold") {
+      cli->threshold = value;
+    } else if (flag == "--model") {
+      cli->model = static_cast<int>(value) == 2 ? cost::ProcModel::kModel2
+                                                : cost::ProcModel::kModel1;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void Usage() {
+  std::cerr
+      << "usage: paper_figures <sweep-p|sweep-sf|regions|closeness|advise> "
+         "[--f X] [--f2 X] [--sf X] [--z X] [--cinval X] [--n1 X] [--n2 X] "
+         "[--n X] [--l X] [--p X] [--threshold X] [--model 1|2] [--csv]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    Usage();
+    return 2;
+  }
+  if (cli.command == "sweep-p") {
+    const auto series =
+        cost::SweepUpdateProbability(cli.params, cli.model, 0.0, 0.9, 19);
+    if (cli.csv) {
+      cost::WriteSweepCsv(std::cout, "P", series);
+      return 0;
+    }
+    bench::PrintHeader("sweep-p", "query cost vs update probability",
+                       cli.params);
+    bench::PrintSweep("P", series);
+  } else if (cli.command == "sweep-sf") {
+    const auto series = cost::SweepSharingFactor(cli.params, cli.model, 21);
+    if (cli.csv) {
+      cost::WriteSweepCsv(std::cout, "SF", series);
+      return 0;
+    }
+    bench::PrintHeader("sweep-sf", "Update Cache cost vs sharing factor",
+                       cli.params);
+    bench::PrintSweep("SF", series);
+    const double crossover = cost::SharingCrossover(cli.params, cli.model);
+    std::cout << "AVM/RVM crossover: "
+              << (crossover < 0
+                      ? std::string("never")
+                      : TablePrinter::FormatDouble(crossover, 3))
+              << "\n";
+  } else if (cli.command == "regions") {
+    const auto grid = cost::ComputeWinnerRegions(cli.params, cli.model, 1e-5,
+                                                 0.05, 13, 0.02, 0.95, 16);
+    if (cli.csv) {
+      cost::WriteRegionsCsv(std::cout, grid);
+      return 0;
+    }
+    bench::PrintHeader("regions", "winner per (f, P)", cli.params);
+    bench::PrintWinnerRegions(grid);
+  } else if (cli.command == "closeness") {
+    bench::PrintHeader("closeness", "CI within threshold of Update Cache",
+                       cli.params);
+    bench::PrintClosenessRegions(
+        cost::ComputeClosenessGrid(cli.params, cli.model, 1e-5, 0.05, 13,
+                                   0.02, 0.95, 16),
+        cli.threshold);
+  } else if (cli.command == "advise") {
+    cli.params.SetUpdateProbability(cli.p);
+    const cost::Recommendation rec =
+        cost::RecommendStrategy(cli.params, cli.model, 1.25);
+    std::cout << "recommendation: " << cost::StrategyName(rec.strategy)
+              << " (~" << TablePrinter::FormatDouble(rec.expected_cost_ms, 1)
+              << " ms/access)\n  " << rec.rationale << "\n\n"
+              << cost::DeploymentAdvice(cli.params, cli.model);
+  } else {
+    Usage();
+    return 2;
+  }
+  return 0;
+}

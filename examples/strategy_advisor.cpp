@@ -1,0 +1,60 @@
+// Strategy advisor: the paper's §8 conclusions as an executable tool.
+//
+// Given an environment description (update probability, object size,
+// population, locality, sharing), uses the analytic cost model to rank the
+// four strategies, applies the paper's "Cache and Invalidate is safer"
+// heuristic, and prints staged deployment advice.
+//
+// Usage: strategy_advisor [P] [f] [SF] [Z] [model]
+//   defaults:               0.3  0.001 0.5  0.2   1
+#include <cstdlib>
+#include <iostream>
+
+#include "cost/advisor.h"
+#include "util/table_printer.h"
+
+using namespace procsim;
+
+int main(int argc, char** argv) {
+  cost::Params params;
+  double p = 0.3;
+  if (argc > 1) p = std::atof(argv[1]);
+  if (argc > 2) params.f = std::atof(argv[2]);
+  if (argc > 3) params.SF = std::atof(argv[3]);
+  if (argc > 4) params.Z = std::atof(argv[4]);
+  cost::ProcModel model = cost::ProcModel::kModel1;
+  if (argc > 5 && std::atoi(argv[5]) == 2) model = cost::ProcModel::kModel2;
+  params.SetUpdateProbability(p);
+
+  std::cout << "Environment: " << params.ToString() << "\n";
+  std::cout << "Procedure model: "
+            << (model == cost::ProcModel::kModel1 ? "1 (2-way joins)"
+                                                  : "2 (3-way joins)")
+            << "\n\n";
+
+  const cost::Recommendation rec =
+      cost::RecommendStrategy(params, model, /*safety_margin=*/1.25);
+
+  TablePrinter table({"rank", "strategy", "expected ms/access"});
+  int rank = 1;
+  for (const auto& [strategy, cost_ms] : rec.ranking) {
+    table.AddRow({std::to_string(rank++), cost::StrategyName(strategy),
+                  TablePrinter::FormatDouble(cost_ms, 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nRecommendation: " << cost::StrategyName(rec.strategy)
+            << " (~" << TablePrinter::FormatDouble(rec.expected_cost_ms, 1)
+            << " ms/access)\n  " << rec.rationale << "\n\n";
+
+  // Per-type guidance (selection-only vs join procedures can differ).
+  for (bool join : {false, true}) {
+    const cost::Recommendation per_type =
+        cost::RecommendForProcedureType(params, model, join, 1.25);
+    std::cout << (join ? "Join (P2) procedures alone:      "
+                       : "Selection (P1) procedures alone: ")
+              << cost::StrategyName(per_type.strategy) << "\n";
+  }
+  std::cout << "\n" << cost::DeploymentAdvice(params, model);
+  return 0;
+}

@@ -1,0 +1,53 @@
+#ifndef PROCSIM_COST_ADVISOR_H_
+#define PROCSIM_COST_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/model.h"
+#include "cost/params.h"
+
+namespace procsim::cost {
+
+/// \brief A strategy recommendation for one environment, with the expected
+/// costs backing it and a §8-style rationale.
+struct Recommendation {
+  Strategy strategy = Strategy::kAlwaysRecompute;
+  double expected_cost_ms = 0;
+  /// Every strategy's expected cost, cheapest first.
+  std::vector<std::pair<Strategy, double>> ranking;
+  /// Why (paper §8 heuristics: update probability, object size, sharing,
+  /// safety margin of CI vs UC).
+  std::string rationale;
+};
+
+/// \brief Cost-based strategy selection — the paper's §8 "how to decide
+/// whether or not to maintain a cached copy" question, answered with the
+/// analytic model (the Update Cache flavor of Sellis's caching decision).
+///
+/// `safety_margin` implements the paper's observation that Cache and
+/// Invalidate is the *safer* choice when the update rate may grow: if CI's
+/// cost is within `safety_margin` (e.g. 1.25 = 25%) of the cheapest Update
+/// Cache variant, CI is recommended instead, because UC degrades severely
+/// at high update probability while CI plateaus near Always Recompute.
+/// Pass 1.0 to disable the safety preference.
+Recommendation RecommendStrategy(const Params& params, ProcModel model,
+                                 double safety_margin = 1.0);
+
+/// \brief Per-procedure strategy choice: evaluates the environment as if
+/// the population consisted only of procedures of the given type (P1
+/// selection or P2 join) and recommends for that subpopulation.  Used by
+/// the hybrid execution strategy.
+Recommendation RecommendForProcedureType(const Params& params, ProcModel model,
+                                         bool is_join_procedure,
+                                         double safety_margin = 1.0);
+
+/// \brief The paper's §8 staged deployment advice for an implementor,
+/// rendered for the given environment ("Always Recompute first; add Cache
+/// and Invalidate for small objects; add Update Cache for large objects /
+/// a materialized view facility").
+std::string DeploymentAdvice(const Params& params, ProcModel model);
+
+}  // namespace procsim::cost
+
+#endif  // PROCSIM_COST_ADVISOR_H_

@@ -1,0 +1,252 @@
+#include "cost/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/yao.h"
+
+namespace procsim::cost {
+
+std::string Params::ToString() const {
+  std::ostringstream out;
+  out << "Params{N=" << N << " S=" << S << " B=" << B << " d=" << d
+      << " k=" << k << " l=" << l << " q=" << q << " Z=" << Z << " N1=" << N1
+      << " N2=" << N2 << " SF=" << SF << " f=" << f << " f2=" << f2
+      << " f_R2=" << f_R2 << " f_R3=" << f_R3 << " C1=" << C1 << " C2=" << C2
+      << " C3=" << C3 << " C_inval=" << C_inval << "}";
+  return out.str();
+}
+
+std::string StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kAlwaysRecompute:
+      return "AR";
+    case Strategy::kCacheInvalidate:
+      return "CI";
+    case Strategy::kUpdateCacheAvm:
+      return "AVM";
+    case Strategy::kUpdateCacheRvm:
+      return "RVM";
+  }
+  return "?";
+}
+
+namespace {
+
+// Page-touch estimate honoring the configured YaoMode.  Both modes keep the
+// paper's guards for fractional expected counts (k <= 1) and sub-page
+// objects (m < 1), which the exact formula cannot express.
+double Pages(const Params& p, double n, double m, double k) {
+  if (p.yao_mode == YaoMode::kPaperApproximation) {
+    return YaoEstimate(n, m, k);
+  }
+  if (k <= 1.0) return k;
+  if (m < 1.0) return 1.0;
+  const auto ni = static_cast<long long>(std::llround(std::max(n, 1.0)));
+  const auto mi = static_cast<long long>(std::llround(std::max(m, 1.0)));
+  const auto ki = std::min<long long>(
+      ni, static_cast<long long>(std::llround(k)));
+  return YaoExact(ni, mi, ki);
+}
+
+// Fraction of procedures that are of type P1 / P2.
+double WeightP1(const Params& p) {
+  const double n = p.TotalProcedures();
+  return n > 0 ? p.N1 / n : 0.0;
+}
+double WeightP2(const Params& p) {
+  const double n = p.TotalProcedures();
+  return n > 0 ? p.N2 / n : 0.0;
+}
+
+}  // namespace
+
+double AnalyticModel::CQueryP1() const {
+  // B-tree descent + leaf/data page reads + per-tuple predicate screening.
+  return p_.C1 * p_.f * p_.N + p_.C2 * std::ceil(p_.f * p_.b()) +
+         p_.C2 * p_.H1();
+}
+
+double AnalyticModel::CQueryP2() const {
+  // Model 1: B-tree scan of R1 (as in CQueryP1), then probe each of the fN
+  // qualifying tuples into R2's hash index (Y1 page reads) and screen the
+  // joined tuples against C_f2 (another C1*fN).
+  const double y1 =
+      Pages(p_, p_.f_R2 * p_.N, p_.f_R2 * p_.b(), p_.f * p_.N);
+  const double two_way = CQueryP1() + p_.C1 * p_.f * p_.N + p_.C2 * y1;
+  if (model_ == ProcModel::kModel1) return two_way;
+  // Model 2: join the resulting fN tuples to R3 via its hash index (Y6 page
+  // reads) plus fN more predicate tests.
+  const double y6 =
+      Pages(p_, p_.f_R3 * p_.N, p_.f_R3 * p_.b(), p_.f * p_.N);
+  return two_way + p_.C2 * y6 + p_.C1 * p_.f * p_.N;
+}
+
+double AnalyticModel::CProcessQuery() const {
+  return WeightP1(p_) * CQueryP1() + WeightP2(p_) * CQueryP2();
+}
+
+double AnalyticModel::ProcSizePages() const {
+  // P2 procedures have the same expected cardinality (f*·N tuples) in both
+  // models, so this is model-independent.
+  return WeightP1(p_) * std::ceil(p_.f * p_.b()) +
+         WeightP2(p_) * std::ceil(p_.f_star() * p_.b());
+}
+
+double AnalyticModel::PInval() const {
+  // Each update writes l tuples = 2l old/new values; each value breaks a
+  // given procedure's i-lock with probability f.
+  return 1.0 - std::pow(1.0 - p_.f, 2.0 * p_.l);
+}
+
+double AnalyticModel::InvalidProbability() const {
+  const double n = p_.TotalProcedures();
+  const double upq = p_.UpdatePerQuery();
+  if (n <= 0 || upq <= 0) return 0.0;
+  const double z = std::clamp(p_.Z, 1e-9, 1.0 - 1e-9);
+  // Expected update transactions between accesses to one hot / cold object.
+  const double x_hot = n * (z / (1.0 - z)) * upq;
+  const double y_cold = n * ((1.0 - z) / z) * upq;
+  const double z1 = 1.0 - std::pow(1.0 - p_.f, x_hot * 2.0 * p_.l);
+  const double z2 = 1.0 - std::pow(1.0 - p_.f, y_cold * 2.0 * p_.l);
+  return (1.0 - z) * z1 + z * z2;
+}
+
+CostBreakdown AnalyticModel::AlwaysRecomputeBreakdown() const {
+  CostBreakdown r;
+  r.c_query_p1 = CQueryP1();
+  r.c_query_p2 = CQueryP2();
+  r.c_process_query = CProcessQuery();
+  r.total = r.c_process_query;
+  return r;
+}
+
+CostBreakdown AnalyticModel::CacheInvalidateBreakdown() const {
+  CostBreakdown r;
+  r.c_query_p1 = CQueryP1();
+  r.c_query_p2 = CQueryP2();
+  r.c_process_query = CProcessQuery();
+  r.proc_size_pages = ProcSizePages();
+  const double write_cache = 2.0 * p_.C2 * r.proc_size_pages;
+  r.t1 = r.c_process_query + write_cache;
+  r.t2 = p_.C2 * r.proc_size_pages;
+  r.t3 = p_.UpdatePerQuery() * p_.TotalProcedures() * PInval() * p_.C_inval;
+  r.invalid_probability = InvalidProbability();
+  r.total = r.invalid_probability * r.t1 +
+            (1.0 - r.invalid_probability) * r.t2 + r.t3;
+  return r;
+}
+
+CostBreakdown AnalyticModel::UpdateCacheAvmBreakdown() const {
+  CostBreakdown r;
+  const double broken_per_proc = 2.0 * p_.f * p_.l;  // expected tuples/update
+  r.c_read = p_.C2 * ProcSizePages();
+  r.c_screen_p1 = p_.N1 * p_.C1 * broken_per_proc;
+  r.c_screen_p2 = p_.N2 * p_.C1 * broken_per_proc;
+  // Refresh stored copies: read-modify-write of the pages touched by the
+  // inserted/deleted tuples (Yao estimate), 2 I/Os per page.
+  const double y3 =
+      Pages(p_, p_.f * p_.N, p_.f * p_.b(), broken_per_proc);
+  r.c_refresh_p1 = p_.N1 * 2.0 * p_.C2 * y3;
+  const double y4 = Pages(p_, p_.f_star() * p_.N, p_.f_star() * p_.b(),
+                          2.0 * p_.f_star() * p_.l);
+  r.c_refresh_p2 = p_.N2 * 2.0 * p_.C2 * y4;
+  // A_net/D_net bookkeeping: one entry per broken lock across all procs.
+  r.c_overhead = p_.C3 * broken_per_proc * p_.TotalProcedures();
+  // Join qualifying R1 deltas to R2 (and to R3 in model 2).
+  const double y2 =
+      Pages(p_, p_.f_R2 * p_.N, p_.f_R2 * p_.b(), broken_per_proc);
+  double join_pages = y2;
+  if (model_ == ProcModel::kModel2) {
+    const double y7 =
+        Pages(p_, p_.f_R3 * p_.N, p_.f_R3 * p_.b(), broken_per_proc);
+    join_pages += y7;
+  }
+  r.c_join = p_.N2 * p_.C2 * join_pages;
+  r.total = r.c_read + p_.UpdatePerQuery() *
+                           (r.c_screen_p1 + r.c_screen_p2 + r.c_refresh_p1 +
+                            r.c_refresh_p2 + r.c_overhead + r.c_join);
+  return r;
+}
+
+CostBreakdown AnalyticModel::UpdateCacheRvmBreakdown() const {
+  CostBreakdown r;
+  const double broken_per_proc = 2.0 * p_.f * p_.l;
+  const double unshared = 1.0 - p_.SF;
+  r.c_read = p_.C2 * ProcSizePages();
+  r.c_screen_p1 = p_.N1 * p_.C1 * broken_per_proc;
+  // Only P2 procedures without a shared P1 subexpression pay to screen and
+  // to refresh their private left α-memory.
+  r.c_screen_p2 = p_.N2 * unshared * p_.C1 * broken_per_proc;
+  const double y3 =
+      Pages(p_, p_.f * p_.N, p_.f * p_.b(), broken_per_proc);
+  r.c_refresh_p1 = p_.N1 * 2.0 * p_.C2 * y3;
+  r.c_refresh_alpha = p_.N2 * unshared * 2.0 * p_.C2 * y3;
+  const double y4 = Pages(p_, p_.f_star() * p_.N, p_.f_star() * p_.b(),
+                          2.0 * p_.f_star() * p_.l);
+  r.c_refresh_p2 = p_.N2 * 2.0 * p_.C2 * y4;
+  // Probe the right memory for joins: an α-memory over σ_f2(R2) in model 1
+  // (f**=f2·f_R2 of N tuples), a β-memory over σ_f2(R2)⋈R3 in model 2
+  // (f2·f_R3 of N tuples).
+  const double right_fraction = model_ == ProcModel::kModel1
+                                    ? p_.f2 * p_.f_R2
+                                    : p_.f2 * p_.f_R3;
+  const double y_right = Pages(p_, right_fraction * p_.N,
+                               right_fraction * p_.b(), broken_per_proc);
+  r.c_join_memory = p_.N2 * p_.C2 * y_right;
+  r.total = r.c_read + p_.UpdatePerQuery() *
+                           (r.c_screen_p1 + r.c_screen_p2 + r.c_refresh_p1 +
+                            r.c_refresh_alpha + r.c_refresh_p2 +
+                            r.c_join_memory);
+  return r;
+}
+
+CostBreakdown AnalyticModel::Breakdown(Strategy strategy) const {
+  switch (strategy) {
+    case Strategy::kAlwaysRecompute:
+      return AlwaysRecomputeBreakdown();
+    case Strategy::kCacheInvalidate:
+      return CacheInvalidateBreakdown();
+    case Strategy::kUpdateCacheAvm:
+      return UpdateCacheAvmBreakdown();
+    case Strategy::kUpdateCacheRvm:
+      return UpdateCacheRvmBreakdown();
+  }
+  PROCSIM_CHECK(false) << "unreachable";
+  return {};
+}
+
+double AnalyticModel::CostPerQuery(Strategy strategy) const {
+  return Breakdown(strategy).total;
+}
+
+Strategy AnalyticModel::Winner() const {
+  Strategy best = Strategy::kAlwaysRecompute;
+  double best_cost = CostPerQuery(best);
+  for (Strategy s : {Strategy::kCacheInvalidate, Strategy::kUpdateCacheAvm,
+                     Strategy::kUpdateCacheRvm}) {
+    const double cost = CostPerQuery(s);
+    if (cost < best_cost) {
+      best = s;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+Strategy AnalyticModel::WinnerThreeWay() const {
+  const double ar = CostPerQuery(Strategy::kAlwaysRecompute);
+  const double ci = CostPerQuery(Strategy::kCacheInvalidate);
+  const double avm = CostPerQuery(Strategy::kUpdateCacheAvm);
+  const double rvm = CostPerQuery(Strategy::kUpdateCacheRvm);
+  const Strategy uc_best =
+      avm <= rvm ? Strategy::kUpdateCacheAvm : Strategy::kUpdateCacheRvm;
+  const double uc = std::min(avm, rvm);
+  if (ar <= ci && ar <= uc) return Strategy::kAlwaysRecompute;
+  if (ci <= uc) return Strategy::kCacheInvalidate;
+  return uc_best;
+}
+
+}  // namespace procsim::cost

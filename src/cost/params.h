@@ -1,0 +1,105 @@
+#ifndef PROCSIM_COST_PARAMS_H_
+#define PROCSIM_COST_PARAMS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace procsim::cost {
+
+/// \brief Which procedure model (§3) to analyze.
+///
+/// In both models a P1 procedure is a one-relation selection on R1.  In
+/// kModel1 a P2 procedure is a two-way join R1 ⋈ R2; in kModel2 it is a
+/// three-way join R1 ⋈ R2 ⋈ R3.
+enum class ProcModel { kModel1 = 1, kModel2 = 2 };
+
+/// How expected page-touch counts are estimated (Appendix A).
+enum class YaoMode {
+  /// The paper's piecewise rule: k for k<=1, 1 for m<1, min(k,m) for m<2,
+  /// Cardenas otherwise.
+  kPaperApproximation,
+  /// The exact hypergeometric Yao function (with the same small-k/small-m
+  /// guards, which exist because the model feeds fractional expectations).
+  kExact,
+};
+
+/// \brief All parameters of the paper's cost model with the figure-2
+/// defaults.
+///
+/// Field names follow the paper; see DESIGN.md for the handful of
+/// OCR-damaged formulas whose interpretation we pin down (b, H1, P_inval,
+/// screening, refresh read+write).
+struct Params {
+  // --- database shape ----------------------------------------------------
+  double N = 100000;   ///< tuples in R1
+  double S = 100;      ///< bytes per tuple
+  double B = 4000;     ///< bytes per block
+  double d = 20;       ///< bytes per B+-tree index record
+  double f_R2 = 0.1;   ///< |R2| as a fraction of N
+  double f_R3 = 0.1;   ///< |R3| as a fraction of N
+
+  // --- workload ----------------------------------------------------------
+  double k = 100;  ///< number of update transactions
+  double l = 25;   ///< tuples modified in place per update transaction
+  double q = 100;  ///< number of procedure accesses
+  double Z = 0.2;  ///< locality skew: fraction Z of objects gets 1-Z of refs
+
+  // --- procedure population ---------------------------------------------
+  double N1 = 100;  ///< number of P1 (selection) procedures
+  double N2 = 100;  ///< number of P2 (join) procedures
+  double SF = 0.5;  ///< fraction of P2 procedures sharing a P1 subexpression
+
+  // --- selectivities -----------------------------------------------------
+  double f = 0.001;  ///< selectivity of C_f(R1)
+  double f2 = 0.1;   ///< selectivity of C_f2(R2)
+
+  // --- device/CPU costs (ms) ----------------------------------------------
+  double C1 = 1.0;        ///< CPU cost to screen a record against a predicate
+  double C2 = 30.0;       ///< one disk page read or write
+  double C3 = 1.0;        ///< per-tuple delta-set (A_net/D_net) maintenance
+  double C_inval = 0.0;   ///< cost to record one cache invalidation
+
+  /// Page-touch estimator (ablation AB4 compares the two).
+  YaoMode yao_mode = YaoMode::kPaperApproximation;
+
+  // --- derived quantities --------------------------------------------------
+
+  /// Total blocks of R1: b = ceil(N*S/B) (figure-2 typo `N/S` corrected).
+  double b() const { return std::ceil(N * S / B); }
+
+  /// Tuples per block.
+  double tuples_per_block() const { return B / S; }
+
+  /// Combined selectivity of a P2 procedure, f* = f * f2.
+  double f_star() const { return f * f2; }
+
+  /// Update/query ratio k/q.
+  double UpdatePerQuery() const { return q > 0 ? k / q : 0.0; }
+
+  /// Probability that a given operation is an update, P = k/(k+q).
+  double UpdateProbability() const {
+    return (k + q) > 0 ? k / (k + q) : 0.0;
+  }
+
+  /// Sets k so that UpdateProbability() == p while holding q fixed.
+  /// Requires p in [0, 1).
+  void SetUpdateProbability(double p) { k = q * p / (1.0 - p); }
+
+  /// Height of the primary B+-tree on R1 (DESIGN.md substitution: indexed
+  /// over all N entries, fanout floor(B/d), at least one level).
+  double H1() const {
+    const double fanout = std::floor(B / d);
+    if (N <= 1) return 1;
+    return std::max(1.0, std::ceil(std::log(N) / std::log(fanout)));
+  }
+
+  /// Total number of stored procedures n = N1 + N2.
+  double TotalProcedures() const { return N1 + N2; }
+
+  std::string ToString() const;
+};
+
+}  // namespace procsim::cost
+
+#endif  // PROCSIM_COST_PARAMS_H_

@@ -1,0 +1,178 @@
+#include "cost/sweeps.h"
+
+#include <cmath>
+#include <iomanip>
+
+#include "util/logging.h"
+
+namespace procsim::cost {
+
+std::vector<double> LinSpace(double lo, double hi, int steps) {
+  PROCSIM_CHECK_GE(steps, 2);
+  std::vector<double> values(steps);
+  for (int i = 0; i < steps; ++i) {
+    values[i] = lo + (hi - lo) * static_cast<double>(i) / (steps - 1);
+  }
+  return values;
+}
+
+std::vector<double> LogSpace(double lo, double hi, int steps) {
+  PROCSIM_CHECK_GT(lo, 0.0);
+  PROCSIM_CHECK_GT(hi, lo);
+  PROCSIM_CHECK_GE(steps, 2);
+  std::vector<double> values(steps);
+  const double log_lo = std::log10(lo);
+  const double log_hi = std::log10(hi);
+  for (int i = 0; i < steps; ++i) {
+    values[i] = std::pow(
+        10.0, log_lo + (log_hi - log_lo) * static_cast<double>(i) / (steps - 1));
+  }
+  return values;
+}
+
+namespace {
+
+SweepPoint EvaluateAll(const Params& params, ProcModel model, double x) {
+  AnalyticModel analytic(params, model);
+  SweepPoint point;
+  point.x = x;
+  point.always_recompute = analytic.CostPerQuery(Strategy::kAlwaysRecompute);
+  point.cache_invalidate = analytic.CostPerQuery(Strategy::kCacheInvalidate);
+  point.update_cache_avm = analytic.CostPerQuery(Strategy::kUpdateCacheAvm);
+  point.update_cache_rvm = analytic.CostPerQuery(Strategy::kUpdateCacheRvm);
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> SweepUpdateProbability(const Params& base,
+                                               ProcModel model, double p_min,
+                                               double p_max, int steps) {
+  PROCSIM_CHECK_GE(p_min, 0.0);
+  PROCSIM_CHECK_LT(p_max, 1.0);
+  std::vector<SweepPoint> series;
+  for (double p : LinSpace(p_min, p_max, steps)) {
+    Params params = base;
+    params.SetUpdateProbability(p);
+    series.push_back(EvaluateAll(params, model, p));
+  }
+  return series;
+}
+
+std::vector<SweepPoint> SweepSharingFactor(const Params& base, ProcModel model,
+                                           int steps) {
+  std::vector<SweepPoint> series;
+  for (double sf : LinSpace(0.0, 1.0, steps)) {
+    Params params = base;
+    params.SF = sf;
+    series.push_back(EvaluateAll(params, model, sf));
+  }
+  return series;
+}
+
+std::vector<SweepPoint> SweepInvalidationCost(
+    const Params& base, ProcModel model, const std::vector<double>& costs) {
+  std::vector<SweepPoint> series;
+  for (double c : costs) {
+    Params params = base;
+    params.C_inval = c;
+    series.push_back(EvaluateAll(params, model, c));
+  }
+  return series;
+}
+
+double SharingCrossover(const Params& base, ProcModel model) {
+  auto rvm_minus_avm = [&](double sf) {
+    Params params = base;
+    params.SF = sf;
+    AnalyticModel analytic(params, model);
+    return analytic.CostPerQuery(Strategy::kUpdateCacheRvm) -
+           analytic.CostPerQuery(Strategy::kUpdateCacheAvm);
+  };
+  // RVM cost is non-increasing in SF while AVM is constant, so the
+  // difference is monotone; bisect for its zero.
+  double lo = 0.0;
+  double hi = 1.0;
+  if (rvm_minus_avm(lo) <= 0.0) return 0.0;  // RVM already wins at SF=0
+  if (rvm_minus_avm(hi) > 0.0) return -1.0;  // RVM never catches up
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (rvm_minus_avm(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+void WriteSweepCsv(std::ostream& out, const std::string& x_name,
+                   const std::vector<SweepPoint>& series) {
+  out << x_name << ",always_recompute,cache_invalidate,update_cache_avm,"
+      << "update_cache_rvm\n";
+  out << std::setprecision(12);
+  for (const SweepPoint& point : series) {
+    out << point.x << ',' << point.always_recompute << ','
+        << point.cache_invalidate << ',' << point.update_cache_avm << ','
+        << point.update_cache_rvm << '\n';
+  }
+}
+
+void WriteRegionsCsv(std::ostream& out, const WinnerRegionGrid& grid) {
+  out << "f,P,winner\n";
+  out << std::setprecision(12);
+  for (std::size_t i = 0; i < grid.f_values.size(); ++i) {
+    for (std::size_t j = 0; j < grid.p_values.size(); ++j) {
+      out << grid.f_values[i] << ',' << grid.p_values[j] << ','
+          << StrategyName(grid.winner[i][j]) << '\n';
+    }
+  }
+}
+
+WinnerRegionGrid ComputeWinnerRegions(const Params& base, ProcModel model,
+                                      double f_min, double f_max, int f_steps,
+                                      double p_min, double p_max,
+                                      int p_steps) {
+  WinnerRegionGrid grid;
+  grid.f_values = LogSpace(f_min, f_max, f_steps);
+  grid.p_values = LinSpace(p_min, p_max, p_steps);
+  grid.winner.resize(grid.f_values.size());
+  for (std::size_t i = 0; i < grid.f_values.size(); ++i) {
+    grid.winner[i].resize(grid.p_values.size());
+    for (std::size_t j = 0; j < grid.p_values.size(); ++j) {
+      Params params = base;
+      params.f = grid.f_values[i];
+      params.SetUpdateProbability(grid.p_values[j]);
+      AnalyticModel analytic(params, model);
+      grid.winner[i][j] = analytic.WinnerThreeWay();
+    }
+  }
+  return grid;
+}
+
+ClosenessGrid ComputeClosenessGrid(const Params& base, ProcModel model,
+                                   double f_min, double f_max, int f_steps,
+                                   double p_min, double p_max, int p_steps) {
+  ClosenessGrid grid;
+  grid.f_values = LogSpace(f_min, f_max, f_steps);
+  grid.p_values = LinSpace(p_min, p_max, p_steps);
+  grid.ratio.resize(grid.f_values.size());
+  for (std::size_t i = 0; i < grid.f_values.size(); ++i) {
+    grid.ratio[i].resize(grid.p_values.size());
+    for (std::size_t j = 0; j < grid.p_values.size(); ++j) {
+      Params params = base;
+      params.f = grid.f_values[i];
+      params.SetUpdateProbability(grid.p_values[j]);
+      AnalyticModel analytic(params, model);
+      const double ci =
+          analytic.CostPerQuery(Strategy::kCacheInvalidate);
+      const double uc =
+          std::min(analytic.CostPerQuery(Strategy::kUpdateCacheAvm),
+                   analytic.CostPerQuery(Strategy::kUpdateCacheRvm));
+      grid.ratio[i][j] = uc > 0 ? ci / uc : 0.0;
+    }
+  }
+  return grid;
+}
+
+}  // namespace procsim::cost

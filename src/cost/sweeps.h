@@ -1,0 +1,87 @@
+#ifndef PROCSIM_COST_SWEEPS_H_
+#define PROCSIM_COST_SWEEPS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cost/model.h"
+#include "cost/params.h"
+
+namespace procsim::cost {
+
+/// One point of a cost-vs-parameter series: the expected ms/query of each
+/// strategy at the given x value.
+struct SweepPoint {
+  double x = 0;  ///< swept parameter value (P, SF, f, C_inval, ...)
+  double always_recompute = 0;
+  double cache_invalidate = 0;
+  double update_cache_avm = 0;
+  double update_cache_rvm = 0;
+};
+
+/// \brief Sweeps the update probability P = k/(k+q) from `p_min` to `p_max`
+/// in `steps` evenly spaced points (q held fixed, k adjusted).
+///
+/// This is the x-axis of the paper's figures 4-10 and 17.
+std::vector<SweepPoint> SweepUpdateProbability(const Params& base,
+                                               ProcModel model, double p_min,
+                                               double p_max, int steps);
+
+/// \brief Sweeps the sharing factor SF in [0, 1]; only the AVM and RVM
+/// columns vary (figures 11 and 18).
+std::vector<SweepPoint> SweepSharingFactor(const Params& base, ProcModel model,
+                                           int steps);
+
+/// \brief Sweeps the invalidation-recording cost C_inval (ablation AB1).
+std::vector<SweepPoint> SweepInvalidationCost(const Params& base,
+                                              ProcModel model,
+                                              const std::vector<double>& costs);
+
+/// \brief Finds the SF at which RVM's cost first drops to AVM's (bisection
+/// over [0,1]); returns a negative value if RVM never catches up.
+double SharingCrossover(const Params& base, ProcModel model);
+
+/// \brief Winner map over the (object size f) × (update probability P) plane
+/// — the paper's region figures 12, 13 and 19.
+struct WinnerRegionGrid {
+  std::vector<double> f_values;  ///< log-spaced object-size axis
+  std::vector<double> p_values;  ///< update-probability axis
+  /// winner[i][j] for f_values[i], p_values[j]; three-way comparison with
+  /// Update Cache represented by its cheaper variant.
+  std::vector<std::vector<Strategy>> winner;
+};
+
+WinnerRegionGrid ComputeWinnerRegions(const Params& base, ProcModel model,
+                                      double f_min, double f_max, int f_steps,
+                                      double p_min, double p_max, int p_steps);
+
+/// \brief Closeness map (figures 14/15): the ratio CI / min(AVM, RVM) over
+/// the same plane.  Cells with ratio <= `threshold` (default 2) are the
+/// paper's "Cache and Invalidate within a factor of two" region.
+struct ClosenessGrid {
+  std::vector<double> f_values;
+  std::vector<double> p_values;
+  std::vector<std::vector<double>> ratio;  ///< CI cost / best UC cost
+};
+
+ClosenessGrid ComputeClosenessGrid(const Params& base, ProcModel model,
+                                   double f_min, double f_max, int f_steps,
+                                   double p_min, double p_max, int p_steps);
+
+/// Writes a sweep as CSV (header: x_name,AR,CI,AVM,RVM) for plotting
+/// tools; full precision, one row per point.
+void WriteSweepCsv(std::ostream& out, const std::string& x_name,
+                   const std::vector<SweepPoint>& series);
+
+/// Writes a winner-region grid as CSV (f,P,winner-code rows).
+void WriteRegionsCsv(std::ostream& out, const WinnerRegionGrid& grid);
+
+/// Log-spaced values from `lo` to `hi` inclusive.
+std::vector<double> LogSpace(double lo, double hi, int steps);
+/// Linearly spaced values from `lo` to `hi` inclusive.
+std::vector<double> LinSpace(double lo, double hi, int steps);
+
+}  // namespace procsim::cost
+
+#endif  // PROCSIM_COST_SWEEPS_H_

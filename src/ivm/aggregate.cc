@@ -1,0 +1,126 @@
+#include "ivm/aggregate.h"
+
+#include "util/logging.h"
+
+namespace procsim::ivm {
+
+std::string AggregateFunctionName(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+AggregateViewMaintainer::AggregateViewMaintainer(rel::ProcedureQuery query,
+                                                 AggregateSpec spec,
+                                                 rel::Executor* executor)
+    : query_(std::move(query)),
+      spec_(spec),
+      executor_(executor),
+      tracks_values_(spec.function == AggregateFunction::kMin ||
+                     spec.function == AggregateFunction::kMax) {
+  PROCSIM_CHECK(executor != nullptr);
+}
+
+int64_t AggregateViewMaintainer::GroupOf(const rel::Tuple& tuple) const {
+  if (!spec_.group_by.has_value()) return 0;
+  return tuple.value(*spec_.group_by).AsInt64();
+}
+
+double AggregateViewMaintainer::ValueOf(const rel::Tuple& tuple) const {
+  if (spec_.function == AggregateFunction::kCount) return 1.0;
+  const rel::Value& value = tuple.value(spec_.value_column);
+  if (value.is_int64()) return static_cast<double>(value.AsInt64());
+  if (value.is_double()) return value.AsDouble();
+  PROCSIM_CHECK(false) << "aggregated column must be numeric, got "
+                       << value.ToString();
+  return 0;
+}
+
+Status AggregateViewMaintainer::Apply(const rel::Tuple& tuple, bool insert) {
+  const int64_t group = GroupOf(tuple);
+  const double value = ValueOf(tuple);
+  GroupState& state = groups_[group];
+  if (insert) {
+    ++state.count;
+    state.sum += value;
+    if (tracks_values_) ++state.values[value];
+    return Status::OK();
+  }
+  if (state.count == 0) {
+    return Status::Internal("aggregate delete from empty group " +
+                            std::to_string(group));
+  }
+  --state.count;
+  state.sum -= value;
+  if (tracks_values_) {
+    auto it = state.values.find(value);
+    if (it == state.values.end()) {
+      return Status::Internal("aggregate delete of untracked value");
+    }
+    if (--it->second == 0) state.values.erase(it);
+  }
+  if (state.count == 0) groups_.erase(group);
+  return Status::OK();
+}
+
+Status AggregateViewMaintainer::Initialize() {
+  groups_.clear();
+  Result<std::vector<rel::Tuple>> rows = executor_->Execute(query_);
+  if (!rows.ok()) return rows.status();
+  for (const rel::Tuple& row : rows.ValueOrDie()) {
+    PROCSIM_RETURN_IF_ERROR(Apply(row, /*insert=*/true));
+  }
+  return Status::OK();
+}
+
+Status AggregateViewMaintainer::ApplyOutputDelta(
+    const std::vector<rel::Tuple>& inserted,
+    const std::vector<rel::Tuple>& deleted) {
+  for (const rel::Tuple& row : inserted) {
+    PROCSIM_RETURN_IF_ERROR(Apply(row, /*insert=*/true));
+  }
+  for (const rel::Tuple& row : deleted) {
+    PROCSIM_RETURN_IF_ERROR(Apply(row, /*insert=*/false));
+  }
+  return Status::OK();
+}
+
+std::vector<AggregateRow> AggregateViewMaintainer::Read() const {
+  std::vector<AggregateRow> rows;
+  rows.reserve(groups_.size());
+  for (const auto& [group, state] : groups_) {
+    AggregateRow row;
+    row.group = group;
+    switch (spec_.function) {
+      case AggregateFunction::kCount:
+        row.value = static_cast<double>(state.count);
+        break;
+      case AggregateFunction::kSum:
+        row.value = state.sum;
+        break;
+      case AggregateFunction::kAvg:
+        row.value = state.sum / static_cast<double>(state.count);
+        break;
+      case AggregateFunction::kMin:
+        row.value = state.values.begin()->first;
+        break;
+      case AggregateFunction::kMax:
+        row.value = state.values.rbegin()->first;
+        break;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace procsim::ivm

@@ -1,0 +1,69 @@
+#ifndef PROCSIM_IVM_AVM_H_
+#define PROCSIM_IVM_AVM_H_
+
+#include <memory>
+#include <vector>
+
+#include "ivm/delta.h"
+#include "ivm/tuple_store.h"
+#include "relational/executor.h"
+#include "relational/query.h"
+
+namespace procsim::ivm {
+
+/// \brief Non-shared algebraic view maintenance [BLT86] for one view.
+///
+/// Maintains a materialized copy of a ProcedureQuery result.  After a
+/// transaction changes the base relation by inserting set `a` and deleting
+/// set `d`, the new view value is
+///
+///   V(A ∪ a - d, B) = V(A, B) ∪ V(a, B) - V(d, B)
+///
+/// so only V(a, B) and V(d, B) — joins of the (usually tiny) delta against
+/// the other relations — are computed, and the stored copy is patched.
+///
+/// The caller accumulates the transaction's base deltas (pre-screened
+/// against the view's selection predicate) in a DeltaSet and calls
+/// ApplyBaseDelta once per transaction, matching the paper's per-transaction
+/// A_net/D_net processing.
+class AvmViewMaintainer {
+ public:
+  /// \param query         the view definition
+  /// \param executor      used for delta joins; must outlive this object
+  /// \param disk          backing store for the materialized copy
+  /// \param pad_to_bytes  stored tuple width (the paper's S)
+  AvmViewMaintainer(rel::ProcedureQuery query, rel::Executor* executor,
+                    storage::SimulatedDisk* disk, std::size_t pad_to_bytes);
+
+  /// Computes the view from scratch and stores it.  Typically run with
+  /// metering disabled (static setup, as in the paper).
+  Status Initialize();
+
+  /// Applies a transaction's net base-relation delta.  Tuples must already
+  /// satisfy the view's base selection (the caller screens and charges C1,
+  /// and charges C3 per delta tuple when accumulating).
+  Status ApplyBaseDelta(const DeltaSet& delta);
+
+  /// Reads the maintained view value (charges one I/O per page).
+  Result<std::vector<rel::Tuple>> Read() const { return store_.ReadAll(); }
+
+  /// Replaces the stored copy with externally recomputed contents (used by
+  /// adaptive maintenance after an invalidation); charges the cache
+  /// refresh read-modify-write.
+  Status ResetContents(const std::vector<rel::Tuple>& tuples) {
+    return store_.Rebuild(tuples);
+  }
+
+  const rel::ProcedureQuery& query() const { return query_; }
+  const TupleStore& store() const { return store_; }
+
+ private:
+  rel::ProcedureQuery query_;
+  rel::Executor* executor_;
+  storage::SimulatedDisk* disk_;
+  TupleStore store_;
+};
+
+}  // namespace procsim::ivm
+
+#endif  // PROCSIM_IVM_AVM_H_

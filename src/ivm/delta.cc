@@ -1,0 +1,53 @@
+#include "ivm/delta.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace procsim::ivm {
+
+void DeltaSet::Bump(const rel::Tuple& tuple, long delta) {
+  auto [it, inserted] = counts_.try_emplace(tuple, 0);
+  it->second += delta;
+  if (it->second == 0) counts_.erase(it);
+}
+
+bool DeltaSet::empty() const { return counts_.empty(); }
+
+std::vector<rel::Tuple> DeltaSet::NetInserts() const {
+  std::vector<rel::Tuple> out;
+  for (const auto& [tuple, count] : counts_) {
+    for (long i = 0; i < count; ++i) out.push_back(tuple);
+  }
+  return out;
+}
+
+std::vector<rel::Tuple> DeltaSet::NetDeletes() const {
+  std::vector<rel::Tuple> out;
+  for (const auto& [tuple, count] : counts_) {
+    for (long i = 0; i > count; --i) out.push_back(tuple);
+  }
+  return out;
+}
+
+std::size_t DeltaSet::TotalNetSize() const {
+  std::size_t total = 0;
+  for (const auto& [tuple, count] : counts_) {
+    total += static_cast<std::size_t>(std::labs(count));
+  }
+  return total;
+}
+
+std::string DeltaSet::ToString() const {
+  std::ostringstream out;
+  out << "DeltaSet{";
+  bool first = true;
+  for (const auto& [tuple, count] : counts_) {
+    if (!first) out << ", ";
+    first = false;
+    out << (count > 0 ? "+" : "") << count << " " << tuple.ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace procsim::ivm

@@ -1,0 +1,52 @@
+#ifndef PROCSIM_IVM_DELTA_H_
+#define PROCSIM_IVM_DELTA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace procsim::ivm {
+
+/// \brief The net change of a transaction against one view or relation:
+/// the paper's A_net (inserted) and D_net (deleted) sets.
+///
+/// Inserting then deleting the same tuple within one transaction cancels
+/// out (net semantics).  Counted-bag representation so duplicate tuples are
+/// handled correctly.
+class DeltaSet {
+ public:
+  DeltaSet() = default;
+
+  /// Records an insertion (a "+" token).
+  void AddInsert(const rel::Tuple& tuple) { Bump(tuple, +1); }
+
+  /// Records a deletion (a "-" token).
+  void AddDelete(const rel::Tuple& tuple) { Bump(tuple, -1); }
+
+  bool empty() const;
+
+  /// Tuples with net-positive count (A_net), with multiplicity.
+  std::vector<rel::Tuple> NetInserts() const;
+
+  /// Tuples with net-negative count (D_net), with multiplicity.
+  std::vector<rel::Tuple> NetDeletes() const;
+
+  /// Total number of entries with non-zero net count (sum of |counts|) —
+  /// the "size of the A and D data structures" the paper charges C3 for.
+  std::size_t TotalNetSize() const;
+
+  void Clear() { counts_.clear(); }
+
+  std::string ToString() const;
+
+ private:
+  void Bump(const rel::Tuple& tuple, long delta);
+
+  std::unordered_map<rel::Tuple, long, rel::TupleHash> counts_;
+};
+
+}  // namespace procsim::ivm
+
+#endif  // PROCSIM_IVM_DELTA_H_

@@ -1,0 +1,128 @@
+#include "ivm/tuple_store.h"
+
+#include "util/logging.h"
+
+namespace procsim::ivm {
+
+using rel::Tuple;
+using storage::RecordId;
+
+TupleStore::TupleStore(storage::SimulatedDisk* disk, std::size_t pad_to_bytes)
+    : disk_(disk),
+      pad_to_bytes_(pad_to_bytes),
+      heap_(std::make_unique<storage::HeapFile>(disk)) {
+  PROCSIM_CHECK(disk != nullptr);
+}
+
+std::size_t TupleStore::page_count() const { return heap_->pages().size(); }
+
+Status TupleStore::InsertInternal(const Tuple& tuple) {
+  Result<RecordId> rid = heap_->Insert(tuple.Serialize(pad_to_bytes_));
+  if (!rid.ok()) return rid.status();
+  by_tuple_.emplace(tuple.Hash(), Entry{rid.ValueOrDie(), tuple});
+  for (auto& [column, index] : probe_indexes_) {
+    index.emplace(tuple.value(column).AsInt64(), rid.ValueOrDie());
+  }
+  ++count_;
+  return Status::OK();
+}
+
+Status TupleStore::Insert(const Tuple& tuple) { return InsertInternal(tuple); }
+
+Status TupleStore::Remove(const Tuple& tuple) {
+  auto [begin, end] = by_tuple_.equal_range(tuple.Hash());
+  for (auto it = begin; it != end; ++it) {
+    if (!(it->second.tuple == tuple)) continue;
+    const RecordId rid = it->second.rid;
+    PROCSIM_RETURN_IF_ERROR(heap_->Delete(rid));
+    for (auto& [column, index] : probe_indexes_) {
+      const int64_t key = tuple.value(column).AsInt64();
+      auto [kbegin, kend] = index.equal_range(key);
+      for (auto kit = kbegin; kit != kend; ++kit) {
+        if (kit->second == rid) {
+          index.erase(kit);
+          break;
+        }
+      }
+    }
+    by_tuple_.erase(it);
+    --count_;
+    return Status::OK();
+  }
+  return Status::NotFound("tuple not in store: " + tuple.ToString());
+}
+
+bool TupleStore::Contains(const Tuple& tuple) const {
+  auto [begin, end] = by_tuple_.equal_range(tuple.Hash());
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.tuple == tuple) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Tuple>> TupleStore::ReadAll() const {
+  std::vector<Tuple> out;
+  out.reserve(count_);
+  Status st = heap_->Scan([&](RecordId, const std::vector<uint8_t>& bytes) {
+    Result<Tuple> tuple = Tuple::Deserialize(bytes);
+    PROCSIM_CHECK(tuple.ok()) << tuple.status().ToString();
+    out.push_back(tuple.TakeValueOrDie());
+    return true;
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+void TupleStore::EnsureProbeIndex(std::size_t column) {
+  if (probe_indexes_.contains(column)) return;
+  auto& index = probe_indexes_[column];
+  for (const auto& [hash, entry] : by_tuple_) {
+    index.emplace(entry.tuple.value(column).AsInt64(), entry.rid);
+  }
+}
+
+Result<std::vector<Tuple>> TupleStore::ProbeEqual(std::size_t column,
+                                                  int64_t key) const {
+  auto index_it = probe_indexes_.find(column);
+  if (index_it == probe_indexes_.end()) {
+    return Status::InvalidArgument("no probe index on column " +
+                                   std::to_string(column));
+  }
+  std::vector<Tuple> out;
+  auto [begin, end] = index_it->second.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    Result<std::vector<uint8_t>> bytes = heap_->Read(it->second);
+    if (!bytes.ok()) return bytes.status();
+    Result<Tuple> tuple = Tuple::Deserialize(bytes.ValueOrDie());
+    if (!tuple.ok()) return tuple.status();
+    out.push_back(tuple.TakeValueOrDie());
+  }
+  return out;
+}
+
+Status TupleStore::Rebuild(const std::vector<Tuple>& tuples) {
+  // Refreshing a cache is a read-modify-write of its pages: charge a read
+  // for each page being replaced; Insert below charges the new writes.
+  const std::size_t old_pages = page_count();
+  heap_ = std::make_unique<storage::HeapFile>(disk_);
+  by_tuple_.clear();
+  for (auto& [column, index] : probe_indexes_) index.clear();
+  count_ = 0;
+  if (disk_->metering_enabled() && disk_->meter() != nullptr) {
+    disk_->meter()->ChargeDiskRead(old_pages);
+  }
+  storage::AccessScope scope(disk_);
+  for (const Tuple& tuple : tuples) {
+    PROCSIM_RETURN_IF_ERROR(InsertInternal(tuple));
+  }
+  return Status::OK();
+}
+
+std::vector<Tuple> TupleStore::SnapshotForTesting() const {
+  std::vector<Tuple> out;
+  out.reserve(count_);
+  for (const auto& [hash, entry] : by_tuple_) out.push_back(entry.tuple);
+  return out;
+}
+
+}  // namespace procsim::ivm

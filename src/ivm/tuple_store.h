@@ -1,0 +1,94 @@
+#ifndef PROCSIM_IVM_TUPLE_STORE_H_
+#define PROCSIM_IVM_TUPLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "storage/disk.h"
+#include "storage/heap_file.h"
+#include "util/status.h"
+
+namespace procsim::ivm {
+
+/// \brief A page-backed bag of tuples with cheap in-memory lookup
+/// structures.
+///
+/// Used for materialized procedure results, cached values, and Rete α/β
+/// memory nodes.  Tuple payloads live on SimulatedDisk pages, so every read
+/// of the contents and every incremental refresh charges the paper's I/O
+/// costs; the lookup maps (tuple → rid, key → rids) model the index part of
+/// the structure, whose traversal the paper does not charge.
+///
+/// Duplicate tuples are supported (bag semantics).  Probe indexes on int64
+/// columns can be added on demand (EnsureProbeIndex) — a shared Rete memory
+/// may be probed on different columns by different and-nodes.
+class TupleStore {
+ public:
+  /// \param disk          backing store
+  /// \param pad_to_bytes  fixed record width (the paper's S); 0 = natural
+  explicit TupleStore(storage::SimulatedDisk* disk,
+                      std::size_t pad_to_bytes = 0);
+
+  /// Adds one tuple (charges the page write, and a read if appending to a
+  /// partially filled page).
+  Status Insert(const rel::Tuple& tuple);
+
+  /// Removes one instance of `tuple`; NotFound if absent.
+  Status Remove(const rel::Tuple& tuple);
+
+  /// True if at least one instance of `tuple` is stored (no I/O charge —
+  /// answered from the in-memory map, like an index lookup).
+  bool Contains(const rel::Tuple& tuple) const;
+
+  /// Reads every tuple, charging one read per page.
+  Result<std::vector<rel::Tuple>> ReadAll() const;
+
+  /// Builds (or keeps) an in-memory probe index on `column` (int64).
+  void EnsureProbeIndex(std::size_t column);
+
+  /// All tuples whose `column` equals `key`, charging one read per distinct
+  /// record fetch (page reads deduplicate inside an access scope).
+  /// Requires EnsureProbeIndex(column) to have been called.
+  Result<std::vector<rel::Tuple>> ProbeEqual(std::size_t column,
+                                             int64_t key) const;
+
+  /// Replaces the whole contents (used to refresh a cache after recompute).
+  /// Charges a read per old page and a write per new page — the paper's
+  /// "read the pages currently in the cache, change their value, and write
+  /// them back" (2 * C2 * ProcSize).
+  Status Rebuild(const std::vector<rel::Tuple>& tuples);
+
+  /// Contents without any I/O charge; for tests and invariant checks only.
+  std::vector<rel::Tuple> SnapshotForTesting() const;
+
+  std::size_t size() const { return count_; }
+  std::size_t page_count() const;
+
+ private:
+  struct Entry {
+    storage::RecordId rid;
+    rel::Tuple tuple;
+  };
+
+  Status InsertInternal(const rel::Tuple& tuple);
+
+  storage::SimulatedDisk* disk_;
+  std::size_t pad_to_bytes_;
+  std::unique_ptr<storage::HeapFile> heap_;
+  // tuple-hash -> entries (collisions resolved by tuple equality).
+  std::unordered_multimap<std::size_t, Entry> by_tuple_;
+  // column -> (key -> rids).
+  std::map<std::size_t,
+           std::unordered_multimap<int64_t, storage::RecordId>>
+      probe_indexes_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace procsim::ivm
+
+#endif  // PROCSIM_IVM_TUPLE_STORE_H_

@@ -1,0 +1,12 @@
+#include "proc/always_recompute.h"
+
+namespace procsim::proc {
+
+Result<std::vector<rel::Tuple>> AlwaysRecomputeStrategy::Access(ProcId id) {
+  if (id >= procedures_.size()) {
+    return Status::NotFound("no procedure with id " + std::to_string(id));
+  }
+  return executor_->Execute(procedures_[id].query);
+}
+
+}  // namespace procsim::proc

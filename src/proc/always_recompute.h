@@ -1,0 +1,27 @@
+#ifndef PROCSIM_PROC_ALWAYS_RECOMPUTE_H_
+#define PROCSIM_PROC_ALWAYS_RECOMPUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "proc/strategy.h"
+
+namespace procsim::proc {
+
+/// \brief The conventional strategy (§2): every access executes the
+/// procedure's precompiled plan against the base relations.  No cache, no
+/// per-update overhead.
+class AlwaysRecomputeStrategy : public Strategy {
+ public:
+  using Strategy::Strategy;
+
+  std::string name() const override { return "AlwaysRecompute"; }
+
+  Status Prepare() override { return Status::OK(); }
+
+  Result<std::vector<rel::Tuple>> Access(ProcId id) override;
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_ALWAYS_RECOMPUTE_H_

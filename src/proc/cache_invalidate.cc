@@ -1,0 +1,121 @@
+#include "proc/cache_invalidate.h"
+
+#include "util/logging.h"
+
+namespace procsim::proc {
+
+CacheInvalidateStrategy::CacheInvalidateStrategy(
+    rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
+    std::size_t result_tuple_bytes, double invalidation_cost_ms)
+    : Strategy(catalog, executor, meter, result_tuple_bytes),
+      invalidation_cost_ms_(invalidation_cost_ms) {}
+
+Status CacheInvalidateStrategy::Prepare() {
+  storage::MeteringGuard guard(catalog_->disk());
+  entries_.clear();
+  entries_.resize(procedures_.size());
+  validity_.emplace(procedures_.size());
+  for (const DatabaseProcedure& procedure : procedures_) {
+    entries_[procedure.id].cache = std::make_unique<ivm::TupleStore>(
+        catalog_->disk(), result_tuple_bytes_);
+    Result<std::vector<rel::Tuple>> value = Recompute(procedure.id);
+    if (!value.ok()) return value.status();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<rel::Tuple>> CacheInvalidateStrategy::Recompute(ProcId id) {
+  const DatabaseProcedure& procedure = procedures_[id];
+  rel::ExecutionTrace trace;
+  Result<std::vector<rel::Tuple>> value =
+      executor_->Execute(procedure.query, &trace);
+  if (!value.ok()) return value.status();
+  PROCSIM_RETURN_IF_ERROR(entries_[id].cache->Rebuild(value.ValueOrDie()));
+  PROCSIM_RETURN_IF_ERROR(validity_->MarkValid(id));
+
+  // Re-acquire i-locks on everything the recomputation read: the B-tree
+  // interval of the base selection and every hash key probed.
+  locks_.ClearLocks(id);
+  Result<rel::Relation*> base =
+      catalog_->GetRelation(procedure.query.base.relation);
+  if (!base.ok()) return base.status();
+  PROCSIM_CHECK(base.ValueOrDie()->btree_column().has_value());
+  locks_.AddIntervalLock(id, procedure.query.base.relation,
+                         *base.ValueOrDie()->btree_column(),
+                         procedure.query.base.lo, procedure.query.base.hi);
+  for (std::size_t stage = 0; stage < procedure.query.joins.size(); ++stage) {
+    const rel::JoinStage& join = procedure.query.joins[stage];
+    Result<rel::Relation*> inner = catalog_->GetRelation(join.relation);
+    if (!inner.ok()) return inner.status();
+    PROCSIM_CHECK(inner.ValueOrDie()->hash_column().has_value());
+    if (stage < trace.probed_keys.size()) {
+      for (int64_t key : trace.probed_keys[stage]) {
+        locks_.AddValueLock(id, join.relation,
+                            *inner.ValueOrDie()->hash_column(), key);
+      }
+    }
+  }
+  return value;
+}
+
+Result<std::vector<rel::Tuple>> CacheInvalidateStrategy::Access(ProcId id) {
+  if (id >= entries_.size()) {
+    return Status::NotFound("no procedure with id " + std::to_string(id));
+  }
+  ++access_count_;
+  if (validity_->IsValid(id)) {
+    return entries_[id].cache->ReadAll();
+  }
+  ++invalid_access_count_;
+  return Recompute(id);
+}
+
+void CacheInvalidateStrategy::HandleWrite(const std::string& relation,
+                                          const rel::Tuple& tuple) {
+  for (ProcId id : locks_.FindBroken(relation, tuple)) {
+    if (!validity_->IsValid(id)) continue;  // already marked
+    Status st = validity_->MarkInvalid(id);
+    PROCSIM_CHECK(st.ok()) << st.ToString();
+    ++invalidation_count_;
+    meter_->ChargeFixed(invalidation_cost_ms_);
+  }
+}
+
+void CacheInvalidateStrategy::OnInsert(const std::string& relation,
+                                       const rel::Tuple& tuple) {
+  HandleWrite(relation, tuple);
+}
+
+void CacheInvalidateStrategy::OnDelete(const std::string& relation,
+                                       const rel::Tuple& tuple) {
+  HandleWrite(relation, tuple);
+}
+
+bool CacheInvalidateStrategy::IsValid(ProcId id) const {
+  PROCSIM_CHECK_LT(id, entries_.size());
+  return validity_->IsValid(id);
+}
+
+const InvalidationLog& CacheInvalidateStrategy::validity_log() const {
+  PROCSIM_CHECK(validity_.has_value()) << "Prepare() not called";
+  return *validity_;
+}
+
+InvalidationLog::Checkpoint CacheInvalidateStrategy::TakeValidityCheckpoint()
+    const {
+  PROCSIM_CHECK(validity_.has_value()) << "Prepare() not called";
+  return validity_->TakeCheckpoint();
+}
+
+Status CacheInvalidateStrategy::CrashAndRecover(
+    const InvalidationLog::Checkpoint& checkpoint) {
+  if (!validity_.has_value()) {
+    return Status::Internal("Prepare() not called");
+  }
+  validity_->Crash();
+  Result<std::vector<bool>> recovered = validity_->Recover(checkpoint);
+  if (!recovered.ok()) return recovered.status();
+  return validity_->ResetFrom(recovered.TakeValueOrDie());
+}
+
+}  // namespace procsim::proc

@@ -1,0 +1,94 @@
+#ifndef PROCSIM_PROC_CACHE_INVALIDATE_H_
+#define PROCSIM_PROC_CACHE_INVALIDATE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ivm/tuple_store.h"
+#include "proc/ilock.h"
+#include "proc/invalidation_log.h"
+#include "proc/strategy.h"
+
+namespace procsim::proc {
+
+/// \brief Cache and Invalidate (§2, §4.2): the last value returned by each
+/// procedure is cached; rule indexing (i-locks) detects updates that may
+/// have changed it and marks the cache invalid.
+///
+/// An access to a valid cache just reads the stored pages (T2); an access
+/// to an invalid cache recomputes the value, refreshes the cache
+/// (read-modify-write, T1) and re-acquires i-locks on everything the
+/// recomputation read.  Recording an invalidation costs
+/// `invalidation_cost_ms` (the paper's C_inval: 2*C2 = 60 ms for the naive
+/// flag-on-first-page scheme, ~0 for battery-backed memory or logged
+/// invalidation records).
+///
+/// I-locks are set on index intervals, not on full predicates, so an update
+/// inside the interval invalidates the cache even when a residual term
+/// (e.g. the paper's C_f2 on the joined relation) would have rejected it —
+/// the paper's *false invalidations*.
+class CacheInvalidateStrategy : public Strategy {
+ public:
+  CacheInvalidateStrategy(rel::Catalog* catalog, rel::Executor* executor,
+                          CostMeter* meter, std::size_t result_tuple_bytes,
+                          double invalidation_cost_ms);
+
+  std::string name() const override { return "CacheInvalidate"; }
+
+  Status Prepare() override;
+  Result<std::vector<rel::Tuple>> Access(ProcId id) override;
+
+  void OnInsert(const std::string& relation, const rel::Tuple& tuple) override;
+  void OnDelete(const std::string& relation, const rel::Tuple& tuple) override;
+
+  /// Whether procedure `id`'s cached value is currently valid.
+  bool IsValid(ProcId id) const;
+
+  /// Number of invalidation events recorded so far (includes false
+  /// invalidations; re-invalidating an already-invalid entry not counted).
+  std::size_t invalidation_count() const { return invalidation_count_; }
+
+  /// Accesses served so far, and how many found the cache invalid — the
+  /// empirical counterpart of the paper's IP formula (§4.2).
+  std::size_t access_count() const { return access_count_; }
+  std::size_t invalid_access_count() const { return invalid_access_count_; }
+
+  const ILockTable& lock_table() const { return locks_; }
+
+  /// The §3 recoverable validity store backing this strategy.  Valid after
+  /// Prepare().
+  const InvalidationLog& validity_log() const;
+
+  /// Captures a recovery checkpoint of the validity bitmap.
+  InvalidationLog::Checkpoint TakeValidityCheckpoint() const;
+
+  /// Simulates a crash that loses the in-memory validity bitmap (cached
+  /// pages are durable) and recovers it from `checkpoint` plus the
+  /// invalidation log — the paper's §3 WAL-recovery scheme.  After this the
+  /// strategy serves correct results again.
+  Status CrashAndRecover(const InvalidationLog::Checkpoint& checkpoint);
+
+ private:
+  struct Entry {
+    std::unique_ptr<ivm::TupleStore> cache;
+  };
+
+  /// Recomputes procedure `id`, refreshes its cache and re-acquires locks.
+  Result<std::vector<rel::Tuple>> Recompute(ProcId id);
+
+  void HandleWrite(const std::string& relation, const rel::Tuple& tuple);
+
+  double invalidation_cost_ms_;
+  std::vector<Entry> entries_;
+  std::optional<InvalidationLog> validity_;
+  ILockTable locks_;
+  std::size_t invalidation_count_ = 0;
+  std::size_t access_count_ = 0;
+  std::size_t invalid_access_count_ = 0;
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_CACHE_INVALIDATE_H_

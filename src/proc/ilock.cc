@@ -1,0 +1,48 @@
+#include "proc/ilock.h"
+
+#include <algorithm>
+
+namespace procsim::proc {
+
+void ILockTable::AddIntervalLock(ProcId owner, const std::string& relation,
+                                 std::size_t column, int64_t lo, int64_t hi) {
+  locks_by_relation_[relation].push_back(Lock{owner, column, lo, hi});
+}
+
+void ILockTable::ClearLocks(ProcId owner) {
+  for (auto& [relation, locks] : locks_by_relation_) {
+    locks.erase(std::remove_if(locks.begin(), locks.end(),
+                               [owner](const Lock& lock) {
+                                 return lock.owner == owner;
+                               }),
+                locks.end());
+  }
+}
+
+std::vector<ProcId> ILockTable::FindBroken(const std::string& relation,
+                                           const rel::Tuple& tuple) const {
+  std::vector<ProcId> broken;
+  auto it = locks_by_relation_.find(relation);
+  if (it == locks_by_relation_.end()) return broken;
+  for (const Lock& lock : it->second) {
+    if (lock.column >= tuple.arity()) continue;
+    const rel::Value& value = tuple.value(lock.column);
+    if (!value.is_int64()) continue;
+    const int64_t key = value.AsInt64();
+    if (key < lock.lo || key > lock.hi) continue;
+    if (std::find(broken.begin(), broken.end(), lock.owner) == broken.end()) {
+      broken.push_back(lock.owner);
+    }
+  }
+  return broken;
+}
+
+std::size_t ILockTable::lock_count() const {
+  std::size_t total = 0;
+  for (const auto& [relation, locks] : locks_by_relation_) {
+    total += locks.size();
+  }
+  return total;
+}
+
+}  // namespace procsim::proc

@@ -1,0 +1,59 @@
+#ifndef PROCSIM_PROC_ILOCK_H_
+#define PROCSIM_PROC_ILOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proc/procedure.h"
+#include "relational/tuple.h"
+
+namespace procsim::proc {
+
+/// \brief The invalidation-lock table of rule indexing [SSH86].
+///
+/// When a procedure's value is computed, persistent i-locks are set on all
+/// data read: an interval lock on the B-tree range scanned and value locks
+/// on every hash key probed.  A later write that falls inside a lock's
+/// range "breaks" the lock, flagging the owning procedure.
+///
+/// Lock lookup is an in-memory operation (the lock table rides with the
+/// index structures); the paper charges no I/O for it — only the downstream
+/// screening/invalidations are charged by the callers.
+class ILockTable {
+ public:
+  /// Sets an interval i-lock [lo, hi] on `column` of `relation`.
+  void AddIntervalLock(ProcId owner, const std::string& relation,
+                       std::size_t column, int64_t lo, int64_t hi);
+
+  /// Sets a value i-lock (degenerate interval) — one per hash-index probe.
+  void AddValueLock(ProcId owner, const std::string& relation,
+                    std::size_t column, int64_t key) {
+    AddIntervalLock(owner, relation, column, key, key);
+  }
+
+  /// Drops every lock owned by `owner` (before re-acquiring on recompute).
+  void ClearLocks(ProcId owner);
+
+  /// Procedures whose lock on `relation` is broken by writing `tuple`
+  /// (deduplicated, unordered).
+  std::vector<ProcId> FindBroken(const std::string& relation,
+                                 const rel::Tuple& tuple) const;
+
+  std::size_t lock_count() const;
+
+ private:
+  struct Lock {
+    ProcId owner;
+    std::size_t column;
+    int64_t lo;
+    int64_t hi;
+  };
+
+  std::unordered_map<std::string, std::vector<Lock>> locks_by_relation_;
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_ILOCK_H_

@@ -1,0 +1,98 @@
+#include "proc/invalidation_log.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace procsim::proc {
+
+InvalidationLog::InvalidationLog(std::size_t procedure_count)
+    : valid_(procedure_count, true) {}
+
+bool InvalidationLog::IsValid(ProcId id) const {
+  PROCSIM_CHECK(!crashed_) << "bitmap lost; recover first";
+  PROCSIM_CHECK_LT(id, valid_.size());
+  return valid_[id];
+}
+
+Status InvalidationLog::Append(Record::Kind kind, ProcId id) {
+  if (id >= valid_.size()) {
+    return Status::InvalidArgument("procedure id out of range: " +
+                                   std::to_string(id));
+  }
+  records_.push_back(Record{next_lsn_++, kind, id});
+  return Status::OK();
+}
+
+Status InvalidationLog::MarkInvalid(ProcId id) {
+  if (crashed_) return Status::Internal("bitmap lost; recover first");
+  if (id >= valid_.size()) {
+    return Status::InvalidArgument("procedure id out of range");
+  }
+  if (!valid_[id]) return Status::OK();  // idempotent, no log record
+  PROCSIM_RETURN_IF_ERROR(Append(Record::Kind::kInvalidate, id));
+  valid_[id] = false;
+  return Status::OK();
+}
+
+Status InvalidationLog::MarkValid(ProcId id) {
+  if (crashed_) return Status::Internal("bitmap lost; recover first");
+  if (id >= valid_.size()) {
+    return Status::InvalidArgument("procedure id out of range");
+  }
+  if (valid_[id]) return Status::OK();
+  PROCSIM_RETURN_IF_ERROR(Append(Record::Kind::kValidate, id));
+  valid_[id] = true;
+  return Status::OK();
+}
+
+InvalidationLog::Checkpoint InvalidationLog::TakeCheckpoint() const {
+  PROCSIM_CHECK(!crashed_);
+  Checkpoint checkpoint;
+  checkpoint.lsn = next_lsn_ - 1;
+  checkpoint.valid = valid_;
+  return checkpoint;
+}
+
+void InvalidationLog::TruncateThrough(const Checkpoint& checkpoint) {
+  records_.erase(
+      std::remove_if(records_.begin(), records_.end(),
+                     [&](const Record& record) {
+                       return record.lsn <= checkpoint.lsn;
+                     }),
+      records_.end());
+}
+
+Result<std::vector<bool>> InvalidationLog::Recover(
+    const Checkpoint& checkpoint) const {
+  if (checkpoint.valid.size() != valid_.size()) {
+    return Status::InvalidArgument("checkpoint bitmap size mismatch");
+  }
+  std::vector<bool> recovered = checkpoint.valid;
+  // Replay the log suffix in LSN order (records_ is append-ordered).
+  for (const Record& record : records_) {
+    if (record.lsn <= checkpoint.lsn) continue;
+    if (record.procedure >= recovered.size()) {
+      return Status::Internal("log record for unknown procedure");
+    }
+    recovered[record.procedure] =
+        record.kind == Record::Kind::kValidate;
+  }
+  return recovered;
+}
+
+void InvalidationLog::Crash() {
+  crashed_ = true;
+  std::fill(valid_.begin(), valid_.end(), false);
+}
+
+Status InvalidationLog::ResetFrom(std::vector<bool> valid) {
+  if (valid.size() != valid_.size()) {
+    return Status::InvalidArgument("bitmap size mismatch");
+  }
+  valid_ = std::move(valid);
+  crashed_ = false;
+  return Status::OK();
+}
+
+}  // namespace procsim::proc

@@ -1,0 +1,29 @@
+#ifndef PROCSIM_PROC_PROCEDURE_H_
+#define PROCSIM_PROC_PROCEDURE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "relational/query.h"
+
+namespace procsim::proc {
+
+/// Identifies a stored procedure within a strategy.
+using ProcId = std::size_t;
+
+/// \brief A database procedure: a named retrieve query stored in the
+/// database (§1).  Both procedure models assume a single retrieve query per
+/// procedure; its precompiled plan is the ProcedureQuery itself (static
+/// optimization — no run-time compilation cost).
+struct DatabaseProcedure {
+  ProcId id = 0;
+  std::string name;
+  rel::ProcedureQuery query;
+
+  /// True for the paper's P1 type (simple selection); false for P2 (join).
+  bool IsSelectionOnly() const { return query.joins.empty(); }
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_PROCEDURE_H_

@@ -1,0 +1,62 @@
+#include "proc/registry.h"
+
+#include "util/logging.h"
+
+namespace procsim::proc {
+
+ProcedureRegistry::ProcedureRegistry(Strategy* strategy)
+    : strategy_(strategy) {
+  PROCSIM_CHECK(strategy != nullptr);
+}
+
+Status ProcedureRegistry::Define(const std::string& name,
+                                 std::vector<rel::ProcedureQuery> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("procedure " + name + " has no queries");
+  }
+  if (members_.contains(name)) {
+    return Status::AlreadyExists("procedure " + name + " already defined");
+  }
+  std::vector<ProcId> ids;
+  ids.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    DatabaseProcedure procedure;
+    procedure.id = strategy_->procedures().size();
+    procedure.name = name + "#" + std::to_string(i);
+    procedure.query = std::move(queries[i]);
+    PROCSIM_RETURN_IF_ERROR(strategy_->AddProcedure(procedure));
+    ids.push_back(procedure.id);
+  }
+  members_[name] = std::move(ids);
+  return Status::OK();
+}
+
+Result<std::vector<rel::Tuple>> ProcedureRegistry::Access(
+    const std::string& name) {
+  auto it = members_.find(name);
+  if (it == members_.end()) {
+    return Status::NotFound("no procedure named " + name);
+  }
+  std::vector<rel::Tuple> combined;
+  for (ProcId id : it->second) {
+    Result<std::vector<rel::Tuple>> value = strategy_->Access(id);
+    if (!value.ok()) return value.status();
+    combined.insert(combined.end(), value.ValueOrDie().begin(),
+                    value.ValueOrDie().end());
+  }
+  return combined;
+}
+
+std::size_t ProcedureRegistry::MemberCount(const std::string& name) const {
+  auto it = members_.find(name);
+  return it == members_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> ProcedureRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(members_.size());
+  for (const auto& [name, ids] : members_) names.push_back(name);
+  return names;
+}
+
+}  // namespace procsim::proc

@@ -1,0 +1,53 @@
+#ifndef PROCSIM_PROC_REGISTRY_H_
+#define PROCSIM_PROC_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "proc/strategy.h"
+
+namespace procsim::proc {
+
+/// \brief Name-based registry of (possibly multi-query) database procedures
+/// over one execution strategy.
+///
+/// §1 of the paper defines a database procedure as "a collection of query
+/// language statements stored in a field of a record"; the cost models then
+/// specialize to one query per procedure.  This registry restores the
+/// general form: a named procedure may hold several retrieve queries, each
+/// compiled and maintained individually by the underlying strategy, and an
+/// access returns the concatenation of the member results in definition
+/// order — exactly what executing the stored statements in sequence would
+/// return.
+class ProcedureRegistry {
+ public:
+  /// \param strategy  the execution strategy; must outlive the registry and
+  ///                  must not have procedures added behind its back
+  explicit ProcedureRegistry(Strategy* strategy);
+
+  /// Registers `name` with one or more queries.  Must be called before
+  /// Prepare(); duplicate names are rejected.
+  Status Define(const std::string& name,
+                std::vector<rel::ProcedureQuery> queries);
+
+  /// Compiles everything (delegates to the strategy).
+  Status Prepare() { return strategy_->Prepare(); }
+
+  /// The concatenated value of procedure `name`.
+  Result<std::vector<rel::Tuple>> Access(const std::string& name);
+
+  /// Number of member queries of `name` (0 if unknown).
+  std::size_t MemberCount(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  Strategy* strategy() const { return strategy_; }
+
+ private:
+  Strategy* strategy_;
+  std::map<std::string, std::vector<ProcId>> members_;
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_REGISTRY_H_

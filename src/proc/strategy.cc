@@ -1,0 +1,31 @@
+#include "proc/strategy.h"
+
+#include "util/logging.h"
+
+namespace procsim::proc {
+
+Strategy::Strategy(rel::Catalog* catalog, rel::Executor* executor,
+                   CostMeter* meter, std::size_t result_tuple_bytes)
+    : catalog_(catalog),
+      executor_(executor),
+      meter_(meter),
+      result_tuple_bytes_(result_tuple_bytes) {
+  PROCSIM_CHECK(catalog != nullptr);
+  PROCSIM_CHECK(executor != nullptr);
+  PROCSIM_CHECK(meter != nullptr);
+}
+
+Status Strategy::AddProcedure(const DatabaseProcedure& procedure) {
+  if (procedure.id != procedures_.size()) {
+    return Status::InvalidArgument(
+        "procedure ids must be dense and added in order; expected " +
+        std::to_string(procedures_.size()));
+  }
+  procedures_.push_back(procedure);
+  return Status::OK();
+}
+
+void Strategy::OnInsert(const std::string&, const rel::Tuple&) {}
+void Strategy::OnDelete(const std::string&, const rel::Tuple&) {}
+
+}  // namespace procsim::proc

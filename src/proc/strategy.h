@@ -1,0 +1,73 @@
+#ifndef PROCSIM_PROC_STRATEGY_H_
+#define PROCSIM_PROC_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "proc/procedure.h"
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "relational/relation.h"
+#include "util/cost_meter.h"
+
+namespace procsim::proc {
+
+/// \brief Base class of the paper's query-processing strategies for
+/// database procedures: Always Recompute, Cache and Invalidate, and the two
+/// Update Cache variants (AVM, RVM).
+///
+/// Lifecycle:
+///   1. construct, AddProcedure() for every stored procedure;
+///   2. Prepare() — static compilation: plans, caches, Rete networks,
+///      initial materialization (run with metering disabled internally);
+///   3. workload: the driver reports every base-table write via
+///      OnInsert/OnDelete (an in-place modification is a delete of the old
+///      value + an insert of the new one) and calls OnTransactionEnd()
+///      after each update transaction; procedure reads go through Access().
+///
+/// Strategies implement rel::UpdateObserver so they can also be attached
+/// directly to relations; the simulator instead drives the notifications
+/// explicitly so the base-table write I/O itself (identical across
+/// strategies, excluded by the paper's analysis) is not charged.
+class Strategy : public rel::UpdateObserver {
+ public:
+  Strategy(rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
+           std::size_t result_tuple_bytes);
+  ~Strategy() override = default;
+
+  virtual std::string name() const = 0;
+
+  /// Registers a stored procedure; call before Prepare().
+  virtual Status AddProcedure(const DatabaseProcedure& procedure);
+
+  /// Builds the strategy's static structures (precompiled plans, caches,
+  /// networks).  Not charged: the paper's algorithms are statically
+  /// optimized, paying all compilation cost once, off-line.
+  virtual Status Prepare() = 0;
+
+  /// Retrieves the current value of procedure `id`, charging this access's
+  /// share of work to the meter.
+  virtual Result<std::vector<rel::Tuple>> Access(ProcId id) = 0;
+
+  /// Called after each update transaction's writes have been reported.
+  virtual Status OnTransactionEnd() { return Status::OK(); }
+
+  // rel::UpdateObserver (default: ignore).
+  void OnInsert(const std::string& relation, const rel::Tuple& tuple) override;
+  void OnDelete(const std::string& relation, const rel::Tuple& tuple) override;
+
+  const std::vector<DatabaseProcedure>& procedures() const {
+    return procedures_;
+  }
+
+ protected:
+  rel::Catalog* catalog_;
+  rel::Executor* executor_;
+  CostMeter* meter_;
+  std::size_t result_tuple_bytes_;
+  std::vector<DatabaseProcedure> procedures_;
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_STRATEGY_H_

@@ -1,0 +1,122 @@
+#include "proc/update_cache_adaptive.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace procsim::proc {
+
+UpdateCacheAdaptiveStrategy::UpdateCacheAdaptiveStrategy(
+    rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
+    std::size_t result_tuple_bytes, double patch_fraction,
+    std::size_t max_unread_patches)
+    : Strategy(catalog, executor, meter, result_tuple_bytes),
+      patch_fraction_(patch_fraction),
+      max_unread_patches_(max_unread_patches) {
+  PROCSIM_CHECK_GE(patch_fraction, 0.0);
+  PROCSIM_CHECK_GE(max_unread_patches, 1u);
+}
+
+Status UpdateCacheAdaptiveStrategy::Prepare() {
+  storage::MeteringGuard guard(catalog_->disk());
+  entries_.clear();
+  entries_.resize(procedures_.size());
+  for (const DatabaseProcedure& procedure : procedures_) {
+    Entry& entry = entries_[procedure.id];
+    entry.maintainer = std::make_unique<ivm::AvmViewMaintainer>(
+        procedure.query, executor_, catalog_->disk(), result_tuple_bytes_);
+    PROCSIM_RETURN_IF_ERROR(entry.maintainer->Initialize());
+    Result<rel::Relation*> base =
+        catalog_->GetRelation(procedure.query.base.relation);
+    if (!base.ok()) return base.status();
+    PROCSIM_CHECK(base.ValueOrDie()->btree_column().has_value());
+    locks_.AddIntervalLock(procedure.id, procedure.query.base.relation,
+                           *base.ValueOrDie()->btree_column(),
+                           procedure.query.base.lo, procedure.query.base.hi);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<rel::Tuple>> UpdateCacheAdaptiveStrategy::Access(
+    ProcId id) {
+  PROCSIM_RETURN_IF_ERROR(deferred_error_);
+  if (id >= entries_.size()) {
+    return Status::NotFound("no procedure with id " + std::to_string(id));
+  }
+  Entry& entry = entries_[id];
+  if (!entry.valid) {
+    // Recompute and refresh the stored copy, as Cache and Invalidate does.
+    Result<std::vector<rel::Tuple>> value =
+        executor_->Execute(procedures_[id].query);
+    if (!value.ok()) return value.status();
+    PROCSIM_RETURN_IF_ERROR(
+        entry.maintainer->ResetContents(value.ValueOrDie()));
+    entry.valid = true;
+    entry.pending.Clear();
+    entry.unread_patches = 0;
+    return value;
+  }
+  entry.unread_patches = 0;
+  return entry.maintainer->Read();
+}
+
+void UpdateCacheAdaptiveStrategy::HandleWrite(const std::string& relation,
+                                              const rel::Tuple& tuple,
+                                              bool is_insert) {
+  for (ProcId id : locks_.FindBroken(relation, tuple)) {
+    Entry& entry = entries_[id];
+    if (!entry.valid) continue;  // already invalid; recompute will catch up
+    Result<bool> matches =
+        executor_->MatchesBase(entry.maintainer->query(), tuple);
+    if (!matches.ok()) {
+      deferred_error_ = matches.status();
+      return;
+    }
+    meter_->ChargeDeltaMaintenance();
+    if (!matches.ValueOrDie()) continue;
+    if (is_insert) {
+      entry.pending.AddInsert(tuple);
+    } else {
+      entry.pending.AddDelete(tuple);
+    }
+  }
+}
+
+void UpdateCacheAdaptiveStrategy::OnInsert(const std::string& relation,
+                                           const rel::Tuple& tuple) {
+  HandleWrite(relation, tuple, /*is_insert=*/true);
+}
+
+void UpdateCacheAdaptiveStrategy::OnDelete(const std::string& relation,
+                                           const rel::Tuple& tuple) {
+  HandleWrite(relation, tuple, /*is_insert=*/false);
+}
+
+Status UpdateCacheAdaptiveStrategy::OnTransactionEnd() {
+  PROCSIM_RETURN_IF_ERROR(deferred_error_);
+  for (Entry& entry : entries_) {
+    if (!entry.valid || entry.pending.empty()) continue;
+    const double delta_size =
+        static_cast<double>(entry.pending.TotalNetSize());
+    const double view_size =
+        std::max(1.0, static_cast<double>(entry.maintainer->store().size()));
+    if (delta_size <= patch_fraction_ * view_size &&
+        entry.unread_patches < max_unread_patches_) {
+      PROCSIM_RETURN_IF_ERROR(entry.maintainer->ApplyBaseDelta(entry.pending));
+      ++patch_count_;
+      ++entry.unread_patches;
+    } else {
+      entry.valid = false;
+      ++invalidate_count_;
+    }
+    entry.pending.Clear();
+  }
+  return Status::OK();
+}
+
+bool UpdateCacheAdaptiveStrategy::IsValid(ProcId id) const {
+  PROCSIM_CHECK_LT(id, entries_.size());
+  return entries_[id].valid;
+}
+
+}  // namespace procsim::proc

@@ -1,0 +1,85 @@
+#include "proc/update_cache_avm.h"
+
+#include "util/logging.h"
+
+namespace procsim::proc {
+
+Status UpdateCacheAvmStrategy::Prepare() {
+  storage::MeteringGuard guard(catalog_->disk());
+  entries_.clear();
+  entries_.resize(procedures_.size());
+  for (const DatabaseProcedure& procedure : procedures_) {
+    Entry& entry = entries_[procedure.id];
+    entry.maintainer = std::make_unique<ivm::AvmViewMaintainer>(
+        procedure.query, executor_, catalog_->disk(), result_tuple_bytes_);
+    PROCSIM_RETURN_IF_ERROR(entry.maintainer->Initialize());
+    // Register the base-selection interval so broken locks can be found.
+    Result<rel::Relation*> base =
+        catalog_->GetRelation(procedure.query.base.relation);
+    if (!base.ok()) return base.status();
+    PROCSIM_CHECK(base.ValueOrDie()->btree_column().has_value());
+    locks_.AddIntervalLock(procedure.id, procedure.query.base.relation,
+                           *base.ValueOrDie()->btree_column(),
+                           procedure.query.base.lo, procedure.query.base.hi);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<rel::Tuple>> UpdateCacheAvmStrategy::Access(ProcId id) {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (id >= entries_.size()) {
+    return Status::NotFound("no procedure with id " + std::to_string(id));
+  }
+  return entries_[id].maintainer->Read();
+}
+
+void UpdateCacheAvmStrategy::HandleWrite(const std::string& relation,
+                                         const rel::Tuple& tuple,
+                                         bool is_insert) {
+  for (ProcId id : locks_.FindBroken(relation, tuple)) {
+    Entry& entry = entries_[id];
+    // Screen the written tuple against the full procedure predicate (C1 per
+    // term, at least one) and track it in the A_net/D_net structures (C3).
+    Result<bool> matches =
+        executor_->MatchesBase(entry.maintainer->query(), tuple);
+    if (!matches.ok()) {
+      deferred_error_ = matches.status();
+      return;
+    }
+    meter_->ChargeDeltaMaintenance();
+    if (!matches.ValueOrDie()) continue;
+    if (is_insert) {
+      entry.pending.AddInsert(tuple);
+    } else {
+      entry.pending.AddDelete(tuple);
+    }
+  }
+}
+
+void UpdateCacheAvmStrategy::OnInsert(const std::string& relation,
+                                      const rel::Tuple& tuple) {
+  HandleWrite(relation, tuple, /*is_insert=*/true);
+}
+
+void UpdateCacheAvmStrategy::OnDelete(const std::string& relation,
+                                      const rel::Tuple& tuple) {
+  HandleWrite(relation, tuple, /*is_insert=*/false);
+}
+
+Status UpdateCacheAvmStrategy::OnTransactionEnd() {
+  PROCSIM_RETURN_IF_ERROR(deferred_error_);
+  for (Entry& entry : entries_) {
+    if (entry.pending.empty()) continue;
+    PROCSIM_RETURN_IF_ERROR(entry.maintainer->ApplyBaseDelta(entry.pending));
+    entry.pending.Clear();
+  }
+  return Status::OK();
+}
+
+std::vector<rel::Tuple> UpdateCacheAvmStrategy::SnapshotForTesting(
+    ProcId id) const {
+  PROCSIM_CHECK_LT(id, entries_.size());
+  return entries_[id].maintainer->store().SnapshotForTesting();
+}
+
+}  // namespace procsim::proc

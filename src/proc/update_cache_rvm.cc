@@ -1,0 +1,65 @@
+#include "proc/update_cache_rvm.h"
+
+#include "util/logging.h"
+
+namespace procsim::proc {
+
+UpdateCacheRvmStrategy::UpdateCacheRvmStrategy(
+    rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
+    std::size_t result_tuple_bytes, rete::ReteNetwork::JoinShape shape)
+    : Strategy(catalog, executor, meter, result_tuple_bytes), shape_(shape) {}
+
+Status UpdateCacheRvmStrategy::Prepare() {
+  storage::MeteringGuard guard(catalog_->disk());
+  network_ = std::make_unique<rete::ReteNetwork>(catalog_, meter_,
+                                                 result_tuple_bytes_, shape_);
+  result_memories_.clear();
+  result_memories_.reserve(procedures_.size());
+  for (const DatabaseProcedure& procedure : procedures_) {
+    Result<rete::MemoryNode*> memory =
+        network_->AddProcedure(procedure.query);
+    if (!memory.ok()) return memory.status();
+    result_memories_.push_back(memory.ValueOrDie());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<rel::Tuple>> UpdateCacheRvmStrategy::Access(ProcId id) {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (id >= result_memories_.size()) {
+    return Status::NotFound("no procedure with id " + std::to_string(id));
+  }
+  return result_memories_[id]->ReadAll();
+}
+
+void UpdateCacheRvmStrategy::OnInsert(const std::string& relation,
+                                      const rel::Tuple& tuple) {
+  if (!deferred_error_.ok() || network_ == nullptr) return;
+  Status st = network_->OnInsert(relation, tuple);
+  if (!st.ok()) deferred_error_ = st;
+}
+
+void UpdateCacheRvmStrategy::OnDelete(const std::string& relation,
+                                      const rel::Tuple& tuple) {
+  if (!deferred_error_.ok() || network_ == nullptr) return;
+  Status st = network_->OnDelete(relation, tuple);
+  if (!st.ok()) deferred_error_ = st;
+}
+
+const rete::ReteNetwork::Stats& UpdateCacheRvmStrategy::network_stats() const {
+  PROCSIM_CHECK(network_ != nullptr) << "Prepare() not called";
+  return network_->stats();
+}
+
+std::string UpdateCacheRvmStrategy::NetworkDot() const {
+  PROCSIM_CHECK(network_ != nullptr) << "Prepare() not called";
+  return network_->ToDot();
+}
+
+std::vector<rel::Tuple> UpdateCacheRvmStrategy::SnapshotForTesting(
+    ProcId id) const {
+  PROCSIM_CHECK_LT(id, result_memories_.size());
+  return result_memories_[id]->store().SnapshotForTesting();
+}
+
+}  // namespace procsim::proc

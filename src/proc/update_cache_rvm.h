@@ -1,0 +1,51 @@
+#ifndef PROCSIM_PROC_UPDATE_CACHE_RVM_H_
+#define PROCSIM_PROC_UPDATE_CACHE_RVM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proc/strategy.h"
+#include "rete/network.h"
+
+namespace procsim::proc {
+
+/// \brief Update Cache with shared Rete view maintenance (§2, §4.4):
+/// procedure values are the β/α memory nodes of one Rete network built over
+/// the whole procedure population, with structurally identical
+/// subexpressions (e.g. a P2 procedure's base selection that equals a P1
+/// procedure's query) compiled once and shared.
+class UpdateCacheRvmStrategy : public Strategy {
+ public:
+  UpdateCacheRvmStrategy(
+      rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
+      std::size_t result_tuple_bytes,
+      rete::ReteNetwork::JoinShape shape =
+          rete::ReteNetwork::JoinShape::kRightDeep);
+
+  std::string name() const override { return "UpdateCache/RVM"; }
+
+  Status Prepare() override;
+  Result<std::vector<rel::Tuple>> Access(ProcId id) override;
+
+  void OnInsert(const std::string& relation, const rel::Tuple& tuple) override;
+  void OnDelete(const std::string& relation, const rel::Tuple& tuple) override;
+
+  const rete::ReteNetwork::Stats& network_stats() const;
+
+  /// Graphviz rendering of the maintenance network (paper figures 1/3/16).
+  std::string NetworkDot() const;
+
+  /// Current maintained value without charging (for tests).
+  std::vector<rel::Tuple> SnapshotForTesting(ProcId id) const;
+
+ private:
+  rete::ReteNetwork::JoinShape shape_;
+  std::unique_ptr<rete::ReteNetwork> network_;
+  std::vector<rete::MemoryNode*> result_memories_;
+  Status deferred_error_;
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_UPDATE_CACHE_RVM_H_

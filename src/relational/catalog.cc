@@ -1,0 +1,33 @@
+#include "relational/catalog.h"
+
+namespace procsim::rel {
+
+Result<Relation*> Catalog::CreateRelation(const std::string& name,
+                                          Schema schema,
+                                          const Relation::Options& options) {
+  if (relations_.contains(name)) {
+    return Status::AlreadyExists("relation " + name + " already exists");
+  }
+  auto relation =
+      std::make_unique<Relation>(name, std::move(schema), disk_, options);
+  Relation* raw = relation.get();
+  relations_[name] = std::move(relation);
+  return raw;
+}
+
+Result<Relation*> Catalog::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace procsim::rel

@@ -1,0 +1,39 @@
+#ifndef PROCSIM_RELATIONAL_CATALOG_H_
+#define PROCSIM_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace procsim::rel {
+
+/// \brief Owns the relations of a database and resolves them by name.
+class Catalog {
+ public:
+  explicit Catalog(storage::SimulatedDisk* disk) : disk_(disk) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates and registers a relation; AlreadyExists if the name is taken.
+  Result<Relation*> CreateRelation(const std::string& name, Schema schema,
+                                   const Relation::Options& options);
+
+  /// Looks up a relation; NotFound if absent.
+  Result<Relation*> GetRelation(const std::string& name) const;
+
+  std::vector<std::string> RelationNames() const;
+  storage::SimulatedDisk* disk() const { return disk_; }
+
+ private:
+  storage::SimulatedDisk* disk_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace procsim::rel
+
+#endif  // PROCSIM_RELATIONAL_CATALOG_H_

@@ -1,0 +1,82 @@
+#ifndef PROCSIM_RELATIONAL_PARSER_H_
+#define PROCSIM_RELATIONAL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "relational/predicate.h"
+#include "relational/query.h"
+
+namespace procsim::rel {
+
+/// \brief Parser and planner for the paper's QUEL-style retrieve syntax, so
+/// stored procedures can be defined as text:
+///
+///   retrieve (EMP.all, DEPT.all)
+///   where EMP.dept = DEPT.dname
+///     and EMP.job = "Programmer"
+///     and DEPT.floor = 1
+///
+/// Grammar:
+///   query       := 'retrieve' '(' target (',' target)* ')'
+///                  [ 'where' term ('and' term)* ]
+///   target      := ident '.' ('all' | ident)     (column targets are noted
+///                                                 but projection is not
+///                                                 applied — the paper's
+///                                                 procedures return whole
+///                                                 tuples)
+///   term        := operand op operand
+///   operand     := ident '.' ident | integer | quoted-string
+///   op          := '=' | '!=' | '<' | '<=' | '>' | '>='
+///
+/// Planning follows the paper's static strategy: the *first* relation named
+/// in the target list is the scan anchor and must have a B-tree index;
+/// range/equality restrictions on its indexed column become the B-tree
+/// interval, its other restrictions become residual screens, and the
+/// remaining relations are chained with hash-index equijoins in the order
+/// the join terms connect them.  Each joined relation must be reachable
+/// through one equijoin on its hashed column.
+class QuelParser {
+ public:
+  explicit QuelParser(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parses and plans `text` into an executable ProcedureQuery.
+  Result<ProcedureQuery> Parse(const std::string& text) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+namespace parser_internal {
+
+// --- lexer (exposed for unit tests) ----------------------------------------
+
+enum class TokenKind {
+  kIdent,
+  kInteger,
+  kString,
+  kDot,
+  kComma,
+  kLParen,
+  kRParen,
+  kOp,     ///< one of = != < <= > >=
+  kEnd,
+};
+
+struct LexToken {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< identifier / operator spelling / string body
+  int64_t integer = 0;  ///< valid when kind == kInteger
+  std::size_t offset = 0;
+};
+
+/// Tokenizes `text`; returns InvalidArgument on malformed input (unknown
+/// character, unterminated string).
+Result<std::vector<LexToken>> Lex(const std::string& text);
+
+}  // namespace parser_internal
+
+}  // namespace procsim::rel
+
+#endif  // PROCSIM_RELATIONAL_PARSER_H_

@@ -1,0 +1,44 @@
+#include "relational/query.h"
+
+#include <sstream>
+
+namespace procsim::rel {
+
+std::string BaseSelection::ToString() const {
+  std::ostringstream out;
+  out << relation << "[btree in [" << lo << ", " << hi << "]";
+  if (!residual.empty()) out << " and " << residual.ToString();
+  out << "]";
+  return out.str();
+}
+
+std::string JoinStage::ToString() const {
+  std::ostringstream out;
+  out << "join " << relation << " on out.$" << probe_column << " = hash("
+      << relation << ")";
+  if (!residual.empty()) out << " where " << residual.ToString();
+  return out.str();
+}
+
+Result<Schema> ProcedureQuery::OutputSchema(const Catalog& catalog) const {
+  Result<Relation*> base_rel = catalog.GetRelation(base.relation);
+  if (!base_rel.ok()) return base_rel.status();
+  Schema schema =
+      base_rel.ValueOrDie()->schema().WithPrefix(base.relation);
+  for (const JoinStage& stage : joins) {
+    Result<Relation*> inner = catalog.GetRelation(stage.relation);
+    if (!inner.ok()) return inner.status();
+    schema = Schema::Concat(
+        schema, inner.ValueOrDie()->schema().WithPrefix(stage.relation));
+  }
+  return schema;
+}
+
+std::string ProcedureQuery::ToString() const {
+  std::ostringstream out;
+  out << base.ToString();
+  for (const JoinStage& stage : joins) out << " " << stage.ToString();
+  return out.str();
+}
+
+}  // namespace procsim::rel

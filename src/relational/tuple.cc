@@ -1,0 +1,121 @@
+#include "relational/tuple.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace procsim::rel {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+const Column& Schema::column(std::size_t i) const {
+  PROCSIM_CHECK_LT(i, columns_.size());
+  return columns_[i];
+}
+
+Result<std::size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> columns = left.columns_;
+  columns.insert(columns.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(columns));
+}
+
+Schema Schema::WithPrefix(const std::string& prefix) const {
+  std::vector<Column> columns = columns_;
+  for (Column& column : columns) column.name = prefix + "." + column.name;
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << columns_[i].name << ":" << ValueTypeName(columns_[i].type);
+  }
+  out << ")";
+  return out.str();
+}
+
+const Value& Tuple::value(std::size_t i) const {
+  PROCSIM_CHECK_LT(i, values_.size());
+  return values_[i];
+}
+
+void Tuple::set_value(std::size_t i, Value v) {
+  PROCSIM_CHECK_LT(i, values_.size());
+  values_[i] = std::move(v);
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values = left.values_;
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values));
+}
+
+std::vector<uint8_t> Tuple::Serialize(std::size_t pad_to_bytes) const {
+  std::vector<uint8_t> out;
+  const auto arity = static_cast<uint32_t>(values_.size());
+  out.insert(out.end(), reinterpret_cast<const uint8_t*>(&arity),
+             reinterpret_cast<const uint8_t*>(&arity) + sizeof(arity));
+  for (const Value& value : values_) value.SerializeTo(&out);
+  // Record the payload length, then pad to the declared width so the stored
+  // record occupies the paper's fixed S bytes per tuple.
+  if (out.size() < pad_to_bytes) out.resize(pad_to_bytes, 0);
+  return out;
+}
+
+Result<Tuple> Tuple::Deserialize(const std::vector<uint8_t>& bytes) {
+  std::size_t cursor = 0;
+  uint32_t arity = 0;
+  if (bytes.size() < sizeof(arity)) {
+    return Status::InvalidArgument("truncated tuple header");
+  }
+  std::memcpy(&arity, bytes.data(), sizeof(arity));
+  cursor += sizeof(arity);
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Result<Value> value = Value::DeserializeFrom(bytes, &cursor);
+    if (!value.ok()) return value.status();
+    values.push_back(value.TakeValueOrDie());
+  }
+  return Tuple(std::move(values));
+}
+
+bool Tuple::TypeChecks(const Schema& schema) const {
+  if (schema.num_columns() != values_.size()) return false;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (schema.column(i).type != values_[i].type()) return false;
+  }
+  return true;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream out;
+  out << "<";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values_[i].ToString();
+  }
+  out << ">";
+  return out.str();
+}
+
+std::size_t Tuple::Hash() const {
+  std::size_t h = 14695981039346656037ULL;
+  for (const Value& value : values_) {
+    h ^= value.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace procsim::rel

@@ -1,0 +1,84 @@
+#ifndef PROCSIM_RELATIONAL_TUPLE_H_
+#define PROCSIM_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace procsim::rel {
+
+/// One column of a schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// \brief An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  const Column& column(std::size_t i) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<std::size_t> ColumnIndex(const std::string& name) const;
+
+  /// Concatenation of two schemas; duplicate names get a "<prefix>." prefix
+  /// from the caller (used when joining).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Prefixes every column name with `prefix` + '.'.
+  Schema WithPrefix(const std::string& prefix) const;
+
+  bool operator==(const Schema&) const = default;
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// \brief A row: one Value per schema column.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  std::size_t arity() const { return values_.size(); }
+  const Value& value(std::size_t i) const;
+  const std::vector<Value>& values() const { return values_; }
+  void set_value(std::size_t i, Value v);
+
+  /// Concatenation of two tuples (join output).
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  /// Serializes; if `pad_to_bytes` exceeds the natural size, the output is
+  /// padded so the stored record occupies the paper's fixed tuple width S.
+  std::vector<uint8_t> Serialize(std::size_t pad_to_bytes = 0) const;
+  static Result<Tuple> Deserialize(const std::vector<uint8_t>& bytes);
+
+  bool TypeChecks(const Schema& schema) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  std::string ToString() const;
+  std::size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Hash functor for unordered containers of tuples.
+struct TupleHash {
+  std::size_t operator()(const Tuple& tuple) const { return tuple.Hash(); }
+};
+
+}  // namespace procsim::rel
+
+#endif  // PROCSIM_RELATIONAL_TUPLE_H_

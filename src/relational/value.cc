@@ -1,0 +1,158 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace procsim::rel {
+
+std::string ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt64() const {
+  PROCSIM_CHECK(is_int64()) << "value is " << ValueTypeName(type());
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  PROCSIM_CHECK(is_double()) << "value is " << ValueTypeName(type());
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  PROCSIM_CHECK(is_string()) << "value is " << ValueTypeName(type());
+  return std::get<std::string>(repr_);
+}
+
+std::strong_ordering Value::Compare(const Value& other) const {
+  if (repr_.index() != other.repr_.index()) {
+    return repr_.index() <=> other.repr_.index();
+  }
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::get<int64_t>(repr_) <=> std::get<int64_t>(other.repr_);
+    case ValueType::kDouble: {
+      const double a = std::get<double>(repr_);
+      const double b = std::get<double>(other.repr_);
+      if (a < b) return std::strong_ordering::less;
+      if (a > b) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    case ValueType::kString: {
+      const int c =
+          std::get<std::string>(repr_).compare(std::get<std::string>(other.repr_));
+      if (c < 0) return std::strong_ordering::less;
+      if (c > 0) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(repr_));
+    case ValueType::kDouble:
+      return std::to_string(std::get<double>(repr_));
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(repr_) + "\"";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::vector<uint8_t>& in, std::size_t* cursor, T* value) {
+  if (*cursor + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void Value::SerializeTo(std::vector<uint8_t>* out) const {
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kInt64:
+      AppendPod(out, std::get<int64_t>(repr_));
+      break;
+    case ValueType::kDouble:
+      AppendPod(out, std::get<double>(repr_));
+      break;
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(repr_);
+      AppendPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+      out->insert(out->end(), s.begin(), s.end());
+      break;
+    }
+  }
+}
+
+Result<Value> Value::DeserializeFrom(const std::vector<uint8_t>& in,
+                                     std::size_t* cursor) {
+  uint8_t tag = 0;
+  if (!ReadPod(in, cursor, &tag)) {
+    return Status::InvalidArgument("truncated value tag");
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      if (!ReadPod(in, cursor, &v)) {
+        return Status::InvalidArgument("truncated int64 value");
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      double v = 0;
+      if (!ReadPod(in, cursor, &v)) {
+        return Status::InvalidArgument("truncated double value");
+      }
+      return Value(v);
+    }
+    case ValueType::kString: {
+      uint32_t size = 0;
+      if (!ReadPod(in, cursor, &size)) {
+        return Status::InvalidArgument("truncated string size");
+      }
+      if (*cursor + size > in.size()) {
+        return Status::InvalidArgument("truncated string value");
+      }
+      std::string s(in.begin() + *cursor, in.begin() + *cursor + size);
+      *cursor += size;
+      return Value(std::move(s));
+    }
+  }
+  return Status::InvalidArgument("unknown value tag");
+}
+
+std::size_t Value::Hash() const {
+  std::vector<uint8_t> bytes;
+  SerializeTo(&bytes);
+  std::size_t h = 1469598103934665603ULL;  // FNV-1a
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace procsim::rel

@@ -1,0 +1,356 @@
+#include "rete/network.h"
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace procsim::rete {
+
+using rel::Conjunction;
+using rel::ProcedureQuery;
+using rel::Tuple;
+
+namespace {
+
+std::size_t HashString(const std::string& s) {
+  return std::hash<std::string>{}(s);
+}
+
+std::size_t SelectionSignature(const std::string& relation, bool has_interval,
+                               std::size_t key_column, int64_t lo, int64_t hi,
+                               const Conjunction& residual) {
+  std::size_t h = HashString(relation);
+  h ^= (has_interval ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL);
+  h *= 1099511628211ULL;
+  h ^= key_column;
+  h *= 1099511628211ULL;
+  h ^= static_cast<std::size_t>(static_cast<uint64_t>(lo));
+  h *= 1099511628211ULL;
+  h ^= static_cast<std::size_t>(static_cast<uint64_t>(hi));
+  h *= 1099511628211ULL;
+  h ^= residual.Hash();
+  return h;
+}
+
+}  // namespace
+
+ReteNetwork::ReteNetwork(rel::Catalog* catalog, CostMeter* meter,
+                         std::size_t pad_to_bytes, JoinShape shape)
+    : catalog_(catalog),
+      meter_(meter),
+      pad_to_bytes_(pad_to_bytes),
+      shape_(shape) {
+  PROCSIM_CHECK(catalog != nullptr);
+  PROCSIM_CHECK(meter != nullptr);
+}
+
+Result<MemoryNode*> ReteNetwork::WireJoin(MemoryNode* left, MemoryNode* right,
+                                          std::size_t left_column,
+                                          std::size_t right_column) {
+  auto* and_node = MakeNode<AndNode>(left, right, left_column,
+                                     rel::CompareOp::kEq, right_column,
+                                     meter_);
+  auto* beta = MakeNode<MemoryNode>(catalog_->disk(), pad_to_bytes_,
+                                    /*is_beta=*/true);
+  left->AddSuccessor(and_node->LeftInput());
+  right->AddSuccessor(and_node->RightInput());
+  and_node->AddSuccessor(beta);
+  edges_.push_back(Edge{left, and_node, "L"});
+  edges_.push_back(Edge{right, and_node, "R"});
+  edges_.push_back(Edge{and_node, beta, ""});
+  ++stats_.and_nodes;
+  ++stats_.beta_memories;
+
+  left->mutable_store()->EnsureProbeIndex(left_column);
+  right->mutable_store()->EnsureProbeIndex(right_column);
+
+  // Populate from the current memory contents.
+  for (const Tuple& left_tuple : left->mutable_store()->SnapshotForTesting()) {
+    Result<std::vector<Tuple>> matches = right->store().ProbeEqual(
+        right_column, left_tuple.value(left_column).AsInt64());
+    if (!matches.ok()) return matches.status();
+    for (const Tuple& right_tuple : matches.ValueOrDie()) {
+      PROCSIM_RETURN_IF_ERROR(beta->mutable_store()->Insert(
+          Tuple::Concat(left_tuple, right_tuple)));
+    }
+  }
+  return beta;
+}
+
+Result<ReteNetwork::SelectionEntry*> ReteNetwork::GetOrCreateSelection(
+    const std::string& relation, bool has_interval, std::size_t key_column,
+    int64_t lo, int64_t hi, const Conjunction& residual) {
+  if (!has_interval) {
+    // Unconditional selections (inner relations) accept every key; the
+    // t-const node still re-checks the interval, so it must be the full
+    // domain rather than the caller's placeholder bounds.
+    key_column = 0;
+    lo = std::numeric_limits<int64_t>::min();
+    hi = std::numeric_limits<int64_t>::max();
+  }
+  const std::size_t signature =
+      SelectionSignature(relation, has_interval, key_column, lo, hi, residual);
+  for (const auto& entry : selections_) {
+    if (entry->signature != signature) continue;
+    if (entry->relation != relation || entry->has_interval != has_interval ||
+        entry->key_column != key_column || entry->lo != lo ||
+        entry->hi != hi || !(entry->node->residual() == residual)) {
+      continue;  // hash collision
+    }
+    ++stats_.shared_subexpression_hits;
+    return entry.get();
+  }
+
+  Result<rel::Relation*> rel_result = catalog_->GetRelation(relation);
+  if (!rel_result.ok()) return rel_result.status();
+  rel::Relation* base = rel_result.ValueOrDie();
+
+  auto* tconst = MakeNode<TConstNode>(key_column, lo, hi, residual, meter_);
+  auto* memory = MakeNode<MemoryNode>(catalog_->disk(), pad_to_bytes_,
+                                      /*is_beta=*/false);
+  tconst->AddSuccessor(memory);
+  edges_.push_back(Edge{tconst, memory, ""});
+  ++stats_.tconst_nodes;
+  ++stats_.alpha_memories;
+
+  // Populate the α-memory from the relation's current contents (build-time;
+  // callers disable metering for this static compilation phase).
+  auto load = [&](storage::RecordId, const Tuple& tuple) {
+    if (residual.Matches(tuple)) {
+      Status st = memory->mutable_store()->Insert(tuple);
+      PROCSIM_CHECK(st.ok()) << st.ToString();
+    }
+    return true;
+  };
+  if (has_interval) {
+    PROCSIM_RETURN_IF_ERROR(base->BTreeRange(lo, hi, load));
+  } else {
+    PROCSIM_RETURN_IF_ERROR(base->Scan(load));
+  }
+
+  auto entry = std::make_unique<SelectionEntry>();
+  entry->relation = relation;
+  entry->has_interval = has_interval;
+  entry->key_column = key_column;
+  entry->lo = lo;
+  entry->hi = hi;
+  entry->node = tconst;
+  entry->memory = memory;
+  entry->signature = signature;
+  SelectionEntry* raw = entry.get();
+  selections_.push_back(std::move(entry));
+  root_index_[relation].push_back(raw);
+  return raw;
+}
+
+Result<std::size_t> ReteNetwork::SegmentOffset(const ProcedureQuery& query,
+                                               std::size_t stage_index) const {
+  Result<rel::Relation*> base = catalog_->GetRelation(query.base.relation);
+  if (!base.ok()) return base.status();
+  std::size_t offset = base.ValueOrDie()->schema().num_columns();
+  for (std::size_t i = 0; i < stage_index; ++i) {
+    Result<rel::Relation*> inner =
+        catalog_->GetRelation(query.joins[i].relation);
+    if (!inner.ok()) return inner.status();
+    offset += inner.ValueOrDie()->schema().num_columns();
+  }
+  return offset;
+}
+
+Result<MemoryNode*> ReteNetwork::BuildJoinTail(const ProcedureQuery& query,
+                                               std::size_t from) {
+  PROCSIM_CHECK_LT(from, query.joins.size());
+  const rel::JoinStage& stage = query.joins[from];
+
+  // Tail signature: this stage's selection plus the remaining chain.
+  std::size_t signature = SelectionSignature(
+      stage.relation, /*has_interval=*/false, 0, 0, 0, stage.residual);
+  for (std::size_t i = from + 1; i < query.joins.size(); ++i) {
+    signature *= 1099511628211ULL;
+    signature ^= SelectionSignature(query.joins[i].relation, false, 0, 0, 0,
+                                    query.joins[i].residual);
+    signature ^= query.joins[i].probe_column * 0x9e3779b97f4a7c15ULL;
+  }
+  if (auto it = tails_by_signature_.find(signature);
+      it != tails_by_signature_.end()) {
+    ++stats_.shared_subexpression_hits;
+    return it->second;
+  }
+
+  Result<SelectionEntry*> selection = GetOrCreateSelection(
+      stage.relation, /*has_interval=*/false, 0, 0, 0, stage.residual);
+  if (!selection.ok()) return selection.status();
+  MemoryNode* head = selection.ValueOrDie()->memory;
+
+  MemoryNode* result = nullptr;
+  if (from + 1 == query.joins.size()) {
+    result = head;
+  } else {
+    Result<MemoryNode*> tail = BuildJoinTail(query, from + 1);
+    if (!tail.ok()) return tail.status();
+
+    const rel::JoinStage& next = query.joins[from + 1];
+    Result<std::size_t> offset = SegmentOffset(query, from);
+    if (!offset.ok()) return offset.status();
+    Result<rel::Relation*> this_rel = catalog_->GetRelation(stage.relation);
+    if (!this_rel.ok()) return this_rel.status();
+    const std::size_t width = this_rel.ValueOrDie()->schema().num_columns();
+    if (next.probe_column < offset.ValueOrDie() ||
+        next.probe_column >= offset.ValueOrDie() + width) {
+      return Status::InvalidArgument(
+          "right-deep Rete construction requires join stage " +
+          std::to_string(from + 1) +
+          " to probe a column of the immediately preceding relation");
+    }
+    const std::size_t left_col = next.probe_column - offset.ValueOrDie();
+    Result<rel::Relation*> next_rel = catalog_->GetRelation(next.relation);
+    if (!next_rel.ok()) return next_rel.status();
+    if (!next_rel.ValueOrDie()->hash_column().has_value()) {
+      return Status::InvalidArgument(next.relation + " has no hash column");
+    }
+    const std::size_t right_col = *next_rel.ValueOrDie()->hash_column();
+
+    Result<MemoryNode*> beta =
+        WireJoin(head, tail.ValueOrDie(), left_col, right_col);
+    if (!beta.ok()) return beta.status();
+    result = beta.ValueOrDie();
+  }
+
+  tails_by_signature_[signature] = result;
+  return result;
+}
+
+Result<MemoryNode*> ReteNetwork::AddProcedure(const ProcedureQuery& query) {
+  Result<rel::Relation*> base_rel = catalog_->GetRelation(query.base.relation);
+  if (!base_rel.ok()) return base_rel.status();
+  if (!base_rel.ValueOrDie()->btree_column().has_value()) {
+    return Status::InvalidArgument(query.base.relation +
+                                   " has no B-tree column");
+  }
+  const std::size_t key_column = *base_rel.ValueOrDie()->btree_column();
+
+  Result<SelectionEntry*> selection = GetOrCreateSelection(
+      query.base.relation, /*has_interval=*/true, key_column, query.base.lo,
+      query.base.hi, query.base.residual);
+  if (!selection.ok()) return selection.status();
+  MemoryNode* base_memory = selection.ValueOrDie()->memory;
+
+  if (query.joins.empty()) {
+    // A P1 procedure: the α-memory itself holds the maintained value.
+    return base_memory;
+  }
+  if (shape_ == JoinShape::kLeftDeep) {
+    return AddProcedureLeftDeep(query, base_memory);
+  }
+
+  Result<MemoryNode*> tail = BuildJoinTail(query, 0);
+  if (!tail.ok()) return tail.status();
+
+  const rel::JoinStage& first = query.joins[0];
+  const std::size_t base_width =
+      base_rel.ValueOrDie()->schema().num_columns();
+  if (first.probe_column >= base_width) {
+    return Status::InvalidArgument(
+        "first join stage must probe a base-relation column");
+  }
+  Result<rel::Relation*> first_rel = catalog_->GetRelation(first.relation);
+  if (!first_rel.ok()) return first_rel.status();
+  if (!first_rel.ValueOrDie()->hash_column().has_value()) {
+    return Status::InvalidArgument(first.relation + " has no hash column");
+  }
+  const std::size_t right_col = *first_rel.ValueOrDie()->hash_column();
+  return WireJoin(base_memory, tail.ValueOrDie(), first.probe_column,
+                  right_col);
+}
+
+Result<MemoryNode*> ReteNetwork::AddProcedureLeftDeep(
+    const ProcedureQuery& query, MemoryNode* base_memory) {
+  // ((base ⋈ R_0) ⋈ R_1) ⋈ ...: every stage's inner relation gets its own
+  // α-memory (selection shared as usual), but the intermediate β-memories
+  // are specific to this procedure's base, so the join work is never
+  // shared and each base token cascades through every level.
+  MemoryNode* current = base_memory;
+  for (std::size_t i = 0; i < query.joins.size(); ++i) {
+    const rel::JoinStage& stage = query.joins[i];
+    Result<SelectionEntry*> selection = GetOrCreateSelection(
+        stage.relation, /*has_interval=*/false, 0, 0, 0, stage.residual);
+    if (!selection.ok()) return selection.status();
+    Result<rel::Relation*> inner = catalog_->GetRelation(stage.relation);
+    if (!inner.ok()) return inner.status();
+    if (!inner.ValueOrDie()->hash_column().has_value()) {
+      return Status::InvalidArgument(stage.relation + " has no hash column");
+    }
+    // stage.probe_column indexes the accumulated output, which is exactly
+    // `current`'s tuple layout at this level.
+    Result<MemoryNode*> next =
+        WireJoin(current, selection.ValueOrDie()->memory, stage.probe_column,
+                 *inner.ValueOrDie()->hash_column());
+    if (!next.ok()) return next.status();
+    current = next.ValueOrDie();
+  }
+  return current;
+}
+
+std::string ReteNetwork::ToDot() const {
+  std::ostringstream out;
+  out << "digraph rete {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  out << "  root [shape=circle, label=\"root\"];\n";
+  std::map<const ReteNode*, std::string> ids;
+  auto id_of = [&](const ReteNode* node) -> const std::string& {
+    auto it = ids.find(node);
+    if (it == ids.end()) {
+      it = ids.emplace(node, "n" + std::to_string(ids.size())).first;
+    }
+    return it->second;
+  };
+  // Declare nodes with type-specific shapes.
+  for (const auto& node : nodes_) {
+    const auto* tconst = dynamic_cast<const TConstNode*>(node.get());
+    const auto* memory = dynamic_cast<const MemoryNode*>(node.get());
+    out << "  " << id_of(node.get()) << " [";
+    if (tconst != nullptr) {
+      out << "shape=box, label=\"" << tconst->Describe() << "\"";
+    } else if (memory != nullptr) {
+      out << "shape=ellipse, label=\""
+          << (memory->is_beta() ? "beta" : "alpha") << "-memory\\n|"
+          << memory->store().size() << "|\"";
+    } else {
+      out << "shape=diamond, label=\"" << node->Describe() << "\"";
+    }
+    out << "];\n";
+  }
+  // Root dispatch edges (per-relation discrimination).
+  for (const auto& [relation, entries] : root_index_) {
+    for (const SelectionEntry* entry : entries) {
+      out << "  root -> " << id_of(entry->node) << " [label=\"" << relation
+          << "\", fontsize=9];\n";
+    }
+  }
+  for (const Edge& edge : edges_) {
+    out << "  " << id_of(edge.from) << " -> " << id_of(edge.to);
+    if (!edge.label.empty()) {
+      out << " [label=\"" << edge.label << "\", fontsize=9]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Status ReteNetwork::Submit(const std::string& relation, const Token& token) {
+  auto it = root_index_.find(relation);
+  if (it == root_index_.end()) return Status::OK();
+  for (SelectionEntry* entry : it->second) {
+    if (entry->has_interval) {
+      const int64_t key = token.tuple.value(entry->key_column).AsInt64();
+      if (key < entry->lo || key > entry->hi) continue;  // lock not broken
+    }
+    PROCSIM_RETURN_IF_ERROR(entry->node->Activate(token));
+  }
+  return Status::OK();
+}
+
+}  // namespace procsim::rete

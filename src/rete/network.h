@@ -1,0 +1,164 @@
+#ifndef PROCSIM_RETE_NETWORK_H_
+#define PROCSIM_RETE_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "relational/query.h"
+#include "rete/node.h"
+#include "rete/token.h"
+
+namespace procsim::rete {
+
+/// \brief A Rete discrimination network maintaining the materialized values
+/// of a set of procedure queries (§2 of the paper, figures 1, 3 and 16).
+///
+/// Networks are built statically: AddProcedure compiles a query into a
+/// right-deep chain of t-const / memory / and nodes, reusing structurally
+/// identical subexpressions (same relation, selection interval and residual
+/// predicate) already in the network — the sharing that distinguishes RVM
+/// from AVM.  Memory nodes are populated from the catalog at build time
+/// (metering should be disabled; the paper charges nothing for static
+/// compilation).
+///
+/// At run time, base-relation changes are submitted as ± tokens; the root
+/// discriminates by relation and key interval using an in-memory index (the
+/// analogue of rule indexing's lock table, not charged), and affected
+/// t-const chains screen, join and refresh the memories, charging the
+/// paper's C1/C2 costs.
+class ReteNetwork {
+ public:
+  /// How multi-join procedures are compiled (§8: a statically optimized
+  /// network is shaped by the expected update pattern).
+  enum class JoinShape {
+    /// Result = base ⋈ (R2 ⋈ (R3 ⋈ ...)): the join tail is precomputed in
+    /// β-memories shared across procedures, so a base-relation token
+    /// performs ONE probe.  Optimal when (as in the paper's models) updates
+    /// hit the base relation — this is the figure-16 network.
+    kRightDeep,
+    /// Result = ((base ⋈ R2) ⋈ R3) ⋈ ...: each base token cascades through
+    /// every stage, probing and refreshing an intermediate β-memory per
+    /// level, and intermediate memories are base-specific so nothing is
+    /// shared.  Kept as the pessimal comparison point (ablation AB7); it
+    /// would be preferable only if the *inner* relations were update-hot.
+    kLeftDeep,
+  };
+  struct Stats {
+    std::size_t tconst_nodes = 0;
+    std::size_t alpha_memories = 0;
+    std::size_t and_nodes = 0;
+    std::size_t beta_memories = 0;
+    /// Number of AddProcedure subexpression lookups satisfied by an
+    /// existing node chain.
+    std::size_t shared_subexpression_hits = 0;
+  };
+
+  /// \param catalog       resolves relations for build-time population
+  /// \param meter         cost sink for run-time maintenance
+  /// \param pad_to_bytes  stored tuple width in memory nodes (paper's S)
+  /// \param shape         join compilation shape (default: the paper's)
+  ReteNetwork(rel::Catalog* catalog, CostMeter* meter,
+              std::size_t pad_to_bytes,
+              JoinShape shape = JoinShape::kRightDeep);
+
+  ReteNetwork(const ReteNetwork&) = delete;
+  ReteNetwork& operator=(const ReteNetwork&) = delete;
+
+  /// Compiles `query` into the network and returns the memory node that
+  /// holds the procedure's maintained value.  Population I/O is charged
+  /// only if the disk's metering is enabled (callers normally disable it).
+  Result<MemoryNode*> AddProcedure(const rel::ProcedureQuery& query);
+
+  /// Feeds one base-relation change into the root.
+  Status OnInsert(const std::string& relation, const rel::Tuple& tuple) {
+    return Submit(relation, Token{Token::Tag::kInsert, tuple});
+  }
+  Status OnDelete(const std::string& relation, const rel::Tuple& tuple) {
+    return Submit(relation, Token{Token::Tag::kDelete, tuple});
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Renders the network as Graphviz DOT — the tool that drew the paper's
+  /// figures 1, 3 and 16.  Shared subexpressions appear as nodes with
+  /// multiple outgoing edges; memory nodes show their current cardinality.
+  std::string ToDot() const;
+
+ private:
+  /// A root dispatch entry: the t-const chain head for one selection.
+  struct SelectionEntry {
+    std::string relation;
+    bool has_interval = false;    ///< interval vs unconditional dispatch
+    std::size_t key_column = 0;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    TConstNode* node = nullptr;
+    MemoryNode* memory = nullptr;
+    std::size_t signature = 0;
+  };
+
+  Status Submit(const std::string& relation, const Token& token);
+
+  /// Returns (creating if needed) the selection chain for `relation` with
+  /// the given interval/residual; the attached α-memory is populated from
+  /// the relation's current contents.
+  Result<SelectionEntry*> GetOrCreateSelection(
+      const std::string& relation, bool has_interval, std::size_t key_column,
+      int64_t lo, int64_t hi, const rel::Conjunction& residual);
+
+  /// Builds (with sharing) the right-deep join tail covering
+  /// `query.joins[from..]`; the returned memory holds
+  /// concat(R_from, ..., R_last) filtered by each stage's residual and
+  /// joined on each inner stage's condition.
+  Result<MemoryNode*> BuildJoinTail(const rel::ProcedureQuery& query,
+                                    std::size_t from);
+
+  /// Left-deep compilation of a whole procedure (JoinShape::kLeftDeep).
+  Result<MemoryNode*> AddProcedureLeftDeep(const rel::ProcedureQuery& query,
+                                           MemoryNode* base_memory);
+
+  /// Wires `left ⋈ right` into a fresh β-memory, recording stats/edges and
+  /// populating the result from the current memory contents.
+  Result<MemoryNode*> WireJoin(MemoryNode* left, MemoryNode* right,
+                               std::size_t left_column,
+                               std::size_t right_column);
+
+  /// Column offset of join stage `i`'s relation within the accumulated
+  /// output tuple.
+  Result<std::size_t> SegmentOffset(const rel::ProcedureQuery& query,
+                                    std::size_t stage_index) const;
+
+  template <typename NodeType, typename... Args>
+  NodeType* MakeNode(Args&&... args) {
+    auto node = std::make_unique<NodeType>(std::forward<Args>(args)...);
+    NodeType* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  /// One rendered edge of the network graph (adapters normalized away).
+  struct Edge {
+    const ReteNode* from;
+    const ReteNode* to;
+    std::string label;  ///< "", "L" or "R" (and-node input side)
+  };
+
+  rel::Catalog* catalog_;
+  CostMeter* meter_;
+  std::size_t pad_to_bytes_;
+  JoinShape shape_;
+  std::vector<Edge> edges_;
+  std::vector<std::unique_ptr<ReteNode>> nodes_;
+  std::vector<std::unique_ptr<SelectionEntry>> selections_;
+  std::unordered_map<std::string, std::vector<SelectionEntry*>> root_index_;
+  // join-tail signature -> shared memory node
+  std::unordered_map<std::size_t, MemoryNode*> tails_by_signature_;
+  Stats stats_;
+};
+
+}  // namespace procsim::rete
+
+#endif  // PROCSIM_RETE_NETWORK_H_

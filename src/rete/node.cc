@@ -1,0 +1,134 @@
+#include "rete/node.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace procsim::rete {
+
+using rel::Tuple;
+
+TConstNode::TConstNode(std::size_t key_column, int64_t lo, int64_t hi,
+                       rel::Conjunction residual, CostMeter* meter)
+    : key_column_(key_column),
+      lo_(lo),
+      hi_(hi),
+      residual_(std::move(residual)),
+      meter_(meter) {
+  PROCSIM_CHECK(meter != nullptr);
+}
+
+Status TConstNode::Activate(const Token& token) {
+  // The interval itself was already checked by the root's discrimination
+  // index; re-verify plus residual terms, charging C1 per test performed
+  // (at least one — the paper's per-broken-lock screen).
+  std::size_t screens = 1;
+  const int64_t key = token.tuple.value(key_column_).AsInt64();
+  if (key < lo_ || key > hi_) {
+    meter_->ChargeScreen(screens);
+    return Status::OK();
+  }
+  const bool matched = residual_.Matches(token.tuple, &screens);
+  meter_->ChargeScreen(std::max<std::size_t>(1, screens));
+  if (!matched) return Status::OK();
+  return Propagate(token);
+}
+
+std::string TConstNode::Describe() const {
+  std::ostringstream out;
+  out << "t-const($" << key_column_ << " in [" << lo_ << "," << hi_ << "]";
+  if (!residual_.empty()) out << " and " << residual_.ToString();
+  out << ")";
+  return out.str();
+}
+
+std::size_t TConstNode::Signature() const {
+  std::size_t h = key_column_ * 1099511628211ULL;
+  h ^= static_cast<std::size_t>(static_cast<uint64_t>(lo_)) +
+       0x9e3779b97f4a7c15ULL;
+  h *= 1099511628211ULL;
+  h ^= static_cast<std::size_t>(static_cast<uint64_t>(hi_));
+  h *= 1099511628211ULL;
+  h ^= residual_.Hash();
+  return h;
+}
+
+MemoryNode::MemoryNode(storage::SimulatedDisk* disk, std::size_t pad_to_bytes,
+                       bool is_beta)
+    : store_(disk, pad_to_bytes), is_beta_(is_beta) {}
+
+Status MemoryNode::Activate(const Token& token) {
+  if (token.is_insert()) {
+    PROCSIM_RETURN_IF_ERROR(store_.Insert(token.tuple));
+  } else {
+    PROCSIM_RETURN_IF_ERROR(store_.Remove(token.tuple));
+  }
+  return Propagate(token);
+}
+
+std::string MemoryNode::Describe() const {
+  return is_beta_ ? "beta-memory" : "alpha-memory";
+}
+
+AndNode::AndNode(MemoryNode* left, MemoryNode* right, std::size_t left_column,
+                 rel::CompareOp op, std::size_t right_column, CostMeter* meter)
+    : left_(left),
+      right_(right),
+      left_column_(left_column),
+      op_(op),
+      right_column_(right_column),
+      meter_(meter),
+      left_input_(this, true),
+      right_input_(this, false) {
+  PROCSIM_CHECK(left != nullptr);
+  PROCSIM_CHECK(right != nullptr);
+  PROCSIM_CHECK(meter != nullptr);
+}
+
+Status AndNode::Activate(const Token&) {
+  return Status::Internal(
+      "AndNode must be activated through LeftInput()/RightInput()");
+}
+
+Status AndNode::ActivateFromSide(bool from_left, const Token& token) {
+  // Probe the opposite memory for joining tuples.  For the equi-joins the
+  // procedure models use, the memory's probe index narrows candidates to
+  // exact matches; non-eq operators fall back to scanning the memory.
+  MemoryNode* opposite = from_left ? right_ : left_;
+  const std::size_t own_column = from_left ? left_column_ : right_column_;
+  const std::size_t opp_column = from_left ? right_column_ : left_column_;
+  std::vector<Tuple> candidates;
+  if (op_ == rel::CompareOp::kEq) {
+    Result<std::vector<Tuple>> probed = opposite->store().ProbeEqual(
+        opp_column, token.tuple.value(own_column).AsInt64());
+    if (!probed.ok()) return probed.status();
+    candidates = probed.TakeValueOrDie();
+  } else {
+    Result<std::vector<Tuple>> all = opposite->ReadAll();
+    if (!all.ok()) return all.status();
+    candidates = all.TakeValueOrDie();
+  }
+  for (const Tuple& match : candidates) {
+    const Tuple& left_tuple = from_left ? token.tuple : match;
+    const Tuple& right_tuple = from_left ? match : token.tuple;
+    // Verifying the qualification costs one screen per candidate pair.
+    meter_->ChargeScreen();
+    if (!rel::EvalCompare(left_tuple.value(left_column_), op_,
+                          right_tuple.value(right_column_))) {
+      continue;
+    }
+    PROCSIM_RETURN_IF_ERROR(
+        Propagate(token.Derive(Tuple::Concat(left_tuple, right_tuple))));
+  }
+  return Status::OK();
+}
+
+std::string AndNode::Describe() const {
+  std::ostringstream out;
+  out << "and(left.$" << left_column_ << " " << rel::CompareOpName(op_)
+      << " right.$" << right_column_ << ")";
+  return out.str();
+}
+
+}  // namespace procsim::rete

@@ -1,0 +1,152 @@
+#ifndef PROCSIM_RETE_NODE_H_
+#define PROCSIM_RETE_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ivm/tuple_store.h"
+#include "relational/predicate.h"
+#include "rete/token.h"
+#include "util/cost_meter.h"
+#include "util/status.h"
+
+namespace procsim::rete {
+
+/// \brief Base class of all Rete network nodes (§2 of the paper: root,
+/// t-const, α-memory, and-node, β-memory).
+class ReteNode {
+ public:
+  virtual ~ReteNode() = default;
+
+  /// Processes one token and propagates derived tokens to successors.
+  virtual Status Activate(const Token& token) = 0;
+
+  void AddSuccessor(ReteNode* node) { successors_.push_back(node); }
+  const std::vector<ReteNode*>& successors() const { return successors_; }
+
+  virtual std::string Describe() const = 0;
+
+ protected:
+  Status Propagate(const Token& token) {
+    for (ReteNode* node : successors_) {
+      PROCSIM_RETURN_IF_ERROR(node->Activate(token));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ReteNode*> successors_;
+};
+
+/// \brief A t-const chain for one base selection: an indexed-attribute range
+/// [lo, hi] plus residual `attribute op constant` terms.
+///
+/// The root discriminates tokens by relation and key interval using an
+/// in-memory lock-table-style structure (not charged, like the paper's rule
+/// indexing); a token that reaches this node is charged C1 screening for the
+/// residual verification — this is the paper's per-broken-lock screen cost.
+class TConstNode : public ReteNode {
+ public:
+  TConstNode(std::size_t key_column, int64_t lo, int64_t hi,
+             rel::Conjunction residual, CostMeter* meter);
+
+  Status Activate(const Token& token) override;
+  std::string Describe() const override;
+
+  std::size_t key_column() const { return key_column_; }
+  int64_t lo() const { return lo_; }
+  int64_t hi() const { return hi_; }
+  const rel::Conjunction& residual() const { return residual_; }
+
+  /// Structural signature for shared-subexpression detection.
+  std::size_t Signature() const;
+
+ private:
+  std::size_t key_column_;
+  int64_t lo_;
+  int64_t hi_;
+  rel::Conjunction residual_;
+  CostMeter* meter_;
+};
+
+/// \brief An α- or β-memory node: holds the materialized output of its
+/// predecessor on disk pages (inserting/removing charges the refresh I/O)
+/// and passes tokens through to successors.
+class MemoryNode : public ReteNode {
+ public:
+  /// \param disk          page store
+  /// \param pad_to_bytes  stored tuple width (paper's S)
+  /// \param is_beta       β (join output) vs α (selection output); label only
+  MemoryNode(storage::SimulatedDisk* disk, std::size_t pad_to_bytes,
+             bool is_beta);
+
+  Status Activate(const Token& token) override;
+  std::string Describe() const override;
+
+  bool is_beta() const { return is_beta_; }
+  const ivm::TupleStore& store() const { return store_; }
+  ivm::TupleStore* mutable_store() { return &store_; }
+
+  /// Reads the memory contents (one I/O per page) — used both by and-node
+  /// probes (ProbeEqual) and to answer procedure accesses (ReadAll).
+  Result<std::vector<rel::Tuple>> ReadAll() const { return store_.ReadAll(); }
+
+ private:
+  ivm::TupleStore store_;
+  bool is_beta_;
+};
+
+/// \brief A two-input join node: `left.column op right.column`.
+///
+/// Tokens arrive via the LeftInput()/RightInput() adapter nodes, which are
+/// wired as successors of the corresponding memory nodes.  On activation
+/// from one side, the opposite memory is probed for joining tuples; each
+/// (token, tuple) pair meeting the qualification produces a derived token
+/// with the original tag, propagated to this node's successors (a β-memory).
+class AndNode : public ReteNode {
+ public:
+  AndNode(MemoryNode* left, MemoryNode* right, std::size_t left_column,
+          rel::CompareOp op, std::size_t right_column, CostMeter* meter);
+
+  /// AndNode is never activated directly; use the side adapters.
+  Status Activate(const Token& token) override;
+  std::string Describe() const override;
+
+  ReteNode* LeftInput() { return &left_input_; }
+  ReteNode* RightInput() { return &right_input_; }
+
+ private:
+  class SideAdapter : public ReteNode {
+   public:
+    SideAdapter(AndNode* parent, bool is_left)
+        : parent_(parent), is_left_(is_left) {}
+    Status Activate(const Token& token) override {
+      return parent_->ActivateFromSide(is_left_, token);
+    }
+    std::string Describe() const override {
+      return std::string(is_left_ ? "left" : "right") + "-input of " +
+             parent_->Describe();
+    }
+
+   private:
+    AndNode* parent_;
+    bool is_left_;
+  };
+
+  Status ActivateFromSide(bool from_left, const Token& token);
+
+  MemoryNode* left_;
+  MemoryNode* right_;
+  std::size_t left_column_;
+  rel::CompareOp op_;
+  std::size_t right_column_;
+  CostMeter* meter_;
+  SideAdapter left_input_;
+  SideAdapter right_input_;
+};
+
+}  // namespace procsim::rete
+
+#endif  // PROCSIM_RETE_NODE_H_

@@ -1,0 +1,128 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "proc/always_recompute.h"
+#include "proc/cache_invalidate.h"
+#include "proc/update_cache_avm.h"
+#include "proc/update_cache_rvm.h"
+#include "util/logging.h"
+
+namespace procsim::sim {
+
+using cost::Strategy;
+
+std::vector<std::string> CanonicalizeResult(
+    const std::vector<rel::Tuple>& tuples) {
+  std::vector<std::string> canon;
+  canon.reserve(tuples.size());
+  for (const rel::Tuple& tuple : tuples) canon.push_back(tuple.ToString());
+  std::sort(canon.begin(), canon.end());
+  return canon;
+}
+
+std::unique_ptr<proc::Strategy> Simulator::MakeStrategy(
+    Strategy strategy_kind, Database* db, const cost::Params& params) {
+  const auto tuple_bytes = static_cast<std::size_t>(params.S);
+  switch (strategy_kind) {
+    case Strategy::kAlwaysRecompute:
+      return std::make_unique<proc::AlwaysRecomputeStrategy>(
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes);
+    case Strategy::kCacheInvalidate:
+      return std::make_unique<proc::CacheInvalidateStrategy>(
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
+          params.C_inval);
+    case Strategy::kUpdateCacheAvm:
+      return std::make_unique<proc::UpdateCacheAvmStrategy>(
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes);
+    case Strategy::kUpdateCacheRvm:
+      return std::make_unique<proc::UpdateCacheRvmStrategy>(
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes);
+  }
+  PROCSIM_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+Result<SimulationResult> Simulator::Run(Strategy strategy_kind,
+                                        const Options& options) {
+  return RunWithFactory(
+      [&](Database* db) {
+        return MakeStrategy(strategy_kind, db, options.params);
+      },
+      options);
+}
+
+Result<SimulationResult> Simulator::RunWithFactory(
+    const StrategyFactory& factory, const Options& options) {
+  Result<std::unique_ptr<Database>> built =
+      BuildDatabase(options.params, options.model, options.seed);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<Database> db = built.TakeValueOrDie();
+
+  std::unique_ptr<proc::Strategy> strategy = factory(db.get());
+  for (const proc::DatabaseProcedure& procedure : db->procedures) {
+    PROCSIM_RETURN_IF_ERROR(strategy->AddProcedure(procedure));
+  }
+  PROCSIM_RETURN_IF_ERROR(strategy->Prepare());
+
+  const auto k = static_cast<uint64_t>(options.params.k);
+  const auto q = static_cast<uint64_t>(options.params.q);
+  const auto l = static_cast<std::size_t>(options.params.l);
+
+  // Build the randomly interleaved operation schedule (k updates, q reads).
+  // Workload randomness is drawn from a separate stream (seed+1) so the
+  // database contents (seed) stay identical across parameter sweeps of k.
+  Rng rng(options.seed + 1);
+  std::vector<uint8_t> schedule;
+  schedule.reserve(k + q);
+  schedule.insert(schedule.end(), k, 1);
+  schedule.insert(schedule.end(), q, 0);
+  for (std::size_t i = schedule.size(); i > 1; --i) {
+    std::swap(schedule[i - 1], schedule[rng.Uniform(i)]);
+  }
+
+  LocalityGenerator locality(std::max<std::size_t>(1, db->procedures.size()),
+                             options.params.Z);
+
+  db->meter.Reset();
+  SimulationResult result;
+  for (uint8_t is_update : schedule) {
+    if (is_update != 0) {
+      Result<std::vector<std::pair<rel::Tuple, rel::Tuple>>> changes =
+          ApplyUpdateTransaction(db.get(), l, &rng);
+      if (!changes.ok()) return changes.status();
+      for (const auto& [old_tuple, new_tuple] : changes.ValueOrDie()) {
+        strategy->OnDelete("R1", old_tuple);
+        strategy->OnInsert("R1", new_tuple);
+      }
+      PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
+      ++result.update_transactions;
+    } else {
+      const std::size_t proc_id = locality.NextReference(&rng);
+      Result<std::vector<rel::Tuple>> value = strategy->Access(proc_id);
+      if (!value.ok()) return value.status();
+      ++result.queries;
+      if (options.verify_results) {
+        storage::MeteringGuard guard(db->disk.get());
+        Result<std::vector<rel::Tuple>> expected =
+            db->executor->Execute(db->procedures[proc_id].query);
+        if (!expected.ok()) return expected.status();
+        if (CanonicalizeResult(value.ValueOrDie()) !=
+            CanonicalizeResult(expected.ValueOrDie())) {
+          ++result.verification_failures;
+        }
+      }
+    }
+  }
+
+  result.total_ms = db->meter.total_ms();
+  result.avg_ms_per_query =
+      result.queries > 0 ? result.total_ms / static_cast<double>(result.queries)
+                         : 0.0;
+  result.disk_reads = db->meter.disk_reads();
+  result.disk_writes = db->meter.disk_writes();
+  result.screens = db->meter.screens();
+  return result;
+}
+
+}  // namespace procsim::sim

@@ -1,0 +1,69 @@
+#ifndef PROCSIM_SIM_SIMULATOR_H_
+#define PROCSIM_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/model.h"
+#include "proc/strategy.h"
+#include "sim/workload.h"
+#include "util/locality.h"
+
+namespace procsim::sim {
+
+/// Outcome of one simulated run.
+struct SimulationResult {
+  double total_ms = 0;              ///< metered cost of the whole workload
+  double avg_ms_per_query = 0;      ///< total_ms / queries (paper's metric)
+  uint64_t queries = 0;
+  uint64_t update_transactions = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t screens = 0;
+  /// Mismatches found when verify_results was set (0 when unset or clean).
+  uint64_t verification_failures = 0;
+};
+
+/// \brief Drives a strategy through the paper's workload: k update
+/// transactions (l in-place R1 modifications each) and q procedure
+/// accesses, randomly interleaved, with the two-class locality model
+/// selecting which procedure each access reads.
+class Simulator {
+ public:
+  struct Options {
+    cost::Params params;
+    cost::ProcModel model = cost::ProcModel::kModel1;
+    uint64_t seed = 42;
+    /// If set, every Access() result is checked (un-metered) against a
+    /// from-scratch recomputation; mismatches are counted.
+    bool verify_results = false;
+  };
+
+  /// Builds a fresh database for `options` and measures one strategy over
+  /// the workload.  Identical seeds produce identical databases and
+  /// workloads across strategies, so results are directly comparable.
+  static Result<SimulationResult> Run(cost::Strategy strategy_kind,
+                                      const Options& options);
+
+  /// Constructs a strategy with `factory` over a freshly built database and
+  /// measures it — for custom strategies (e.g. HybridStrategy) that are not
+  /// part of the cost::Strategy enum.
+  using StrategyFactory =
+      std::function<std::unique_ptr<proc::Strategy>(Database* db)>;
+  static Result<SimulationResult> RunWithFactory(const StrategyFactory& factory,
+                                                 const Options& options);
+
+  /// Constructs the strategy object of the given kind over `db`.
+  static std::unique_ptr<proc::Strategy> MakeStrategy(
+      cost::Strategy strategy_kind, Database* db, const cost::Params& params);
+};
+
+/// Sorted, serialized form of a result set for order-insensitive equality.
+std::vector<std::string> CanonicalizeResult(
+    const std::vector<rel::Tuple>& tuples);
+
+}  // namespace procsim::sim
+
+#endif  // PROCSIM_SIM_SIMULATOR_H_

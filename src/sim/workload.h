@@ -1,0 +1,82 @@
+#ifndef PROCSIM_SIM_WORKLOAD_H_
+#define PROCSIM_SIM_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "cost/params.h"
+#include "proc/procedure.h"
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "storage/disk.h"
+#include "util/cost_meter.h"
+#include "util/rng.h"
+
+namespace procsim::sim {
+
+/// \brief A fully built experiment database: the paper's R1/R2/R3 with the
+/// prescribed access methods, plus the generated procedure population.
+///
+/// Member order matters: the meter must outlive the disk, the disk the
+/// catalog.
+struct Database {
+  CostMeter meter;
+  std::unique_ptr<storage::SimulatedDisk> disk;
+  std::unique_ptr<rel::Catalog> catalog;
+  std::unique_ptr<rel::Executor> executor;
+  std::vector<proc::DatabaseProcedure> procedures;
+  /// RecordIds of all R1 tuples, for drawing update victims.
+  std::vector<storage::RecordId> r1_rids;
+  /// Key domains used by the generator.
+  int64_t r1_keys = 0;   ///< N: R1 keys are uniform over [0, N)
+  int64_t r2_count = 0;  ///< |R2|
+  int64_t r3_count = 0;  ///< |R3|
+};
+
+/// Domain of R2's selection column; C_f2 predicates are intervals of width
+/// f2 * kSelectivityDomain.
+inline constexpr int64_t kSelectivityDomain = 1'000'000;
+
+/// Column positions in the generated schemas (kept stable for tests).
+struct R1Columns {
+  static constexpr std::size_t kKey = 0;      ///< B-tree selection attribute
+  static constexpr std::size_t kJoinA = 1;    ///< joins to R2.b
+  static constexpr std::size_t kPayload = 2;
+};
+struct R2Columns {
+  static constexpr std::size_t kB = 0;     ///< hashed primary
+  static constexpr std::size_t kJoinC = 1; ///< joins to R3.d (model 2)
+  static constexpr std::size_t kSel2 = 2;  ///< C_f2 selection attribute
+};
+struct R3Columns {
+  static constexpr std::size_t kD = 0;  ///< hashed primary
+  static constexpr std::size_t kPayload = 1;
+};
+
+/// \brief Builds the paper's database (§3): R1 with N tuples and a clustered
+/// B-tree on its selection attribute; R2 (f_R2·N tuples) and R3 (f_R3·N
+/// tuples) with hashed primary indexes on their join attributes.  Bulk load
+/// is not metered.
+///
+/// Also generates the procedure population: N1 P1 selections with random
+/// key intervals of width ≈ f·N, and N2 P2 joins (2-way under kModel1,
+/// 3-way under kModel2) whose C_f2 terms are random intervals of
+/// selectivity f2 on R2's selection column.  A fraction SF of P2 procedures
+/// reuses the base interval of a random P1 procedure, creating the shared
+/// subexpressions RVM exploits.  The procedure list is shuffled so the
+/// locality-skewed hot set mixes both types.
+Result<std::unique_ptr<Database>> BuildDatabase(const cost::Params& params,
+                                                cost::ProcModel model,
+                                                uint64_t seed);
+
+/// \brief Applies one update transaction: modifies `l` random R1 tuples in
+/// place (fresh uniform key, join attribute and payload), un-metered (the
+/// base-table write cost is identical across strategies and excluded by the
+/// paper's analysis).  Returns the (old, new) tuple pairs so the caller can
+/// notify a strategy with metering on.
+Result<std::vector<std::pair<rel::Tuple, rel::Tuple>>> ApplyUpdateTransaction(
+    Database* db, std::size_t tuples_to_modify, Rng* rng);
+
+}  // namespace procsim::sim
+
+#endif  // PROCSIM_SIM_WORKLOAD_H_

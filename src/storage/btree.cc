@@ -1,0 +1,371 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace procsim::storage {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::vector<uint8_t>& in, std::size_t* cursor, T* value) {
+  if (*cursor + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+// Entries are ordered by (key, rid) so duplicates have a stable position.
+bool EntryLess(int64_t key_a, RecordId rid_a, int64_t key_b, RecordId rid_b) {
+  if (key_a != key_b) return key_a < key_b;
+  return rid_a < rid_b;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BTree::Node::Serialize() const {
+  std::vector<uint8_t> out;
+  AppendPod<uint8_t>(&out, is_leaf ? 1 : 0);
+  AppendPod<uint32_t>(&out, static_cast<uint32_t>(keys.size()));
+  for (int64_t key : keys) AppendPod(&out, key);
+  if (is_leaf) {
+    for (const RecordId& rid : values) {
+      AppendPod(&out, rid.page_id);
+      AppendPod(&out, rid.slot);
+    }
+    AppendPod(&out, next_leaf);
+  } else {
+    AppendPod<uint32_t>(&out, static_cast<uint32_t>(children.size()));
+    for (PageId child : children) AppendPod(&out, child);
+  }
+  return out;
+}
+
+Result<BTree::Node> BTree::Node::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  Node node;
+  std::size_t cursor = 0;
+  uint8_t is_leaf = 0;
+  uint32_t key_count = 0;
+  if (!ReadPod(bytes, &cursor, &is_leaf) ||
+      !ReadPod(bytes, &cursor, &key_count)) {
+    return Status::InvalidArgument("truncated btree node header");
+  }
+  node.is_leaf = is_leaf != 0;
+  node.keys.resize(key_count);
+  for (auto& key : node.keys) {
+    if (!ReadPod(bytes, &cursor, &key)) {
+      return Status::InvalidArgument("truncated btree node keys");
+    }
+  }
+  if (node.is_leaf) {
+    node.values.resize(key_count);
+    for (auto& rid : node.values) {
+      if (!ReadPod(bytes, &cursor, &rid.page_id) ||
+          !ReadPod(bytes, &cursor, &rid.slot)) {
+        return Status::InvalidArgument("truncated btree leaf values");
+      }
+    }
+    if (!ReadPod(bytes, &cursor, &node.next_leaf)) {
+      return Status::InvalidArgument("truncated btree leaf link");
+    }
+  } else {
+    uint32_t child_count = 0;
+    if (!ReadPod(bytes, &cursor, &child_count)) {
+      return Status::InvalidArgument("truncated btree child count");
+    }
+    node.children.resize(child_count);
+    for (auto& child : node.children) {
+      if (!ReadPod(bytes, &cursor, &child)) {
+        return Status::InvalidArgument("truncated btree children");
+      }
+    }
+  }
+  return node;
+}
+
+BTree::BTree(SimulatedDisk* disk, uint32_t entry_bytes) : disk_(disk) {
+  PROCSIM_CHECK(disk != nullptr);
+  PROCSIM_CHECK_GT(entry_bytes, 0u);
+  fanout_ = std::max(4u, disk->page_size() / entry_bytes);
+  Node root;
+  root.is_leaf = true;
+  root_ = AllocateNode(root);
+}
+
+Result<BTree::Node> BTree::LoadNode(PageId page_id) const {
+  Result<Page*> page = disk_->ReadPage(page_id);
+  if (!page.ok()) return page.status();
+  Result<std::vector<uint8_t>> bytes = page.ValueOrDie()->Read(0);
+  if (!bytes.ok()) return bytes.status();
+  return Node::Deserialize(bytes.ValueOrDie());
+}
+
+Status BTree::StoreNode(PageId page_id, const Node& node) {
+  Result<Page*> page = disk_->ReadPage(page_id);
+  if (!page.ok()) return page.status();
+  const std::vector<uint8_t> bytes = node.Serialize();
+  PROCSIM_RETURN_IF_ERROR(page.ValueOrDie()->Update(
+      0, bytes.data(), static_cast<uint32_t>(bytes.size())));
+  return disk_->MarkDirty(page_id);
+}
+
+PageId BTree::AllocateNode(const Node& node) {
+  const PageId page_id = disk_->AllocatePage();
+  Result<Page*> page = disk_->ReadPage(page_id);
+  PROCSIM_CHECK(page.ok()) << page.status().ToString();
+  const std::vector<uint8_t> bytes = node.Serialize();
+  Result<uint16_t> slot = page.ValueOrDie()->Insert(
+      bytes.data(), static_cast<uint32_t>(bytes.size()));
+  PROCSIM_CHECK(slot.ok()) << slot.status().ToString();
+  PROCSIM_CHECK_EQ(slot.ValueOrDie(), 0);
+  Status dirty = disk_->MarkDirty(page_id);
+  PROCSIM_CHECK(dirty.ok()) << dirty.ToString();
+  return page_id;
+}
+
+Result<std::optional<BTree::SplitResult>> BTree::InsertRecursive(
+    PageId page_id, int64_t key, RecordId rid) {
+  Result<Node> loaded = LoadNode(page_id);
+  if (!loaded.ok()) return loaded.status();
+  Node node = loaded.TakeValueOrDie();
+
+  if (node.is_leaf) {
+    // Position by (key, rid).
+    std::size_t pos = 0;
+    while (pos < node.keys.size() &&
+           EntryLess(node.keys[pos], node.values[pos], key, rid)) {
+      ++pos;
+    }
+    if (pos < node.keys.size() && node.keys[pos] == key &&
+        node.values[pos] == rid) {
+      return Status::AlreadyExists("duplicate btree entry");
+    }
+    node.keys.insert(node.keys.begin() + pos, key);
+    node.values.insert(node.values.begin() + pos, rid);
+    ++entry_count_;
+    if (node.keys.size() <= fanout_) {
+      PROCSIM_RETURN_IF_ERROR(StoreNode(page_id, node));
+      return std::optional<SplitResult>(std::nullopt);
+    }
+    // Split the leaf.
+    const std::size_t mid = node.keys.size() / 2;
+    Node right;
+    right.is_leaf = true;
+    right.keys.assign(node.keys.begin() + mid, node.keys.end());
+    right.values.assign(node.values.begin() + mid, node.values.end());
+    right.next_leaf = node.next_leaf;
+    node.keys.resize(mid);
+    node.values.resize(mid);
+    const PageId right_page = AllocateNode(right);
+    node.next_leaf = right_page;
+    PROCSIM_RETURN_IF_ERROR(StoreNode(page_id, node));
+    return std::optional<SplitResult>(SplitResult{right.keys.front(),
+                                                  right_page});
+  }
+
+  // Internal node: descend to the leftmost child that can contain `key`
+  // (lower_bound rather than upper_bound so duplicate keys equal to a
+  // separator are reachable via the leaf chain).
+  std::size_t child_index =
+      static_cast<std::size_t>(std::lower_bound(node.keys.begin(),
+                                                node.keys.end(), key) -
+                               node.keys.begin());
+  Result<std::optional<SplitResult>> child_split =
+      InsertRecursive(node.children[child_index], key, rid);
+  if (!child_split.ok()) return child_split.status();
+  if (!child_split.ValueOrDie().has_value()) {
+    return std::optional<SplitResult>(std::nullopt);
+  }
+  const SplitResult split = *child_split.ValueOrDie();
+  node.keys.insert(node.keys.begin() + child_index, split.separator);
+  node.children.insert(node.children.begin() + child_index + 1,
+                       split.right_page);
+  if (node.keys.size() <= fanout_) {
+    PROCSIM_RETURN_IF_ERROR(StoreNode(page_id, node));
+    return std::optional<SplitResult>(std::nullopt);
+  }
+  // Split the internal node; the middle key moves up.
+  const std::size_t mid = node.keys.size() / 2;
+  const int64_t separator = node.keys[mid];
+  Node right;
+  right.is_leaf = false;
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1, node.children.end());
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  const PageId right_page = AllocateNode(right);
+  PROCSIM_RETURN_IF_ERROR(StoreNode(page_id, node));
+  return std::optional<SplitResult>(SplitResult{separator, right_page});
+}
+
+Status BTree::Insert(int64_t key, RecordId rid) {
+  // Duplicates of `key` can span leaves, and the structural descent only
+  // sees the leftmost candidate leaf — check the whole chain first.
+  Result<bool> exists = ContainsEntry(key, rid);
+  if (!exists.ok()) return exists.status();
+  if (exists.ValueOrDie()) {
+    return Status::AlreadyExists("duplicate btree entry");
+  }
+  Result<std::optional<SplitResult>> split = InsertRecursive(root_, key, rid);
+  if (!split.ok()) return split.status();
+  if (split.ValueOrDie().has_value()) {
+    Node new_root;
+    new_root.is_leaf = false;
+    new_root.keys.push_back(split.ValueOrDie()->separator);
+    new_root.children.push_back(root_);
+    new_root.children.push_back(split.ValueOrDie()->right_page);
+    root_ = AllocateNode(new_root);
+    ++height_;
+  }
+  return Status::OK();
+}
+
+Result<bool> BTree::ContainsEntry(int64_t key, RecordId rid) const {
+  Result<PageId> first_leaf = FindLeaf(key);
+  if (!first_leaf.ok()) return first_leaf.status();
+  PageId page_id = first_leaf.ValueOrDie();
+  while (page_id != kInvalidPageId) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    const Node& node = loaded.ValueOrDie();
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      if (node.keys[i] > key) return false;
+      if (node.keys[i] == key && node.values[i] == rid) return true;
+    }
+    page_id = node.next_leaf;
+  }
+  return false;
+}
+
+Result<PageId> BTree::FindLeaf(int64_t key) const {
+  PageId page_id = root_;
+  while (true) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    const Node& node = loaded.ValueOrDie();
+    if (node.is_leaf) return page_id;
+    const std::size_t child_index =
+        static_cast<std::size_t>(std::lower_bound(node.keys.begin(),
+                                                  node.keys.end(), key) -
+                                 node.keys.begin());
+    page_id = node.children[child_index];
+  }
+}
+
+Status BTree::Delete(int64_t key, RecordId rid) {
+  // Duplicates of `key` can span several leaves; walk the chain from the
+  // first candidate leaf.  Note FindLeaf descends by key alone, which lands
+  // at (or before) the first leaf that can contain the key.
+  Result<PageId> first_leaf = FindLeaf(key);
+  if (!first_leaf.ok()) return first_leaf.status();
+  PageId page_id = first_leaf.ValueOrDie();
+  while (page_id != kInvalidPageId) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    Node node = loaded.TakeValueOrDie();
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      if (node.keys[i] == key && node.values[i] == rid) {
+        node.keys.erase(node.keys.begin() + i);
+        node.values.erase(node.values.begin() + i);
+        --entry_count_;
+        return StoreNode(page_id, node);
+      }
+      if (node.keys[i] > key) {
+        return Status::NotFound("btree entry not found");
+      }
+    }
+    page_id = node.next_leaf;
+  }
+  return Status::NotFound("btree entry not found");
+}
+
+Result<std::vector<RecordId>> BTree::Search(int64_t key) const {
+  std::vector<RecordId> out;
+  Status st = RangeScan(key, key, [&](int64_t, RecordId rid) {
+    out.push_back(rid);
+    return true;
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status BTree::RangeScan(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, RecordId)>& fn) const {
+  if (lo > hi) return Status::OK();
+  Result<PageId> first_leaf = FindLeaf(lo);
+  if (!first_leaf.ok()) return first_leaf.status();
+  PageId page_id = first_leaf.ValueOrDie();
+  while (page_id != kInvalidPageId) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    const Node& node = loaded.ValueOrDie();
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      if (node.keys[i] < lo) continue;
+      if (node.keys[i] > hi) return Status::OK();
+      if (!fn(node.keys[i], node.values[i])) return Status::OK();
+    }
+    page_id = node.next_leaf;
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckNode(PageId page_id, std::optional<int64_t> lo,
+                        std::optional<int64_t> hi, int depth,
+                        int* leaf_depth) const {
+  Result<Node> loaded = LoadNode(page_id);
+  if (!loaded.ok()) return loaded.status();
+  const Node& node = loaded.ValueOrDie();
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
+    return Status::Internal("btree node keys not sorted");
+  }
+  // Bounds are inclusive on both sides because duplicate keys may equal the
+  // separator on either side of a split.
+  for (int64_t key : node.keys) {
+    if (lo.has_value() && key < *lo) {
+      return Status::Internal("btree key below separator bound");
+    }
+    if (hi.has_value() && key > *hi) {
+      return Status::Internal("btree key above separator bound");
+    }
+  }
+  if (node.is_leaf) {
+    if (node.keys.size() != node.values.size()) {
+      return Status::Internal("btree leaf arity mismatch");
+    }
+    if (*leaf_depth < 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Internal("btree leaves at unequal depth");
+    }
+    return Status::OK();
+  }
+  if (node.children.size() != node.keys.size() + 1) {
+    return Status::Internal("btree internal arity mismatch");
+  }
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    std::optional<int64_t> child_lo =
+        i == 0 ? lo : std::optional<int64_t>(node.keys[i - 1]);
+    std::optional<int64_t> child_hi =
+        i == node.keys.size() ? hi : std::optional<int64_t>(node.keys[i]);
+    PROCSIM_RETURN_IF_ERROR(
+        CheckNode(node.children[i], child_lo, child_hi, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  return CheckNode(root_, std::nullopt, std::nullopt, 0, &leaf_depth);
+}
+
+}  // namespace procsim::storage

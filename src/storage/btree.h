@@ -1,0 +1,110 @@
+#ifndef PROCSIM_STORAGE_BTREE_H_
+#define PROCSIM_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "storage/disk.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace procsim::storage {
+
+/// \brief A page-backed B+-tree mapping int64 keys to RecordIds.
+///
+/// This realizes the paper's "B-tree primary index on the field used by the
+/// selection predicate C_f(R1)".  Duplicate keys are allowed (entries are
+/// ordered by (key, rid)).  Each node occupies one disk page; node fanout is
+/// capped at floor(page_size / entry_bytes) where entry_bytes is the paper's
+/// d = 20 bytes per index record, giving the same tree height the analytic
+/// model assumes (H1).
+///
+/// Deletion is implemented without rebalancing (entries are removed and
+/// nodes may underflow), which is sufficient for the paper's workload of
+/// in-place modifications and keeps the structure simple; the tree never
+/// shrinks in height.
+class BTree {
+ public:
+  /// \param disk         backing store; must outlive the tree
+  /// \param entry_bytes  bytes charged per index entry (paper's d)
+  BTree(SimulatedDisk* disk, uint32_t entry_bytes);
+
+  /// Inserts (key, rid).  Duplicates of the same (key, rid) pair are
+  /// rejected with AlreadyExists.
+  Status Insert(int64_t key, RecordId rid);
+
+  /// Removes (key, rid); NotFound if absent.
+  Status Delete(int64_t key, RecordId rid);
+
+  /// All RecordIds with exactly `key`.
+  Result<std::vector<RecordId>> Search(int64_t key) const;
+
+  /// Calls `fn(key, rid)` for each entry with lo <= key <= hi in key order;
+  /// stops early if `fn` returns false.
+  Status RangeScan(int64_t lo, int64_t hi,
+                   const std::function<bool(int64_t, RecordId)>& fn) const;
+
+  /// Number of levels, including the leaf level.
+  int Height() const { return height_; }
+
+  /// Total entries in the tree.
+  std::size_t entry_count() const { return entry_count_; }
+
+  /// Maximum entries per node (leaf and internal), as derived from
+  /// page_size / entry_bytes.
+  uint32_t fanout() const { return fanout_; }
+
+  /// Verifies structural invariants (sorted keys, child separator bounds,
+  /// uniform leaf depth, leaf-chain ordering).  For tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::vector<int64_t> keys;
+    // Leaf: values[i] corresponds to keys[i].  Internal: children has
+    // keys.size() + 1 entries; keys[i] is the smallest key in children[i+1].
+    std::vector<RecordId> values;
+    std::vector<PageId> children;
+    PageId next_leaf = kInvalidPageId;
+
+    std::vector<uint8_t> Serialize() const;
+    static Result<Node> Deserialize(const std::vector<uint8_t>& bytes);
+  };
+
+  Result<Node> LoadNode(PageId page_id) const;
+  Status StoreNode(PageId page_id, const Node& node);
+  PageId AllocateNode(const Node& node);
+
+  /// Recursive insert; on child split returns the (separator key, new page)
+  /// to be inserted into the parent.
+  struct SplitResult {
+    int64_t separator;
+    PageId right_page;
+  };
+  Result<std::optional<SplitResult>> InsertRecursive(PageId page_id,
+                                                     int64_t key, RecordId rid);
+
+  /// Descends to the leaf that would contain `key`.
+  Result<PageId> FindLeaf(int64_t key) const;
+
+  /// True if the exact (key, rid) pair is present (walks the leaf chain
+  /// because duplicates of `key` can span leaves).
+  Result<bool> ContainsEntry(int64_t key, RecordId rid) const;
+
+  Status CheckNode(PageId page_id, std::optional<int64_t> lo,
+                   std::optional<int64_t> hi, int depth,
+                   int* leaf_depth) const;
+
+  SimulatedDisk* disk_;
+  uint32_t fanout_;
+  PageId root_ = kInvalidPageId;
+  int height_ = 1;
+  std::size_t entry_count_ = 0;
+};
+
+}  // namespace procsim::storage
+
+#endif  // PROCSIM_STORAGE_BTREE_H_

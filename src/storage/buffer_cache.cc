@@ -1,0 +1,42 @@
+#include "storage/buffer_cache.h"
+
+#include "util/logging.h"
+
+namespace procsim::storage {
+
+BufferCache::BufferCache(std::size_t capacity_pages)
+    : capacity_(capacity_pages) {
+  PROCSIM_CHECK_GT(capacity_pages, 0u);
+}
+
+bool BufferCache::Touch(uint32_t page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    const uint32_t victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+  }
+  lru_.push_front(page_id);
+  frames_[page_id] = lru_.begin();
+  return false;
+}
+
+void BufferCache::Evict(uint32_t page_id) {
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second);
+  frames_.erase(it);
+}
+
+void BufferCache::Clear() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace procsim::storage

@@ -1,0 +1,50 @@
+#ifndef PROCSIM_STORAGE_BUFFER_CACHE_H_
+#define PROCSIM_STORAGE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace procsim::storage {
+
+/// \brief An LRU page-residency tracker.
+///
+/// The paper's 1987 cost model charges every page touch as a disk I/O — no
+/// buffer cache.  This class lets the simulator relax that assumption as an
+/// ablation: when attached to a SimulatedDisk, a read of a resident page is
+/// free and only misses pay C2.  (Pages are always durable in the page
+/// store; the cache only tracks *residency* for charging purposes.)
+class BufferCache {
+ public:
+  /// \param capacity_pages  number of page frames (> 0)
+  explicit BufferCache(std::size_t capacity_pages);
+
+  /// Records an access to `page_id`.  Returns true on a hit (no charge
+  /// due); on a miss the page is brought in, evicting the least recently
+  /// used frame if full.
+  bool Touch(uint32_t page_id);
+
+  /// Drops `page_id` if resident (e.g. after the caller invalidates it).
+  void Evict(uint32_t page_id);
+
+  /// Empties the cache (cold start).
+  void Clear();
+
+  bool Contains(uint32_t page_id) const { return frames_.contains(page_id); }
+  std::size_t size() const { return frames_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  // Most recently used at the front.
+  std::list<uint32_t> lru_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace procsim::storage
+
+#endif  // PROCSIM_STORAGE_BUFFER_CACHE_H_

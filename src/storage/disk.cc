@@ -1,0 +1,76 @@
+#include "storage/disk.h"
+
+#include "util/logging.h"
+
+namespace procsim::storage {
+
+SimulatedDisk::SimulatedDisk(uint32_t page_size, CostMeter* meter)
+    : page_size_(page_size), meter_(meter) {
+  PROCSIM_CHECK_GT(page_size, 0u);
+}
+
+PageId SimulatedDisk::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  const PageId page_id = static_cast<PageId>(pages_.size() - 1);
+  ChargeWrite(page_id);
+  return page_id;
+}
+
+Result<Page*> SimulatedDisk::ReadPage(PageId page_id) {
+  if (page_id >= pages_.size()) {
+    return Status::NotFound("page " + std::to_string(page_id) +
+                            " does not exist");
+  }
+  ChargeRead(page_id);
+  return pages_[page_id].get();
+}
+
+Status SimulatedDisk::MarkDirty(PageId page_id) {
+  if (page_id >= pages_.size()) {
+    return Status::NotFound("page " + std::to_string(page_id) +
+                            " does not exist");
+  }
+  ChargeWrite(page_id);
+  return Status::OK();
+}
+
+void SimulatedDisk::BeginAccessScope() {
+  PROCSIM_CHECK(!in_scope_) << "access scopes do not nest";
+  in_scope_ = true;
+  scope_reads_.clear();
+  scope_writes_.clear();
+}
+
+void SimulatedDisk::EndAccessScope() {
+  PROCSIM_CHECK(in_scope_);
+  in_scope_ = false;
+  scope_reads_.clear();
+  scope_writes_.clear();
+}
+
+void SimulatedDisk::ChargeRead(PageId page_id) {
+  if (!metering_enabled_ || meter_ == nullptr) return;
+  if (in_scope_) {
+    if (!scope_reads_.insert(page_id).second) return;  // already charged
+  }
+  if (cache_.has_value() && cache_->Touch(page_id)) return;  // resident
+  meter_->ChargeDiskRead();
+}
+
+void SimulatedDisk::ChargeWrite(PageId page_id) {
+  if (!metering_enabled_ || meter_ == nullptr) return;
+  if (in_scope_) {
+    if (!scope_writes_.insert(page_id).second) return;
+  }
+  // Write-through: always charged; the page becomes (stays) resident.
+  if (cache_.has_value()) (void)cache_->Touch(page_id);
+  meter_->ChargeDiskWrite();
+}
+
+void SimulatedDisk::EnableBufferCache(std::size_t capacity_pages) {
+  cache_.emplace(capacity_pages);
+}
+
+void SimulatedDisk::DisableBufferCache() { cache_.reset(); }
+
+}  // namespace procsim::storage

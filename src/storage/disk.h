@@ -1,0 +1,128 @@
+#ifndef PROCSIM_STORAGE_DISK_H_
+#define PROCSIM_STORAGE_DISK_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "storage/buffer_cache.h"
+#include "storage/page.h"
+#include "util/cost_meter.h"
+#include "util/status.h"
+
+namespace procsim::storage {
+
+/// \brief An in-memory "disk" that charges the paper's I/O cost for every
+/// page access.
+///
+/// Pages are held as live Page objects for speed; each ReadPage/WritePage
+/// debits C2 milliseconds to the attached CostMeter.  The paper's model has
+/// no buffer cache across operations, but a single query or maintenance
+/// operation never re-reads a page it already touched — that is what the
+/// Yao-function page-touch counts assume.  AccessScope provides exactly that
+/// semantics: while a scope is open, repeated reads/writes of the same page
+/// are charged once.
+class SimulatedDisk {
+ public:
+  /// \param page_size  bytes per page (the paper's B)
+  /// \param meter      cost sink; must outlive the disk; may be null for
+  ///                   cost-free setup phases (see set_metering_enabled)
+  SimulatedDisk(uint32_t page_size, CostMeter* meter);
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+  std::size_t page_count() const { return pages_.size(); }
+
+  /// Enables/disables cost charging.  Bulk-loading the database before an
+  /// experiment is free, as in the paper (the k updates and q queries are
+  /// the measured workload, not the initial load).
+  void set_metering_enabled(bool enabled) { metering_enabled_ = enabled; }
+  bool metering_enabled() const { return metering_enabled_; }
+
+  CostMeter* meter() const { return meter_; }
+
+  /// Allocates a fresh empty page (charged as one write when metering).
+  PageId AllocatePage();
+
+  /// Returns a mutable reference to a page, charging one read.  The caller
+  /// must call MarkDirty() (one write) if it modifies the page.
+  Result<Page*> ReadPage(PageId page_id);
+
+  /// Charges one page write for a previously read (and modified) page.
+  Status MarkDirty(PageId page_id);
+
+  // --- deduplicated accounting scopes -------------------------------------
+
+  /// Opens an access scope: until EndAccessScope(), each distinct page is
+  /// charged at most one read and at most one write.  Scopes do not nest.
+  void BeginAccessScope();
+  void EndAccessScope();
+  bool in_access_scope() const { return in_scope_; }
+
+  // --- optional buffer cache (ablation; the paper's model has none) --------
+
+  /// Attaches an LRU buffer cache of `capacity_pages` frames: reads of
+  /// resident pages stop being charged; writes remain write-through
+  /// (charged) and refresh residency.
+  void EnableBufferCache(std::size_t capacity_pages);
+  void DisableBufferCache();
+  const BufferCache* buffer_cache() const {
+    return cache_.has_value() ? &*cache_ : nullptr;
+  }
+
+ private:
+  void ChargeRead(PageId page_id);
+  void ChargeWrite(PageId page_id);
+
+  uint32_t page_size_;
+  CostMeter* meter_;
+  bool metering_enabled_ = true;
+  std::vector<std::unique_ptr<Page>> pages_;
+
+  bool in_scope_ = false;
+  std::set<PageId> scope_reads_;
+  std::set<PageId> scope_writes_;
+  std::optional<BufferCache> cache_;
+};
+
+/// RAII helper that disables cost metering for a scope (static compilation
+/// and bulk-load phases, which the paper does not charge).
+class MeteringGuard {
+ public:
+  explicit MeteringGuard(SimulatedDisk* disk)
+      : disk_(disk), previous_(disk->metering_enabled()) {
+    disk_->set_metering_enabled(false);
+  }
+  ~MeteringGuard() { disk_->set_metering_enabled(previous_); }
+  MeteringGuard(const MeteringGuard&) = delete;
+  MeteringGuard& operator=(const MeteringGuard&) = delete;
+
+ private:
+  SimulatedDisk* disk_;
+  bool previous_;
+};
+
+/// RAII helper for SimulatedDisk access scopes.
+class AccessScope {
+ public:
+  explicit AccessScope(SimulatedDisk* disk) : disk_(disk) {
+    owns_ = !disk_->in_access_scope();
+    if (owns_) disk_->BeginAccessScope();
+  }
+  ~AccessScope() {
+    if (owns_) disk_->EndAccessScope();
+  }
+  AccessScope(const AccessScope&) = delete;
+  AccessScope& operator=(const AccessScope&) = delete;
+
+ private:
+  SimulatedDisk* disk_;
+  bool owns_;
+};
+
+}  // namespace procsim::storage
+
+#endif  // PROCSIM_STORAGE_DISK_H_

@@ -1,0 +1,192 @@
+#include "storage/hash_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace procsim::storage {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::vector<uint8_t>& in, std::size_t* cursor, T* value) {
+  if (*cursor + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+// Fibonacci hashing of the key to a 64-bit value.
+uint64_t HashKey(int64_t key) {
+  return static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
+
+std::vector<uint8_t> HashIndex::Bucket::Serialize() const {
+  std::vector<uint8_t> out;
+  AppendPod<uint32_t>(&out, static_cast<uint32_t>(entries.size()));
+  for (const Entry& entry : entries) {
+    AppendPod(&out, entry.key);
+    AppendPod(&out, entry.rid.page_id);
+    AppendPod(&out, entry.rid.slot);
+  }
+  AppendPod(&out, overflow);
+  return out;
+}
+
+Result<HashIndex::Bucket> HashIndex::Bucket::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  Bucket bucket;
+  std::size_t cursor = 0;
+  uint32_t count = 0;
+  if (!ReadPod(bytes, &cursor, &count)) {
+    return Status::InvalidArgument("truncated hash bucket header");
+  }
+  bucket.entries.resize(count);
+  for (auto& entry : bucket.entries) {
+    if (!ReadPod(bytes, &cursor, &entry.key) ||
+        !ReadPod(bytes, &cursor, &entry.rid.page_id) ||
+        !ReadPod(bytes, &cursor, &entry.rid.slot)) {
+      return Status::InvalidArgument("truncated hash bucket entry");
+    }
+  }
+  if (!ReadPod(bytes, &cursor, &bucket.overflow)) {
+    return Status::InvalidArgument("truncated hash bucket link");
+  }
+  return bucket;
+}
+
+HashIndex::HashIndex(SimulatedDisk* disk, std::size_t expected_entries,
+                     uint32_t entry_bytes)
+    : disk_(disk) {
+  PROCSIM_CHECK(disk != nullptr);
+  PROCSIM_CHECK_GT(entry_bytes, 0u);
+  capacity_per_page_ = std::max(4u, disk->page_size() / entry_bytes);
+  // Target ~60% fill so overflow chains are rare.
+  const std::size_t target =
+      std::max<std::size_t>(1, (expected_entries * 10) /
+                                   (capacity_per_page_ * 6));
+  buckets_.reserve(target);
+  for (std::size_t i = 0; i < target; ++i) {
+    buckets_.push_back(AllocateBucket(Bucket{}));
+  }
+}
+
+std::size_t HashIndex::BucketIndexFor(int64_t key) const {
+  return static_cast<std::size_t>(HashKey(key) % buckets_.size());
+}
+
+Result<HashIndex::Bucket> HashIndex::LoadBucket(PageId page_id) const {
+  Result<Page*> page = disk_->ReadPage(page_id);
+  if (!page.ok()) return page.status();
+  Result<std::vector<uint8_t>> bytes = page.ValueOrDie()->Read(0);
+  if (!bytes.ok()) return bytes.status();
+  return Bucket::Deserialize(bytes.ValueOrDie());
+}
+
+Status HashIndex::StoreBucket(PageId page_id, const Bucket& bucket) {
+  Result<Page*> page = disk_->ReadPage(page_id);
+  if (!page.ok()) return page.status();
+  const std::vector<uint8_t> bytes = bucket.Serialize();
+  PROCSIM_RETURN_IF_ERROR(page.ValueOrDie()->Update(
+      0, bytes.data(), static_cast<uint32_t>(bytes.size())));
+  return disk_->MarkDirty(page_id);
+}
+
+PageId HashIndex::AllocateBucket(const Bucket& bucket) {
+  const PageId page_id = disk_->AllocatePage();
+  Result<Page*> page = disk_->ReadPage(page_id);
+  PROCSIM_CHECK(page.ok()) << page.status().ToString();
+  const std::vector<uint8_t> bytes = bucket.Serialize();
+  Result<uint16_t> slot = page.ValueOrDie()->Insert(
+      bytes.data(), static_cast<uint32_t>(bytes.size()));
+  PROCSIM_CHECK(slot.ok()) << slot.status().ToString();
+  PROCSIM_CHECK_EQ(slot.ValueOrDie(), 0);
+  Status dirty = disk_->MarkDirty(page_id);
+  PROCSIM_CHECK(dirty.ok()) << dirty.ToString();
+  return page_id;
+}
+
+Status HashIndex::Insert(int64_t key, RecordId rid) {
+  // First pass: scan the whole chain for a duplicate, remembering the first
+  // page with room (a delete may have freed space before a full page).
+  const PageId head = buckets_[BucketIndexFor(key)];
+  PageId target = kInvalidPageId;
+  PageId last = head;
+  for (PageId page_id = head; page_id != kInvalidPageId;) {
+    Result<Bucket> loaded = LoadBucket(page_id);
+    if (!loaded.ok()) return loaded.status();
+    const Bucket& bucket = loaded.ValueOrDie();
+    for (const Entry& entry : bucket.entries) {
+      if (entry.key == key && entry.rid == rid) {
+        return Status::AlreadyExists("duplicate hash index entry");
+      }
+    }
+    if (target == kInvalidPageId &&
+        bucket.entries.size() < capacity_per_page_) {
+      target = page_id;
+    }
+    last = page_id;
+    page_id = bucket.overflow;
+  }
+  if (target != kInvalidPageId) {
+    Result<Bucket> loaded = LoadBucket(target);
+    if (!loaded.ok()) return loaded.status();
+    Bucket bucket = loaded.TakeValueOrDie();
+    bucket.entries.push_back(Entry{key, rid});
+    ++entry_count_;
+    return StoreBucket(target, bucket);
+  }
+  // Every page in the chain is full: append a new overflow page.
+  Result<Bucket> loaded = LoadBucket(last);
+  if (!loaded.ok()) return loaded.status();
+  Bucket tail = loaded.TakeValueOrDie();
+  Bucket overflow;
+  overflow.entries.push_back(Entry{key, rid});
+  tail.overflow = AllocateBucket(overflow);
+  ++entry_count_;
+  return StoreBucket(last, tail);
+}
+
+Status HashIndex::Delete(int64_t key, RecordId rid) {
+  PageId page_id = buckets_[BucketIndexFor(key)];
+  while (page_id != kInvalidPageId) {
+    Result<Bucket> loaded = LoadBucket(page_id);
+    if (!loaded.ok()) return loaded.status();
+    Bucket bucket = loaded.TakeValueOrDie();
+    for (std::size_t i = 0; i < bucket.entries.size(); ++i) {
+      if (bucket.entries[i].key == key && bucket.entries[i].rid == rid) {
+        bucket.entries.erase(bucket.entries.begin() + i);
+        --entry_count_;
+        return StoreBucket(page_id, bucket);
+      }
+    }
+    page_id = bucket.overflow;
+  }
+  return Status::NotFound("hash index entry not found");
+}
+
+Result<std::vector<RecordId>> HashIndex::Search(int64_t key) const {
+  std::vector<RecordId> out;
+  PageId page_id = buckets_[BucketIndexFor(key)];
+  while (page_id != kInvalidPageId) {
+    Result<Bucket> loaded = LoadBucket(page_id);
+    if (!loaded.ok()) return loaded.status();
+    const Bucket& bucket = loaded.ValueOrDie();
+    for (const Entry& entry : bucket.entries) {
+      if (entry.key == key) out.push_back(entry.rid);
+    }
+    page_id = bucket.overflow;
+  }
+  return out;
+}
+
+}  // namespace procsim::storage

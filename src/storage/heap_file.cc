@@ -1,0 +1,80 @@
+#include "storage/heap_file.h"
+
+#include "util/logging.h"
+
+namespace procsim::storage {
+
+HeapFile::HeapFile(SimulatedDisk* disk) : disk_(disk) {
+  PROCSIM_CHECK(disk != nullptr);
+}
+
+Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
+  PROCSIM_CHECK(!record.empty());
+  if (!pages_.empty()) {
+    const PageId last = pages_.back();
+    Result<Page*> page = disk_->ReadPage(last);
+    if (!page.ok()) return page.status();
+    if (page.ValueOrDie()->Fits(static_cast<uint32_t>(record.size()))) {
+      Result<uint16_t> slot = page.ValueOrDie()->Insert(
+          record.data(), static_cast<uint32_t>(record.size()));
+      if (!slot.ok()) return slot.status();
+      PROCSIM_RETURN_IF_ERROR(disk_->MarkDirty(last));
+      ++record_count_;
+      return RecordId{last, slot.ValueOrDie()};
+    }
+  }
+  const PageId fresh = disk_->AllocatePage();
+  pages_.push_back(fresh);
+  Result<Page*> page = disk_->ReadPage(fresh);
+  if (!page.ok()) return page.status();
+  Result<uint16_t> slot = page.ValueOrDie()->Insert(
+      record.data(), static_cast<uint32_t>(record.size()));
+  if (!slot.ok()) return slot.status();
+  PROCSIM_RETURN_IF_ERROR(disk_->MarkDirty(fresh));
+  ++record_count_;
+  return RecordId{fresh, slot.ValueOrDie()};
+}
+
+Result<std::vector<uint8_t>> HeapFile::Read(RecordId rid) const {
+  Result<Page*> page = disk_->ReadPage(rid.page_id);
+  if (!page.ok()) return page.status();
+  return page.ValueOrDie()->Read(rid.slot);
+}
+
+Status HeapFile::Update(RecordId rid, const std::vector<uint8_t>& record) {
+  Result<Page*> page = disk_->ReadPage(rid.page_id);
+  if (!page.ok()) return page.status();
+  PROCSIM_RETURN_IF_ERROR(page.ValueOrDie()->Update(
+      rid.slot, record.data(), static_cast<uint32_t>(record.size())));
+  return disk_->MarkDirty(rid.page_id);
+}
+
+Status HeapFile::Delete(RecordId rid) {
+  Result<Page*> page = disk_->ReadPage(rid.page_id);
+  if (!page.ok()) return page.status();
+  PROCSIM_RETURN_IF_ERROR(page.ValueOrDie()->Delete(rid.slot));
+  PROCSIM_RETURN_IF_ERROR(disk_->MarkDirty(rid.page_id));
+  --record_count_;
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(RecordId, const std::vector<uint8_t>&)>& fn)
+    const {
+  for (PageId page_id : pages_) {
+    Result<Page*> page = disk_->ReadPage(page_id);
+    if (!page.ok()) return page.status();
+    const Page* p = page.ValueOrDie();
+    for (uint16_t slot = 0; slot < p->slot_count(); ++slot) {
+      if (!p->IsLive(slot)) continue;
+      Result<std::vector<uint8_t>> bytes = p->Read(slot);
+      if (!bytes.ok()) return bytes.status();
+      if (!fn(RecordId{page_id, slot}, bytes.ValueOrDie())) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace procsim::storage

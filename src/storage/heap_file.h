@@ -1,0 +1,56 @@
+#ifndef PROCSIM_STORAGE_HEAP_FILE_H_
+#define PROCSIM_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/disk.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace procsim::storage {
+
+/// \brief A heap file: an unordered collection of records spread over a set
+/// of pages on a SimulatedDisk.
+///
+/// Records are appended to the last page with room (append-order preserving,
+/// which the relational layer relies on to realize a *clustered* primary
+/// organization by bulk-loading in key order).  RecordIds are stable until
+/// the record is deleted.
+class HeapFile {
+ public:
+  explicit HeapFile(SimulatedDisk* disk);
+
+  /// Inserts a record, allocating a new page if needed.
+  Result<RecordId> Insert(const std::vector<uint8_t>& record);
+
+  /// Reads the record at `rid`.
+  Result<std::vector<uint8_t>> Read(RecordId rid) const;
+
+  /// Overwrites the record at `rid` in place.  Fails if the new payload no
+  /// longer fits on its page (fixed-width records never hit this).
+  Status Update(RecordId rid, const std::vector<uint8_t>& record);
+
+  /// Deletes the record at `rid`.
+  Status Delete(RecordId rid);
+
+  /// Calls `fn(rid, bytes)` for every live record in page/slot order;
+  /// charges one read per page.  Iteration stops early if `fn` returns
+  /// false.
+  Status Scan(
+      const std::function<bool(RecordId, const std::vector<uint8_t>&)>& fn)
+      const;
+
+  std::size_t record_count() const { return record_count_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+ private:
+  SimulatedDisk* disk_;
+  std::vector<PageId> pages_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace procsim::storage
+
+#endif  // PROCSIM_STORAGE_HEAP_FILE_H_

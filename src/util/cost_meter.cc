@@ -1,0 +1,15 @@
+#include "util/cost_meter.h"
+
+#include <sstream>
+
+namespace procsim {
+
+std::string CostMeter::ToString() const {
+  std::ostringstream out;
+  out << "CostMeter{total=" << total_ms_ << "ms reads=" << disk_reads_
+      << " writes=" << disk_writes_ << " screens=" << screens_
+      << " delta_ops=" << delta_ops_ << "}";
+  return out.str();
+}
+
+}  // namespace procsim

@@ -1,0 +1,81 @@
+#ifndef PROCSIM_UTIL_COST_METER_H_
+#define PROCSIM_UTIL_COST_METER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace procsim {
+
+/// \brief The paper's device/CPU cost constants (figure 2).
+///
+/// All costs are in milliseconds of 1987-vintage hardware time; the analysis
+/// and the simulator both charge these constants, so analytic predictions
+/// and simulated measurements are directly comparable.
+struct CostConstants {
+  /// CPU cost to screen one record against a predicate (C1).
+  double cpu_screen_ms = 1.0;
+  /// Cost of one disk page read or write (C2).
+  double disk_io_ms = 30.0;
+  /// Per-tuple per-transaction cost to maintain the AVM delta sets (C3).
+  double delta_maintenance_ms = 1.0;
+};
+
+/// \brief Accumulates simulated execution cost.
+///
+/// Every component of the execution engine (simulated disk, predicate
+/// evaluation, delta-set bookkeeping, invalidation recording) charges its
+/// work here.  Scoped counters allow attributing cost to a phase (e.g. "per
+/// update maintenance" vs "per query read").
+class CostMeter {
+ public:
+  CostMeter() = default;
+  explicit CostMeter(CostConstants constants) : constants_(constants) {}
+
+  const CostConstants& constants() const { return constants_; }
+
+  // -- charging -----------------------------------------------------------
+  void ChargeDiskRead(uint64_t pages = 1) {
+    disk_reads_ += pages;
+    total_ms_ += static_cast<double>(pages) * constants_.disk_io_ms;
+  }
+  void ChargeDiskWrite(uint64_t pages = 1) {
+    disk_writes_ += pages;
+    total_ms_ += static_cast<double>(pages) * constants_.disk_io_ms;
+  }
+  void ChargeScreen(uint64_t tuples = 1) {
+    screens_ += tuples;
+    total_ms_ += static_cast<double>(tuples) * constants_.cpu_screen_ms;
+  }
+  void ChargeDeltaMaintenance(uint64_t tuples = 1) {
+    delta_ops_ += tuples;
+    total_ms_ += static_cast<double>(tuples) * constants_.delta_maintenance_ms;
+  }
+  /// Arbitrary extra cost (e.g. the C_inval invalidation-recording cost).
+  void ChargeFixed(double ms) { total_ms_ += ms; }
+
+  // -- reading ------------------------------------------------------------
+  double total_ms() const { return total_ms_; }
+  uint64_t disk_reads() const { return disk_reads_; }
+  uint64_t disk_writes() const { return disk_writes_; }
+  uint64_t screens() const { return screens_; }
+  uint64_t delta_ops() const { return delta_ops_; }
+
+  void Reset() {
+    total_ms_ = 0;
+    disk_reads_ = disk_writes_ = screens_ = delta_ops_ = 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  CostConstants constants_;
+  double total_ms_ = 0;
+  uint64_t disk_reads_ = 0;
+  uint64_t disk_writes_ = 0;
+  uint64_t screens_ = 0;
+  uint64_t delta_ops_ = 0;
+};
+
+}  // namespace procsim
+
+#endif  // PROCSIM_UTIL_COST_METER_H_

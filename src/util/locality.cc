@@ -1,0 +1,29 @@
+#include "util/locality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace procsim {
+
+LocalityGenerator::LocalityGenerator(std::size_t n, double z) : n_(n), z_(z) {
+  PROCSIM_CHECK_GT(n, 0u);
+  PROCSIM_CHECK_GT(z, 0.0);
+  PROCSIM_CHECK_LE(z, 1.0);
+  hot_count_ = std::min<std::size_t>(
+      n_, std::max<std::size_t>(1, static_cast<std::size_t>(
+                                       std::llround(z * static_cast<double>(n)))));
+}
+
+std::size_t LocalityGenerator::NextReference(Rng* rng) const {
+  const std::size_t cold_count = n_ - hot_count_;
+  if (cold_count == 0) return rng->Uniform(n_);
+  // With probability (1 - z) reference the hot class, else the cold class.
+  if (rng->Bernoulli(1.0 - z_)) {
+    return rng->Uniform(hot_count_);
+  }
+  return hot_count_ + rng->Uniform(cold_count);
+}
+
+}  // namespace procsim

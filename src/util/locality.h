@@ -1,0 +1,46 @@
+#ifndef PROCSIM_UTIL_LOCALITY_H_
+#define PROCSIM_UTIL_LOCALITY_H_
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace procsim {
+
+/// \brief Two-class locality-of-reference generator from the paper (§4.2).
+///
+/// A fraction `z` of the n objects ("hot" objects) receives a fraction
+/// `1 - z` of all references; the remaining `1 - z` of objects receive the
+/// remaining fraction `z`.  With z = 0.2 this is the classic 80/20 rule;
+/// z = 0.5 is uniform; z = 0.05 is the paper's "high locality" setting.
+///
+/// Hot objects are the ids [0, ceil(z*n)); a reference first picks the class
+/// and then an object uniformly within the class, matching the paper's
+/// derivation of the inter-reference update counts X and Y.
+class LocalityGenerator {
+ public:
+  /// \param n    total number of objects (> 0)
+  /// \param z    locality skew in (0, 1]
+  LocalityGenerator(std::size_t n, double z);
+
+  /// Draws the id of the next referenced object in [0, n).
+  std::size_t NextReference(Rng* rng) const;
+
+  /// Number of objects in the frequently-referenced class.
+  std::size_t hot_count() const { return hot_count_; }
+
+  /// True if `id` belongs to the frequently-referenced class.
+  bool IsHot(std::size_t id) const { return id < hot_count_; }
+
+  std::size_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  std::size_t n_;
+  double z_;
+  std::size_t hot_count_;
+};
+
+}  // namespace procsim
+
+#endif  // PROCSIM_UTIL_LOCALITY_H_

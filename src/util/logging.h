@@ -1,0 +1,70 @@
+#ifndef PROCSIM_UTIL_LOGGING_H_
+#define PROCSIM_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Lightweight assertion / logging macros in the spirit of glog's CHECK
+// family.  A failed check prints the failing condition, the source location
+// and an optional streamed message, then aborts.  These are enabled in all
+// build types: this library is a research artifact and silent invariant
+// violations are worse than the (tiny) runtime cost of the checks.
+
+namespace procsim {
+namespace internal {
+
+// Accumulates a streamed message and aborts on destruction.  Used only by
+// the CHECK macros below; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Returns *this as an lvalue so the temporary binds in the CHECK macro.
+  FatalMessage& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Voidify allows the ternary in PROCSIM_CHECK to have type void in both
+// branches regardless of the streamed expression's type.
+struct Voidify {
+  void operator&(FatalMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace procsim
+
+#define PROCSIM_CHECK(condition)                                          \
+  (condition) ? (void)0                                                   \
+              : ::procsim::internal::Voidify() &                          \
+                    ::procsim::internal::FatalMessage(__FILE__, __LINE__,  \
+                                                      #condition)          \
+                        .self()
+
+#define PROCSIM_CHECK_EQ(a, b) PROCSIM_CHECK((a) == (b))
+#define PROCSIM_CHECK_NE(a, b) PROCSIM_CHECK((a) != (b))
+#define PROCSIM_CHECK_LT(a, b) PROCSIM_CHECK((a) < (b))
+#define PROCSIM_CHECK_LE(a, b) PROCSIM_CHECK((a) <= (b))
+#define PROCSIM_CHECK_GT(a, b) PROCSIM_CHECK((a) > (b))
+#define PROCSIM_CHECK_GE(a, b) PROCSIM_CHECK((a) >= (b))
+
+#endif  // PROCSIM_UTIL_LOGGING_H_

@@ -1,0 +1,40 @@
+#ifndef PROCSIM_UTIL_RNG_H_
+#define PROCSIM_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace procsim {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Used everywhere in the simulator so that workloads are reproducible from
+/// a seed.  Not cryptographically secure; excellent statistical quality and
+/// speed for simulation purposes.
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound).  `bound` must be > 0.  Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace procsim
+
+#endif  // PROCSIM_UTIL_RNG_H_

@@ -1,0 +1,42 @@
+#ifndef PROCSIM_UTIL_TABLE_PRINTER_H_
+#define PROCSIM_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace procsim {
+
+/// \brief Prints aligned text tables; used by every bench binary to emit the
+/// rows/series of the paper's figures.
+///
+/// Usage:
+///   TablePrinter t({"P", "AR", "CI", "AVM", "RVM"});
+///   t.AddRow({"0.1", "226", "45", "33", "35"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders the table with a separator line under the header.
+  void Print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision, trimming trailing zeros.
+  static std::string FormatDouble(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace procsim
+
+#endif  // PROCSIM_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,48 @@
+#include "util/yao.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace procsim {
+
+double CardenasApproximation(double m, double k) {
+  PROCSIM_CHECK_GT(m, 0.0);
+  PROCSIM_CHECK_GE(k, 0.0);
+  return m * (1.0 - std::pow(1.0 - 1.0 / m, k));
+}
+
+double YaoExact(long long n, long long m, long long k) {
+  PROCSIM_CHECK_GE(n, 0);
+  PROCSIM_CHECK_GE(m, 1);
+  PROCSIM_CHECK_GE(k, 0);
+  PROCSIM_CHECK_LE(k, n);
+  if (k == 0 || n == 0) return 0.0;
+  // Records per block; the classic derivation assumes n divisible by m but
+  // the formula is conventionally applied with p = n/m rounded down.
+  const long long p = std::max<long long>(1, n / m);
+  const long long remaining = n - p;  // records outside a given block
+  if (k > remaining) return static_cast<double>(m);  // every block is hit
+  // Probability a fixed block is untouched: C(n-p, k) / C(n, k)
+  //   = prod_{i=0}^{k-1} (n - p - i) / (n - i).
+  double prob_untouched = 1.0;
+  for (long long i = 0; i < k; ++i) {
+    prob_untouched *= static_cast<double>(remaining - i) /
+                      static_cast<double>(n - i);
+  }
+  return static_cast<double>(m) * (1.0 - prob_untouched);
+}
+
+double YaoEstimate(double n, double m, double k) {
+  PROCSIM_CHECK_GE(n, 0.0);
+  PROCSIM_CHECK_GE(m, 0.0);
+  PROCSIM_CHECK_GE(k, 0.0);
+  constexpr double kSmallFileBound = 2.0;  // "U" in Appendix A
+  if (k <= 1.0) return k;
+  if (m < 1.0) return 1.0;
+  if (m < kSmallFileBound) return std::min(k, m);
+  return CardenasApproximation(m, k);
+}
+
+}  // namespace procsim

@@ -1,0 +1,37 @@
+#ifndef PROCSIM_UTIL_YAO_H_
+#define PROCSIM_UTIL_YAO_H_
+
+namespace procsim {
+
+/// \brief Cardenas' approximation to the expected number of pages touched
+/// when k records are accessed at random in a file of m pages:
+/// `m * (1 - (1 - 1/m)^k)` [Car75].
+///
+/// Accurate when the blocking factor n/m is large and m is not close to 1.
+double CardenasApproximation(double m, double k);
+
+/// \brief Exact Yao function `y(n, m, k)` [Yao77]: the expected number of
+/// blocks accessed when k distinct records are selected uniformly without
+/// replacement from a file of n records spread evenly over m blocks.
+///
+/// Computed as m * (1 - C(n - n/m, k) / C(n, k)) using a numerically stable
+/// product form.  Requires integral n, m, k with 0 <= k <= n and m >= 1.
+double YaoExact(long long n, long long m, long long k);
+
+/// \brief The paper's piecewise page-touch estimate (Appendix A).
+///
+/// The paper treats n, m, k as real-valued expectations (e.g. the expected
+/// number of modified tuples matching a predicate may be 0.05), so the
+/// function is defined for fractional arguments:
+///
+///  - if k <= 1:              return k (a sub-unit expected access count
+///                            touches that expected fraction of one page);
+///  - else if m < 1:          return 1 (any stored object occupies at least
+///                            one page);
+///  - else if m < U (U = 2):  return min(k, m);
+///  - otherwise:              Cardenas' approximation.
+double YaoEstimate(double n, double m, double k);
+
+}  // namespace procsim
+
+#endif  // PROCSIM_UTIL_YAO_H_

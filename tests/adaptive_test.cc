@@ -1,0 +1,163 @@
+#include "proc/update_cache_adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "sim/simulator.h"
+
+namespace procsim::proc {
+namespace {
+
+using rel::Conjunction;
+using rel::Tuple;
+using rel::Value;
+
+std::vector<std::string> Canon(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> out;
+  for (const Tuple& t : tuples) out.push_back(t.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  AdaptiveTest()
+      : disk_(4000, &meter_), catalog_(&disk_), executor_(&catalog_, &meter_) {
+    rel::Relation::Options options;
+    options.tuple_width_bytes = 100;
+    options.btree_column = 0;
+    table_ = catalog_
+                 .CreateRelation("R1",
+                                 rel::Schema({{"key", rel::ValueType::kInt64},
+                                              {"v", rel::ValueType::kInt64}}),
+                                 options)
+                 .ValueOrDie();
+    for (int64_t i = 0; i < 60; ++i) {
+      rids_.push_back(
+          table_->Insert(Tuple({Value(i), Value(i)})).ValueOrDie());
+    }
+  }
+
+  DatabaseProcedure Proc(ProcId id, int64_t lo, int64_t hi) {
+    DatabaseProcedure procedure;
+    procedure.id = id;
+    procedure.name = "P" + std::to_string(id);
+    procedure.query.base = rel::BaseSelection{"R1", lo, hi, Conjunction{}};
+    return procedure;
+  }
+
+  void UpdateTuple(Strategy* strategy, std::size_t index, int64_t new_key) {
+    const Tuple new_tuple({Value(new_key), Value(int64_t{0})});
+    Tuple old_tuple;
+    {
+      storage::MeteringGuard guard(&disk_);
+      old_tuple = table_->Read(rids_[index]).ValueOrDie();
+      ASSERT_TRUE(table_->UpdateInPlace(rids_[index], new_tuple).ok());
+    }
+    strategy->OnDelete("R1", old_tuple);
+    strategy->OnInsert("R1", new_tuple);
+  }
+
+  CostMeter meter_;
+  storage::SimulatedDisk disk_;
+  rel::Catalog catalog_;
+  rel::Executor executor_;
+  rel::Relation* table_ = nullptr;
+  std::vector<storage::RecordId> rids_;
+};
+
+TEST_F(AdaptiveTest, SmallDeltaIsPatched) {
+  UpdateCacheAdaptiveStrategy strategy(&catalog_, &executor_, &meter_, 100,
+                                       /*patch_fraction=*/0.25);
+  ASSERT_TRUE(strategy.AddProcedure(Proc(0, 0, 39)).ok());  // 40-tuple view
+  ASSERT_TRUE(strategy.Prepare().ok());
+  UpdateTuple(&strategy, 5, 100);  // 1 delta tuple vs 40 -> patch
+  ASSERT_TRUE(strategy.OnTransactionEnd().ok());
+  EXPECT_EQ(strategy.patch_count(), 1u);
+  EXPECT_EQ(strategy.invalidate_count(), 0u);
+  EXPECT_TRUE(strategy.IsValid(0));
+  EXPECT_EQ(strategy.Access(0).ValueOrDie().size(), 39u);
+}
+
+TEST_F(AdaptiveTest, LargeDeltaInvalidates) {
+  UpdateCacheAdaptiveStrategy strategy(&catalog_, &executor_, &meter_, 100,
+                                       /*patch_fraction=*/0.25);
+  ASSERT_TRUE(strategy.AddProcedure(Proc(0, 0, 19)).ok());  // 20-tuple view
+  ASSERT_TRUE(strategy.Prepare().ok());
+  // One transaction rewrites 8 in-range tuples: 8 deletes + ~inserts > 25%.
+  for (std::size_t i = 0; i < 8; ++i) {
+    UpdateTuple(&strategy, i, 200 + static_cast<int64_t>(i));
+  }
+  ASSERT_TRUE(strategy.OnTransactionEnd().ok());
+  EXPECT_EQ(strategy.invalidate_count(), 1u);
+  EXPECT_FALSE(strategy.IsValid(0));
+  // Next access recomputes, refreshes, revalidates.
+  EXPECT_EQ(strategy.Access(0).ValueOrDie().size(), 12u);
+  EXPECT_TRUE(strategy.IsValid(0));
+}
+
+TEST_F(AdaptiveTest, ZeroFractionDegeneratesToCacheInvalidate) {
+  UpdateCacheAdaptiveStrategy strategy(&catalog_, &executor_, &meter_, 100,
+                                       /*patch_fraction=*/0.0);
+  ASSERT_TRUE(strategy.AddProcedure(Proc(0, 0, 39)).ok());
+  ASSERT_TRUE(strategy.Prepare().ok());
+  UpdateTuple(&strategy, 3, 100);
+  ASSERT_TRUE(strategy.OnTransactionEnd().ok());
+  EXPECT_EQ(strategy.patch_count(), 0u);
+  EXPECT_EQ(strategy.invalidate_count(), 1u);
+}
+
+TEST_F(AdaptiveTest, UpdatesWhileInvalidAreAbsorbedByRecompute) {
+  UpdateCacheAdaptiveStrategy strategy(&catalog_, &executor_, &meter_, 100,
+                                       /*patch_fraction=*/0.0);
+  ASSERT_TRUE(strategy.AddProcedure(Proc(0, 0, 39)).ok());
+  ASSERT_TRUE(strategy.Prepare().ok());
+  UpdateTuple(&strategy, 3, 100);
+  ASSERT_TRUE(strategy.OnTransactionEnd().ok());
+  // More updates while invalid: no delta tracking, no extra invalidations.
+  UpdateTuple(&strategy, 4, 101);
+  UpdateTuple(&strategy, 5, 102);
+  ASSERT_TRUE(strategy.OnTransactionEnd().ok());
+  EXPECT_EQ(strategy.invalidate_count(), 1u);
+  // The recompute reflects all three updates.
+  storage::MeteringGuard guard(&disk_);
+  EXPECT_EQ(Canon(strategy.Access(0).ValueOrDie()),
+            Canon(executor_.Execute(strategy.procedures()[0].query)
+                      .ValueOrDie()));
+}
+
+// Full-workload equivalence via the simulator.
+class AdaptiveSimTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptiveSimTest, MatchesRecomputationUnderWorkload) {
+  sim::Simulator::Options options;
+  options.params.N = 2000;
+  options.params.N1 = 10;
+  options.params.N2 = 10;
+  options.params.k = 20;
+  options.params.q = 20;
+  options.params.l = 5;
+  options.params.f = 0.01;
+  options.params.f2 = 0.2;
+  options.seed = 17;
+  options.verify_results = true;
+  const double fraction = GetParam();
+  Result<sim::SimulationResult> result = sim::Simulator::RunWithFactory(
+      [&](sim::Database* db) {
+        return std::make_unique<UpdateCacheAdaptiveStrategy>(
+            db->catalog.get(), db->executor.get(), &db->meter,
+            static_cast<std::size_t>(options.params.S), fraction);
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().verification_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PatchFractions, AdaptiveSimTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0, 100.0));
+
+}  // namespace
+}  // namespace procsim::proc

@@ -1,0 +1,227 @@
+#include "ivm/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "util/rng.h"
+
+namespace procsim::ivm {
+namespace {
+
+using rel::Conjunction;
+using rel::ProcedureQuery;
+using rel::Tuple;
+using rel::Value;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest()
+      : disk_(4000, &meter_), catalog_(&disk_), executor_(&catalog_, &meter_) {
+    rel::Relation::Options options;
+    options.tuple_width_bytes = 100;
+    options.btree_column = 0;
+    table_ = catalog_
+                 .CreateRelation(
+                     "SALES",
+                     rel::Schema({{"id", rel::ValueType::kInt64},
+                                  {"region", rel::ValueType::kInt64},
+                                  {"amount", rel::ValueType::kInt64}}),
+                     options)
+                 .ValueOrDie();
+    // 30 rows over 3 regions, amount = 10 * id.
+    for (int64_t i = 0; i < 30; ++i) {
+      rids_.push_back(
+          table_->Insert(Tuple({Value(i), Value(i % 3), Value(i * 10)}))
+              .ValueOrDie());
+    }
+  }
+
+  ProcedureQuery AllRows() {
+    ProcedureQuery query;
+    query.base = rel::BaseSelection{"SALES", 0, 1000, Conjunction{}};
+    return query;
+  }
+
+  // Recomputes the expected aggregate naively from the base table.
+  double Naive(AggregateFunction fn, int64_t group) {
+    double sum = 0;
+    double best = 0;
+    std::size_t count = 0;
+    bool first = true;
+    (void)table_->Scan([&](storage::RecordId, const Tuple& row) {
+      if (row.value(1).AsInt64() != group) return true;
+      const double amount = static_cast<double>(row.value(2).AsInt64());
+      sum += amount;
+      ++count;
+      if (first || (fn == AggregateFunction::kMin && amount < best) ||
+          (fn == AggregateFunction::kMax && amount > best)) {
+        best = amount;
+        first = false;
+      }
+      return true;
+    });
+    switch (fn) {
+      case AggregateFunction::kCount:
+        return static_cast<double>(count);
+      case AggregateFunction::kSum:
+        return sum;
+      case AggregateFunction::kAvg:
+        return count > 0 ? sum / count : 0;
+      default:
+        return best;
+    }
+  }
+
+  CostMeter meter_;
+  storage::SimulatedDisk disk_;
+  rel::Catalog catalog_;
+  rel::Executor executor_;
+  rel::Relation* table_ = nullptr;
+  std::vector<storage::RecordId> rids_;
+};
+
+TEST_F(AggregateTest, UngroupedCount) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kCount;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+  const auto rows = view.Read();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 30.0);
+}
+
+TEST_F(AggregateTest, GroupedSumMatchesNaive) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kSum;
+  spec.value_column = 2;
+  spec.group_by = 1;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+  const auto rows = view.Read();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const AggregateRow& row : rows) {
+    EXPECT_DOUBLE_EQ(row.value, Naive(AggregateFunction::kSum, row.group));
+  }
+}
+
+TEST_F(AggregateTest, DeltaMaintainsSumAndAvg) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kAvg;
+  spec.value_column = 2;
+  spec.group_by = 1;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+
+  // Row 6 (region 0, amount 60) becomes region 1, amount 500.
+  const Tuple old_row = table_->Read(rids_[6]).ValueOrDie();
+  const Tuple new_row({Value(int64_t{6}), Value(int64_t{1}),
+                       Value(int64_t{500})});
+  ASSERT_TRUE(table_->UpdateInPlace(rids_[6], new_row).ok());
+  ASSERT_TRUE(view.ApplyOutputDelta({new_row}, {old_row}).ok());
+
+  for (const AggregateRow& row : view.Read()) {
+    EXPECT_DOUBLE_EQ(row.value, Naive(AggregateFunction::kAvg, row.group))
+        << "group " << row.group;
+  }
+}
+
+TEST_F(AggregateTest, MinSurvivesExtremumDelete) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kMin;
+  spec.value_column = 2;
+  spec.group_by = 1;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+
+  // Region 0's minimum is row 0 (amount 0); delete it.
+  const Tuple old_row = table_->Read(rids_[0]).ValueOrDie();
+  ASSERT_TRUE(table_->Delete(rids_[0]).ok());
+  ASSERT_TRUE(view.ApplyOutputDelta({}, {old_row}).ok());
+  for (const AggregateRow& row : view.Read()) {
+    if (row.group == 0) {
+      EXPECT_DOUBLE_EQ(row.value, 30.0);  // next row in region 0 is id 3
+    }
+  }
+}
+
+TEST_F(AggregateTest, MaxTracksInsertions) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kMax;
+  spec.value_column = 2;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+  EXPECT_DOUBLE_EQ(view.Read()[0].value, 290.0);
+  const Tuple big({Value(int64_t{100}), Value(int64_t{0}),
+                   Value(int64_t{9999})});
+  ASSERT_TRUE(table_->Insert(big).ok());
+  ASSERT_TRUE(view.ApplyOutputDelta({big}, {}).ok());
+  EXPECT_DOUBLE_EQ(view.Read()[0].value, 9999.0);
+}
+
+TEST_F(AggregateTest, EmptyGroupDisappears) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kCount;
+  spec.group_by = 1;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+  EXPECT_EQ(view.Read().size(), 3u);
+  // Delete every region-2 row.
+  for (int64_t i = 2; i < 30; i += 3) {
+    const Tuple row = table_->Read(rids_[i]).ValueOrDie();
+    ASSERT_TRUE(table_->Delete(rids_[i]).ok());
+    ASSERT_TRUE(view.ApplyOutputDelta({}, {row}).ok());
+  }
+  EXPECT_EQ(view.Read().size(), 2u);
+}
+
+TEST_F(AggregateTest, DeleteFromEmptyGroupIsInternalError) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kCount;
+  spec.group_by = 1;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+  const Tuple phantom({Value(int64_t{999}), Value(int64_t{77}),
+                       Value(int64_t{1})});
+  EXPECT_EQ(view.ApplyOutputDelta({}, {phantom}).code(),
+            StatusCode::kInternal);
+}
+
+TEST_F(AggregateTest, RandomStreamMatchesNaive) {
+  AggregateSpec spec;
+  spec.function = AggregateFunction::kSum;
+  spec.value_column = 2;
+  spec.group_by = 1;
+  AggregateViewMaintainer view(AllRows(), spec, &executor_);
+  ASSERT_TRUE(view.Initialize().ok());
+  Rng rng(13);
+  for (int step = 0; step < 150; ++step) {
+    const std::size_t pick = rng.Uniform(rids_.size());
+    const Tuple old_row = table_->Read(rids_[pick]).ValueOrDie();
+    const Tuple new_row({old_row.value(0),
+                         Value(static_cast<int64_t>(rng.Uniform(3))),
+                         Value(static_cast<int64_t>(rng.Uniform(1000)))});
+    ASSERT_TRUE(table_->UpdateInPlace(rids_[pick], new_row).ok());
+    ASSERT_TRUE(view.ApplyOutputDelta({new_row}, {old_row}).ok());
+    if (step % 30 == 29) {
+      for (const AggregateRow& row : view.Read()) {
+        EXPECT_DOUBLE_EQ(row.value,
+                         Naive(AggregateFunction::kSum, row.group))
+            << "group " << row.group << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(AggregateFunctionNameTest, AllNamed) {
+  EXPECT_EQ(AggregateFunctionName(AggregateFunction::kCount), "COUNT");
+  EXPECT_EQ(AggregateFunctionName(AggregateFunction::kSum), "SUM");
+  EXPECT_EQ(AggregateFunctionName(AggregateFunction::kMin), "MIN");
+  EXPECT_EQ(AggregateFunctionName(AggregateFunction::kMax), "MAX");
+  EXPECT_EQ(AggregateFunctionName(AggregateFunction::kAvg), "AVG");
+}
+
+}  // namespace
+}  // namespace procsim::ivm

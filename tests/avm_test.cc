@@ -1,0 +1,177 @@
+#include "ivm/avm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "util/rng.h"
+
+namespace procsim::ivm {
+namespace {
+
+using rel::Conjunction;
+using rel::JoinStage;
+using rel::PredicateTerm;
+using rel::ProcedureQuery;
+using rel::Tuple;
+using rel::Value;
+
+std::vector<std::string> Canon(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> out;
+  for (const Tuple& t : tuples) out.push_back(t.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class AvmTest : public ::testing::Test {
+ protected:
+  AvmTest()
+      : disk_(4000, &meter_), catalog_(&disk_), executor_(&catalog_, &meter_) {
+    rel::Relation::Options base_options;
+    base_options.tuple_width_bytes = 100;
+    base_options.btree_column = 0;
+    base_ = catalog_
+                .CreateRelation(
+                    "A",
+                    rel::Schema({{"key", rel::ValueType::kInt64},
+                                 {"join", rel::ValueType::kInt64}}),
+                    base_options)
+                .ValueOrDie();
+    rel::Relation::Options inner_options;
+    inner_options.tuple_width_bytes = 100;
+    inner_options.hash_column = 0;
+    inner_ = catalog_
+                 .CreateRelation(
+                     "B",
+                     rel::Schema({{"id", rel::ValueType::kInt64},
+                                  {"val", rel::ValueType::kInt64}}),
+                     inner_options)
+                 .ValueOrDie();
+    for (int64_t i = 0; i < 60; ++i) {
+      rids_.push_back(
+          base_->Insert(Tuple({Value(i), Value(i % 6)})).ValueOrDie());
+    }
+    for (int64_t i = 0; i < 6; ++i) {
+      (void)inner_->Insert(Tuple({Value(i), Value(i * 100)}));
+    }
+  }
+
+  ProcedureQuery JoinQuery(int64_t lo, int64_t hi) {
+    ProcedureQuery query;
+    query.base = rel::BaseSelection{"A", lo, hi, Conjunction{}};
+    JoinStage stage;
+    stage.relation = "B";
+    stage.probe_column = 1;
+    query.joins.push_back(stage);
+    return query;
+  }
+
+  std::vector<Tuple> Recompute(const ProcedureQuery& query) {
+    return executor_.Execute(query).ValueOrDie();
+  }
+
+  CostMeter meter_;
+  storage::SimulatedDisk disk_;
+  rel::Catalog catalog_;
+  rel::Executor executor_;
+  rel::Relation* base_ = nullptr;
+  rel::Relation* inner_ = nullptr;
+  std::vector<storage::RecordId> rids_;
+};
+
+TEST_F(AvmTest, InitializeMaterializesFullResult) {
+  AvmViewMaintainer view(JoinQuery(10, 29), &executor_, &disk_, 100);
+  ASSERT_TRUE(view.Initialize().ok());
+  EXPECT_EQ(Canon(view.Read().ValueOrDie()),
+            Canon(Recompute(JoinQuery(10, 29))));
+  EXPECT_EQ(view.store().size(), 20u);
+}
+
+TEST_F(AvmTest, ApplyBaseDeltaTracksInsertAndDelete) {
+  const ProcedureQuery query = JoinQuery(0, 59);
+  AvmViewMaintainer view(query, &executor_, &disk_, 100);
+  ASSERT_TRUE(view.Initialize().ok());
+
+  // Modify tuple 7 in place: key 7 -> 7 (unchanged range), join 1 -> 3.
+  const Tuple old_tuple = base_->Read(rids_[7]).ValueOrDie();
+  const Tuple new_tuple({Value(int64_t{7}), Value(int64_t{3})});
+  ASSERT_TRUE(base_->UpdateInPlace(rids_[7], new_tuple).ok());
+
+  DeltaSet delta;
+  delta.AddDelete(old_tuple);
+  delta.AddInsert(new_tuple);
+  ASSERT_TRUE(view.ApplyBaseDelta(delta).ok());
+  EXPECT_EQ(Canon(view.Read().ValueOrDie()), Canon(Recompute(query)));
+}
+
+TEST_F(AvmTest, DeltaLeavingTheViewShrinksIt) {
+  const ProcedureQuery query = JoinQuery(0, 9);
+  AvmViewMaintainer view(query, &executor_, &disk_, 100);
+  ASSERT_TRUE(view.Initialize().ok());
+  EXPECT_EQ(view.store().size(), 10u);
+
+  // Move key 5 out of the selection range.
+  const Tuple old_tuple = base_->Read(rids_[5]).ValueOrDie();
+  const Tuple new_tuple({Value(int64_t{40}), Value(int64_t{5})});
+  ASSERT_TRUE(base_->UpdateInPlace(rids_[5], new_tuple).ok());
+
+  DeltaSet delta;
+  delta.AddDelete(old_tuple);  // old value was in range; new one is not
+  ASSERT_TRUE(view.ApplyBaseDelta(delta).ok());
+  EXPECT_EQ(view.store().size(), 9u);
+  EXPECT_EQ(Canon(view.Read().ValueOrDie()), Canon(Recompute(query)));
+}
+
+TEST_F(AvmTest, EmptyDeltaIsFreeNoop) {
+  AvmViewMaintainer view(JoinQuery(0, 9), &executor_, &disk_, 100);
+  ASSERT_TRUE(view.Initialize().ok());
+  meter_.Reset();
+  ASSERT_TRUE(view.ApplyBaseDelta(DeltaSet{}).ok());
+  EXPECT_DOUBLE_EQ(meter_.total_ms(), 0.0);
+}
+
+TEST_F(AvmTest, RandomUpdateStreamStaysConsistent) {
+  const ProcedureQuery query = JoinQuery(15, 44);
+  AvmViewMaintainer view(query, &executor_, &disk_, 100);
+  ASSERT_TRUE(view.Initialize().ok());
+  Rng rng(5);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t pick = rng.Uniform(rids_.size());
+    const Tuple old_tuple = base_->Read(rids_[pick]).ValueOrDie();
+    const Tuple new_tuple({Value(static_cast<int64_t>(rng.Uniform(60))),
+                           Value(static_cast<int64_t>(rng.Uniform(6)))});
+    ASSERT_TRUE(base_->UpdateInPlace(rids_[pick], new_tuple).ok());
+    DeltaSet delta;
+    if (old_tuple.value(0).AsInt64() >= 15 &&
+        old_tuple.value(0).AsInt64() <= 44) {
+      delta.AddDelete(old_tuple);
+    }
+    if (new_tuple.value(0).AsInt64() >= 15 &&
+        new_tuple.value(0).AsInt64() <= 44) {
+      delta.AddInsert(new_tuple);
+    }
+    ASSERT_TRUE(view.ApplyBaseDelta(delta).ok());
+    if (step % 25 == 24) {
+      ASSERT_EQ(Canon(view.Read().ValueOrDie()), Canon(Recompute(query)))
+          << "diverged at step " << step;
+    }
+  }
+}
+
+TEST_F(AvmTest, SelectionOnlyViewWorks) {
+  ProcedureQuery query;
+  query.base = rel::BaseSelection{"A", 20, 39, Conjunction{}};
+  AvmViewMaintainer view(query, &executor_, &disk_, 100);
+  ASSERT_TRUE(view.Initialize().ok());
+  EXPECT_EQ(view.store().size(), 20u);
+  const Tuple old_tuple = base_->Read(rids_[25]).ValueOrDie();
+  DeltaSet delta;
+  delta.AddDelete(old_tuple);
+  ASSERT_TRUE(view.ApplyBaseDelta(delta).ok());
+  EXPECT_EQ(view.store().size(), 19u);
+}
+
+}  // namespace
+}  // namespace procsim::ivm

@@ -1,0 +1,121 @@
+#include "proc/invalidation_log.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace procsim::proc {
+namespace {
+
+TEST(InvalidationLogTest, StartsAllValid) {
+  InvalidationLog log(4);
+  for (ProcId id = 0; id < 4; ++id) EXPECT_TRUE(log.IsValid(id));
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(InvalidationLogTest, TransitionsAreLogged) {
+  InvalidationLog log(4);
+  ASSERT_TRUE(log.MarkInvalid(2).ok());
+  EXPECT_FALSE(log.IsValid(2));
+  ASSERT_TRUE(log.MarkValid(2).ok());
+  EXPECT_TRUE(log.IsValid(2));
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].kind, InvalidationLog::Record::Kind::kInvalidate);
+  EXPECT_EQ(log.records()[1].kind, InvalidationLog::Record::Kind::kValidate);
+  EXPECT_LT(log.records()[0].lsn, log.records()[1].lsn);
+}
+
+TEST(InvalidationLogTest, IdempotentTransitionsWriteNoRecords) {
+  InvalidationLog log(2);
+  ASSERT_TRUE(log.MarkValid(0).ok());    // already valid
+  ASSERT_TRUE(log.MarkInvalid(1).ok());
+  ASSERT_TRUE(log.MarkInvalid(1).ok());  // already invalid
+  EXPECT_EQ(log.records().size(), 1u);
+}
+
+TEST(InvalidationLogTest, OutOfRangeIdsRejected) {
+  InvalidationLog log(2);
+  EXPECT_FALSE(log.MarkInvalid(5).ok());
+  EXPECT_FALSE(log.MarkValid(5).ok());
+}
+
+TEST(InvalidationLogTest, RecoverFromCheckpointPlusSuffix) {
+  InvalidationLog log(4);
+  ASSERT_TRUE(log.MarkInvalid(0).ok());
+  const InvalidationLog::Checkpoint checkpoint = log.TakeCheckpoint();
+  ASSERT_TRUE(log.MarkInvalid(1).ok());
+  ASSERT_TRUE(log.MarkValid(0).ok());
+
+  log.Crash();
+  Result<std::vector<bool>> recovered = log.Recover(checkpoint);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_TRUE(log.ResetFrom(recovered.TakeValueOrDie()).ok());
+  EXPECT_TRUE(log.IsValid(0));   // re-validated after checkpoint
+  EXPECT_FALSE(log.IsValid(1));  // invalidated after checkpoint
+  EXPECT_TRUE(log.IsValid(2));
+  EXPECT_TRUE(log.IsValid(3));
+}
+
+TEST(InvalidationLogTest, TruncationPreservesRecoverability) {
+  InvalidationLog log(3);
+  ASSERT_TRUE(log.MarkInvalid(0).ok());
+  const InvalidationLog::Checkpoint checkpoint = log.TakeCheckpoint();
+  log.TruncateThrough(checkpoint);
+  EXPECT_TRUE(log.records().empty());
+  ASSERT_TRUE(log.MarkInvalid(1).ok());
+  log.Crash();
+  Result<std::vector<bool>> recovered = log.Recover(checkpoint);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered.ValueOrDie()[0]);
+  EXPECT_FALSE(recovered.ValueOrDie()[1]);
+  EXPECT_TRUE(recovered.ValueOrDie()[2]);
+}
+
+TEST(InvalidationLogTest, OperationsAfterCrashFailUntilReset) {
+  InvalidationLog log(2);
+  const auto checkpoint = log.TakeCheckpoint();
+  log.Crash();
+  EXPECT_FALSE(log.MarkInvalid(0).ok());
+  ASSERT_TRUE(log.ResetFrom(log.Recover(checkpoint).TakeValueOrDie()).ok());
+  EXPECT_TRUE(log.MarkInvalid(0).ok());
+}
+
+// Property: random transition streams with random crash/checkpoint points
+// always recover the pre-crash state.
+class InvalidationLogPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(InvalidationLogPropertyTest, RecoveryMatchesLiveState) {
+  Rng rng(GetParam());
+  constexpr std::size_t kProcedures = 16;
+  InvalidationLog log(kProcedures);
+  InvalidationLog::Checkpoint checkpoint = log.TakeCheckpoint();
+  std::vector<bool> shadow(kProcedures, true);
+  for (int step = 0; step < 500; ++step) {
+    const ProcId id = rng.Uniform(kProcedures);
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(log.MarkInvalid(id).ok());
+      shadow[id] = false;
+    } else {
+      ASSERT_TRUE(log.MarkValid(id).ok());
+      shadow[id] = true;
+    }
+    if (rng.Bernoulli(0.05)) {
+      checkpoint = log.TakeCheckpoint();
+      if (rng.Bernoulli(0.5)) log.TruncateThrough(checkpoint);
+    }
+    if (rng.Bernoulli(0.03)) {
+      log.Crash();
+      Result<std::vector<bool>> recovered = log.Recover(checkpoint);
+      ASSERT_TRUE(recovered.ok());
+      EXPECT_EQ(recovered.ValueOrDie(), shadow) << "step " << step;
+      ASSERT_TRUE(log.ResetFrom(recovered.TakeValueOrDie()).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvalidationLogPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace procsim::proc

@@ -1,0 +1,81 @@
+#include "relational/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace procsim::rel {
+namespace {
+
+Tuple Row(int64_t a, int64_t b) {
+  return Tuple({Value(a), Value(b)});
+}
+
+TEST(EvalCompareTest, AllSixOperators) {
+  const Value two(int64_t{2});
+  const Value three(int64_t{3});
+  EXPECT_TRUE(EvalCompare(two, CompareOp::kLt, three));
+  EXPECT_FALSE(EvalCompare(three, CompareOp::kLt, two));
+  EXPECT_TRUE(EvalCompare(three, CompareOp::kGt, two));
+  EXPECT_TRUE(EvalCompare(two, CompareOp::kLe, two));
+  EXPECT_TRUE(EvalCompare(two, CompareOp::kGe, two));
+  EXPECT_TRUE(EvalCompare(two, CompareOp::kEq, two));
+  EXPECT_FALSE(EvalCompare(two, CompareOp::kEq, three));
+  EXPECT_TRUE(EvalCompare(two, CompareOp::kNe, three));
+}
+
+TEST(PredicateTermTest, MatchesAgainstColumn) {
+  PredicateTerm term{1, CompareOp::kGe, Value(int64_t{10})};
+  EXPECT_TRUE(term.Matches(Row(0, 10)));
+  EXPECT_TRUE(term.Matches(Row(0, 11)));
+  EXPECT_FALSE(term.Matches(Row(0, 9)));
+}
+
+TEST(PredicateTermTest, HashDiscriminatesStructure) {
+  PredicateTerm a{0, CompareOp::kEq, Value(int64_t{1})};
+  PredicateTerm b{0, CompareOp::kEq, Value(int64_t{1})};
+  PredicateTerm c{0, CompareOp::kNe, Value(int64_t{1})};
+  PredicateTerm d{1, CompareOp::kEq, Value(int64_t{1})};
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_NE(a.Hash(), d.Hash());
+}
+
+TEST(ConjunctionTest, EmptyMatchesEverything) {
+  Conjunction empty;
+  EXPECT_TRUE(empty.Matches(Row(1, 2)));
+  EXPECT_EQ(empty.ToString(), "true");
+}
+
+TEST(ConjunctionTest, AllTermsMustHold) {
+  Conjunction both({PredicateTerm{0, CompareOp::kGe, Value(int64_t{5})},
+                    PredicateTerm{1, CompareOp::kLt, Value(int64_t{10})}});
+  EXPECT_TRUE(both.Matches(Row(5, 9)));
+  EXPECT_FALSE(both.Matches(Row(4, 9)));
+  EXPECT_FALSE(both.Matches(Row(5, 10)));
+}
+
+TEST(ConjunctionTest, ScreenCountingShortCircuits) {
+  Conjunction both({PredicateTerm{0, CompareOp::kGe, Value(int64_t{5})},
+                    PredicateTerm{1, CompareOp::kLt, Value(int64_t{10})}});
+  std::size_t screens = 0;
+  EXPECT_FALSE(both.Matches(Row(0, 0), &screens));
+  EXPECT_EQ(screens, 1u);  // first term fails, second never evaluated
+  screens = 0;
+  EXPECT_TRUE(both.Matches(Row(5, 0), &screens));
+  EXPECT_EQ(screens, 2u);
+}
+
+TEST(ConjunctionTest, ToStringWithSchema) {
+  Schema schema({Column{"age", ValueType::kInt64},
+                 Column{"dept", ValueType::kInt64}});
+  Conjunction c({PredicateTerm{0, CompareOp::kGt, Value(int64_t{30})}});
+  EXPECT_EQ(c.ToString(&schema), "age > 30");
+}
+
+TEST(JoinConditionTest, MatchesAcrossTuples) {
+  JoinCondition join{1, CompareOp::kEq, 0};
+  EXPECT_TRUE(join.Matches(Row(0, 7), Row(7, 0)));
+  EXPECT_FALSE(join.Matches(Row(0, 7), Row(8, 0)));
+}
+
+}  // namespace
+}  // namespace procsim::rel

@@ -1,0 +1,404 @@
+#include "rete/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "util/rng.h"
+
+namespace procsim::rete {
+namespace {
+
+using rel::Conjunction;
+using rel::JoinStage;
+using rel::PredicateTerm;
+using rel::ProcedureQuery;
+using rel::Tuple;
+using rel::Value;
+
+std::vector<std::string> Canon(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> out;
+  for (const Tuple& t : tuples) out.push_back(t.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The paper's running example (figure 1): EMP/DEPT with the PROGS1 and
+// CLERKS1 views sharing the "DEPT.floor = 1" subexpression — realized here
+// with the join-stage residual on DEPT, plus R1/R2/R3-style schemas for the
+// model-2 structure of figure 16.
+class ReteTest : public ::testing::Test {
+ protected:
+  ReteTest()
+      : disk_(4000, &meter_), catalog_(&disk_), executor_(&catalog_, &meter_) {
+    rel::Relation::Options r1_options;
+    r1_options.tuple_width_bytes = 100;
+    r1_options.btree_column = 0;
+    r1_ = catalog_
+              .CreateRelation("R1",
+                              rel::Schema({{"key", rel::ValueType::kInt64},
+                                           {"a", rel::ValueType::kInt64}}),
+                              r1_options)
+              .ValueOrDie();
+    rel::Relation::Options r2_options;
+    r2_options.tuple_width_bytes = 100;
+    r2_options.hash_column = 0;
+    r2_ = catalog_
+              .CreateRelation("R2",
+                              rel::Schema({{"b", rel::ValueType::kInt64},
+                                           {"c", rel::ValueType::kInt64},
+                                           {"sel2", rel::ValueType::kInt64}}),
+                              r2_options)
+              .ValueOrDie();
+    rel::Relation::Options r3_options;
+    r3_options.tuple_width_bytes = 100;
+    r3_options.hash_column = 0;
+    r3_ = catalog_
+              .CreateRelation("R3",
+                              rel::Schema({{"d", rel::ValueType::kInt64},
+                                           {"p", rel::ValueType::kInt64}}),
+                              r3_options)
+              .ValueOrDie();
+    for (int64_t i = 0; i < 50; ++i) {
+      rids_.push_back(
+          r1_->Insert(Tuple({Value(i), Value(i % 5)})).ValueOrDie());
+    }
+    for (int64_t i = 0; i < 5; ++i) {
+      (void)r2_->Insert(Tuple({Value(i), Value(i % 3), Value(i % 2)}));
+    }
+    for (int64_t i = 0; i < 3; ++i) {
+      (void)r3_->Insert(Tuple({Value(i), Value(i * 7)}));
+    }
+  }
+
+  ProcedureQuery P1(int64_t lo, int64_t hi) {
+    ProcedureQuery query;
+    query.base = rel::BaseSelection{"R1", lo, hi, Conjunction{}};
+    return query;
+  }
+
+  ProcedureQuery P2Model1(int64_t lo, int64_t hi, int64_t sel2) {
+    ProcedureQuery query = P1(lo, hi);
+    JoinStage stage;
+    stage.relation = "R2";
+    stage.probe_column = 1;
+    stage.residual =
+        Conjunction({PredicateTerm{2, rel::CompareOp::kEq, Value(sel2)}});
+    query.joins.push_back(stage);
+    return query;
+  }
+
+  ProcedureQuery P2Model2(int64_t lo, int64_t hi, int64_t sel2) {
+    ProcedureQuery query = P2Model1(lo, hi, sel2);
+    JoinStage stage;
+    stage.relation = "R3";
+    stage.probe_column = 3;  // R2.c within R1(2) ++ R2(3)
+    query.joins.push_back(stage);
+    return query;
+  }
+
+  void FeedUpdate(std::size_t index, ReteNetwork* network, int64_t new_key,
+                  int64_t new_a) {
+    const Tuple old_tuple = r1_->Read(rids_[index]).ValueOrDie();
+    const Tuple new_tuple({Value(new_key), Value(new_a)});
+    ASSERT_TRUE(r1_->UpdateInPlace(rids_[index], new_tuple).ok());
+    ASSERT_TRUE(network->OnDelete("R1", old_tuple).ok());
+    ASSERT_TRUE(network->OnInsert("R1", new_tuple).ok());
+  }
+
+  CostMeter meter_;
+  storage::SimulatedDisk disk_;
+  rel::Catalog catalog_;
+  rel::Executor executor_;
+  rel::Relation* r1_ = nullptr;
+  rel::Relation* r2_ = nullptr;
+  rel::Relation* r3_ = nullptr;
+  std::vector<storage::RecordId> rids_;
+};
+
+TEST_F(ReteTest, P1MemoryHoldsSelectionResult) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  auto memory = network.AddProcedure(P1(10, 19));
+  ASSERT_TRUE(memory.ok()) << memory.status().ToString();
+  EXPECT_EQ(memory.ValueOrDie()->store().size(), 10u);
+  EXPECT_FALSE(memory.ValueOrDie()->is_beta());
+  EXPECT_EQ(network.stats().tconst_nodes, 1u);
+  EXPECT_EQ(network.stats().alpha_memories, 1u);
+  EXPECT_EQ(network.stats().and_nodes, 0u);
+}
+
+TEST_F(ReteTest, P2Model1StructureMatchesFigure3) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  auto memory = network.AddProcedure(P2Model1(0, 9, 1));
+  ASSERT_TRUE(memory.ok()) << memory.status().ToString();
+  // Two t-const chains (R1 selection, R2 selection), one and-node, one
+  // β-memory holding the join result.
+  EXPECT_EQ(network.stats().tconst_nodes, 2u);
+  EXPECT_EQ(network.stats().alpha_memories, 2u);
+  EXPECT_EQ(network.stats().and_nodes, 1u);
+  EXPECT_EQ(network.stats().beta_memories, 1u);
+  EXPECT_TRUE(memory.ValueOrDie()->is_beta());
+  EXPECT_EQ(Canon(memory.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(executor_.Execute(P2Model1(0, 9, 1)).ValueOrDie()));
+}
+
+TEST_F(ReteTest, P2Model2IsRightDeep) {
+  // Figure 16: the right input of the top and-node is a β-memory holding
+  // σ_sel2(R2) ⋈ R3.
+  ReteNetwork network(&catalog_, &meter_, 100);
+  auto memory = network.AddProcedure(P2Model2(0, 9, 1));
+  ASSERT_TRUE(memory.ok()) << memory.status().ToString();
+  EXPECT_EQ(network.stats().tconst_nodes, 3u);  // R1, R2, R3 selections
+  EXPECT_EQ(network.stats().alpha_memories, 3u);
+  EXPECT_EQ(network.stats().and_nodes, 2u);
+  EXPECT_EQ(network.stats().beta_memories, 2u);  // inner join + result
+  EXPECT_EQ(Canon(memory.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(executor_.Execute(P2Model2(0, 9, 1)).ValueOrDie()));
+}
+
+TEST_F(ReteTest, SharedSelectionSubexpressionIsReused) {
+  // A P2 procedure whose C_f(R1) equals a P1 procedure's query shares the
+  // t-const chain and α-memory (the paper's SF mechanism).
+  ReteNetwork network(&catalog_, &meter_, 100);
+  ASSERT_TRUE(network.AddProcedure(P1(10, 19)).ok());
+  ASSERT_TRUE(network.AddProcedure(P2Model1(10, 19, 1)).ok());
+  EXPECT_EQ(network.stats().tconst_nodes, 2u);  // R1 shared + R2's own
+  EXPECT_EQ(network.stats().alpha_memories, 2u);
+  EXPECT_GE(network.stats().shared_subexpression_hits, 1u);
+  // A P2 with a different base interval creates its own R1 chain but still
+  // shares the identical R2 selection subexpression.
+  ASSERT_TRUE(network.AddProcedure(P2Model1(20, 29, 1)).ok());
+  EXPECT_EQ(network.stats().tconst_nodes, 3u);
+  EXPECT_GE(network.stats().shared_subexpression_hits, 2u);
+}
+
+TEST_F(ReteTest, IdenticalJoinTailIsShared) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  ASSERT_TRUE(network.AddProcedure(P2Model2(0, 9, 1)).ok());
+  const std::size_t tails_before = network.stats().beta_memories;
+  // Same R2/R3 tail, different base selection: inner β-memory reused.
+  ASSERT_TRUE(network.AddProcedure(P2Model2(20, 29, 1)).ok());
+  EXPECT_EQ(network.stats().beta_memories, tails_before + 1);  // result only
+  EXPECT_GE(network.stats().shared_subexpression_hits, 1u);
+}
+
+TEST_F(ReteTest, InsertTokenFlowsToMemories) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  auto p1 = network.AddProcedure(P1(10, 19));
+  auto p2 = network.AddProcedure(P2Model1(10, 19, 1));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  const std::size_t before1 = p1.ValueOrDie()->store().size();
+  const std::size_t before2 = p2.ValueOrDie()->store().size();
+  // Move a tuple into the interval, joining R2.b = 1 (sel2 of b=1 is 1 ✓).
+  FeedUpdate(30, &network, 15, 1);
+  EXPECT_EQ(p1.ValueOrDie()->store().size(), before1 + 1);
+  EXPECT_EQ(p2.ValueOrDie()->store().size(), before2 + 1);
+}
+
+TEST_F(ReteTest, DeleteTokenRemovesDerivedTuples) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  auto p2 = network.AddProcedure(P2Model1(10, 19, 1));
+  ASSERT_TRUE(p2.ok());
+  const std::size_t before = p2.ValueOrDie()->store().size();
+  ASSERT_GT(before, 0u);
+  // Move a tuple that is inside the interval out of it.
+  FeedUpdate(11, &network, 45, 0);
+  // Key 11 had a = 1 (11 % 5); if it joined with sel2=1 it is now gone.
+  EXPECT_EQ(Canon(p2.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(executor_.Execute(P2Model1(10, 19, 1)).ValueOrDie()));
+}
+
+TEST_F(ReteTest, TokensOutsideEveryIntervalAreFreeAndIgnored) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  ASSERT_TRUE(network.AddProcedure(P1(10, 19)).ok());
+  meter_.Reset();
+  ASSERT_TRUE(
+      network.OnInsert("R1", Tuple({Value(int64_t{45}), Value(int64_t{0})}))
+          .ok());
+  // The root's discrimination index rejects it without charging anything.
+  EXPECT_DOUBLE_EQ(meter_.total_ms(), 0.0);
+}
+
+TEST_F(ReteTest, UnknownRelationTokensIgnored) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  ASSERT_TRUE(network.AddProcedure(P1(0, 5)).ok());
+  EXPECT_TRUE(network.OnInsert("ZZZ", Tuple({Value(int64_t{1})})).ok());
+}
+
+TEST_F(ReteTest, RandomStreamKeepsAllMemoriesConsistent) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  std::vector<ProcedureQuery> queries{P1(5, 24), P2Model1(5, 24, 1),
+                                      P2Model2(5, 24, 0), P2Model2(30, 44, 1)};
+  std::vector<MemoryNode*> memories;
+  for (const auto& query : queries) {
+    auto memory = network.AddProcedure(query);
+    ASSERT_TRUE(memory.ok()) << memory.status().ToString();
+    memories.push_back(memory.ValueOrDie());
+  }
+  Rng rng(31);
+  for (int step = 0; step < 150; ++step) {
+    const std::size_t pick = rng.Uniform(rids_.size());
+    FeedUpdate(pick, &network, static_cast<int64_t>(rng.Uniform(50)),
+               static_cast<int64_t>(rng.Uniform(5)));
+    if (step % 30 == 29) {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        ASSERT_EQ(Canon(memories[i]->store().SnapshotForTesting()),
+                  Canon(executor_.Execute(queries[i]).ValueOrDie()))
+            << "memory " << i << " diverged at step " << step;
+      }
+    }
+  }
+}
+
+TEST_F(ReteTest, LeftDeepShapeMaintainsCorrectlyButSharesNothing) {
+  ReteNetwork right(&catalog_, &meter_, 100, ReteNetwork::JoinShape::kRightDeep);
+  ReteNetwork left(&catalog_, &meter_, 100, ReteNetwork::JoinShape::kLeftDeep);
+  auto r_mem = right.AddProcedure(P2Model2(5, 24, 1));
+  auto l_mem = left.AddProcedure(P2Model2(5, 24, 1));
+  ASSERT_TRUE(r_mem.ok());
+  ASSERT_TRUE(l_mem.ok()) << l_mem.status().ToString();
+  // Identical contents, different topology.
+  EXPECT_EQ(Canon(l_mem.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(r_mem.ValueOrDie()->store().SnapshotForTesting()));
+  EXPECT_EQ(left.stats().and_nodes, 2u);
+  EXPECT_EQ(left.stats().beta_memories, 2u);
+
+  // Both stay consistent under updates, but left-deep charges more I/O per
+  // token (intermediate β refresh + two probes instead of one).
+  CostMeter right_meter;
+  CostMeter left_meter;
+  // Feed the same in-range token to both networks with fresh meters.
+  const Tuple probe_old = r1_->Read(rids_[10]).ValueOrDie();
+  const Tuple probe_new({Value(int64_t{10}), Value(int64_t{1})});
+  ASSERT_TRUE(r1_->UpdateInPlace(rids_[10], probe_new).ok());
+  meter_.Reset();
+  ASSERT_TRUE(right.OnDelete("R1", probe_old).ok());
+  ASSERT_TRUE(right.OnInsert("R1", probe_new).ok());
+  const double right_cost = meter_.total_ms();
+  meter_.Reset();
+  ASSERT_TRUE(left.OnDelete("R1", probe_old).ok());
+  ASSERT_TRUE(left.OnInsert("R1", probe_new).ok());
+  const double left_cost = meter_.total_ms();
+  EXPECT_GE(left_cost, right_cost);
+  EXPECT_EQ(Canon(l_mem.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(executor_.Execute(P2Model2(5, 24, 1)).ValueOrDie()));
+  EXPECT_EQ(Canon(r_mem.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(executor_.Execute(P2Model2(5, 24, 1)).ValueOrDie()));
+}
+
+TEST_F(ReteTest, LeftDeepSharesOnlySelections) {
+  ReteNetwork network(&catalog_, &meter_, 100,
+                      ReteNetwork::JoinShape::kLeftDeep);
+  ASSERT_TRUE(network.AddProcedure(P2Model2(0, 9, 1)).ok());
+  const auto before = network.stats();
+  // Same tail spec, different base: selections shared, joins duplicated.
+  ASSERT_TRUE(network.AddProcedure(P2Model2(20, 29, 1)).ok());
+  EXPECT_EQ(network.stats().tconst_nodes, before.tconst_nodes + 1);
+  EXPECT_EQ(network.stats().and_nodes, before.and_nodes + 2);
+  EXPECT_EQ(network.stats().beta_memories, before.beta_memories + 2);
+}
+
+TEST_F(ReteTest, TokensFromInnerRelationsPropagateThroughRightInputs) {
+  // The paper's workload only updates R1, but the network is general: an
+  // R2 change must flow through the and-node's *right* input, join against
+  // the left α-memory, and patch every downstream memory.
+  ReteNetwork network(&catalog_, &meter_, 100);
+  auto m1 = network.AddProcedure(P2Model1(10, 19, 1));
+  auto m2 = network.AddProcedure(P2Model2(10, 19, 1));
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+
+  // Change R2 tuple b=1: flip its sel2 from 1 to 0 (leaves both views) and
+  // back (re-enters).
+  auto r2_rows = [&] {
+    std::vector<std::pair<storage::RecordId, Tuple>> rows;
+    (void)r2_->Scan([&](storage::RecordId rid, const Tuple& row) {
+      rows.emplace_back(rid, row);
+      return true;
+    });
+    return rows;
+  }();
+  for (auto& [rid, row] : r2_rows) {
+    if (row.value(0).AsInt64() != 1) continue;
+    const Tuple flipped({row.value(0), row.value(1), Value(int64_t{0})});
+    ASSERT_TRUE(r2_->UpdateInPlace(rid, flipped).ok());
+    ASSERT_TRUE(network.OnDelete("R2", row).ok());
+    ASSERT_TRUE(network.OnInsert("R2", flipped).ok());
+    EXPECT_EQ(Canon(m1.ValueOrDie()->store().SnapshotForTesting()),
+              Canon(executor_.Execute(P2Model1(10, 19, 1)).ValueOrDie()));
+    EXPECT_EQ(Canon(m2.ValueOrDie()->store().SnapshotForTesting()),
+              Canon(executor_.Execute(P2Model2(10, 19, 1)).ValueOrDie()));
+    // Flip back.
+    ASSERT_TRUE(r2_->UpdateInPlace(rid, row).ok());
+    ASSERT_TRUE(network.OnDelete("R2", flipped).ok());
+    ASSERT_TRUE(network.OnInsert("R2", row).ok());
+    EXPECT_EQ(Canon(m2.ValueOrDie()->store().SnapshotForTesting()),
+              Canon(executor_.Execute(P2Model2(10, 19, 1)).ValueOrDie()));
+  }
+}
+
+TEST_F(ReteTest, TokensFromDeepestRelationPropagate) {
+  // An R3 change must cascade: inner and-node right input -> inner beta ->
+  // top and-node right input -> result.
+  ReteNetwork network(&catalog_, &meter_, 100);
+  auto memory = network.AddProcedure(P2Model2(0, 49, 1));
+  ASSERT_TRUE(memory.ok());
+  const Tuple extra({Value(int64_t{1}), Value(int64_t{999})});
+  ASSERT_TRUE(r3_->Insert(extra).ok());
+  ASSERT_TRUE(network.OnInsert("R3", extra).ok());
+  EXPECT_EQ(Canon(memory.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(executor_.Execute(P2Model2(0, 49, 1)).ValueOrDie()));
+  // And remove it again.
+  // (Relation::Delete needs the rid; simplest is to find it via scan.)
+  storage::RecordId rid;
+  bool found = false;
+  (void)r3_->Scan([&](storage::RecordId r, const Tuple& row) {
+    if (row == extra) {
+      rid = r;
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  ASSERT_TRUE(found);
+  ASSERT_TRUE(r3_->Delete(rid).ok());
+  ASSERT_TRUE(network.OnDelete("R3", extra).ok());
+  EXPECT_EQ(Canon(memory.ValueOrDie()->store().SnapshotForTesting()),
+            Canon(executor_.Execute(P2Model2(0, 49, 1)).ValueOrDie()));
+}
+
+TEST_F(ReteTest, DotExportRendersStructure) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  ASSERT_TRUE(network.AddProcedure(P1(10, 19)).ok());
+  ASSERT_TRUE(network.AddProcedure(P2Model2(10, 19, 1)).ok());
+  const std::string dot = network.ToDot();
+  EXPECT_NE(dot.find("digraph rete"), std::string::npos);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+  EXPECT_NE(dot.find("t-const"), std::string::npos);
+  EXPECT_NE(dot.find("alpha-memory"), std::string::npos);
+  EXPECT_NE(dot.find("beta-memory"), std::string::npos);
+  EXPECT_NE(dot.find("and("), std::string::npos);
+  // Root dispatches R1 tokens to the (shared) base selection chain.
+  EXPECT_NE(dot.find("label=\"R1\""), std::string::npos);
+  // Left/right input labels appear.
+  EXPECT_NE(dot.find("label=\"L\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"R\""), std::string::npos);
+}
+
+TEST_F(ReteTest, MaintenanceChargesScreenAndRefreshCosts) {
+  ReteNetwork network(&catalog_, &meter_, 100);
+  ASSERT_TRUE(network.AddProcedure(P1(10, 19)).ok());
+  meter_.Reset();
+  ASSERT_TRUE(
+      network.OnInsert("R1", Tuple({Value(int64_t{15}), Value(int64_t{1})}))
+          .ok());
+  // One screen (t-const), one page read + write (α-memory refresh).
+  EXPECT_EQ(meter_.screens(), 1u);
+  EXPECT_GE(meter_.disk_writes(), 1u);
+}
+
+}  // namespace
+}  // namespace procsim::rete

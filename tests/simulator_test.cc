@@ -1,0 +1,90 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/model.h"
+
+namespace procsim::sim {
+namespace {
+
+using cost::ProcModel;
+using cost::Strategy;
+
+// A small parameterization that still exercises joins, sharing and
+// multi-page objects but runs fast.
+cost::Params SmallParams() {
+  cost::Params p;
+  p.N = 2000;
+  p.N1 = 10;
+  p.N2 = 10;
+  p.k = 20;
+  p.q = 20;
+  p.l = 5;
+  p.f = 0.01;   // 20-tuple P1 objects
+  p.f2 = 0.2;
+  p.SF = 0.5;
+  return p;
+}
+
+class SimulatorEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Strategy, ProcModel>> {};
+
+// Every strategy must return exactly the value a from-scratch recomputation
+// would, at every access, under a random update stream.
+TEST_P(SimulatorEquivalenceTest, ResultsMatchRecomputation) {
+  auto [strategy, model] = GetParam();
+  Simulator::Options options;
+  options.params = SmallParams();
+  options.model = model;
+  options.seed = 7;
+  options.verify_results = true;
+  Result<SimulationResult> result = Simulator::Run(strategy, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().verification_failures, 0u);
+  EXPECT_EQ(result.ValueOrDie().queries, 20u);
+  EXPECT_EQ(result.ValueOrDie().update_transactions, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesBothModels, SimulatorEquivalenceTest,
+    ::testing::Combine(::testing::Values(Strategy::kAlwaysRecompute,
+                                         Strategy::kCacheInvalidate,
+                                         Strategy::kUpdateCacheAvm,
+                                         Strategy::kUpdateCacheRvm),
+                       ::testing::Values(ProcModel::kModel1,
+                                         ProcModel::kModel2)));
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  Simulator::Options options;
+  options.params = SmallParams();
+  options.seed = 11;
+  Result<SimulationResult> a =
+      Simulator::Run(Strategy::kCacheInvalidate, options);
+  Result<SimulationResult> b =
+      Simulator::Run(Strategy::kCacheInvalidate, options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_DOUBLE_EQ(a.ValueOrDie().total_ms, b.ValueOrDie().total_ms);
+  EXPECT_EQ(a.ValueOrDie().disk_reads, b.ValueOrDie().disk_reads);
+}
+
+TEST(SimulatorTest, CachedStrategiesBeatRecomputeAtLowUpdateRate) {
+  Simulator::Options options;
+  options.params = SmallParams();
+  options.params.k = 2;   // P ≈ 0.09
+  options.params.q = 20;
+  options.seed = 3;
+  double costs[3];
+  int i = 0;
+  for (Strategy s : {Strategy::kAlwaysRecompute, Strategy::kCacheInvalidate,
+                     Strategy::kUpdateCacheAvm}) {
+    Result<SimulationResult> r = Simulator::Run(s, options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    costs[i++] = r.ValueOrDie().avg_ms_per_query;
+  }
+  EXPECT_LT(costs[1], costs[0]);  // CI beats AR
+  EXPECT_LT(costs[2], costs[0]);  // AVM beats AR
+}
+
+}  // namespace
+}  // namespace procsim::sim

@@ -1,0 +1,81 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace procsim {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  const Status status = Status::NotFound("missing widget");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "missing widget");
+  EXPECT_EQ(status.ToString(), "NotFound: missing widget");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = result.TakeValueOrDie();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ImplicitConversionFromValueAndStatus) {
+  auto make = [](bool succeed) -> Result<std::string> {
+    if (succeed) return std::string("yes");
+    return Status::Internal("no");
+  };
+  EXPECT_TRUE(make(true).ok());
+  EXPECT_FALSE(make(false).ok());
+}
+
+TEST(ReturnIfErrorTest, PropagatesAndPassesThrough) {
+  auto fails = []() -> Status { return Status::OutOfRange("boom"); };
+  auto passes = []() -> Status { return Status::OK(); };
+  auto wrapper = [&](bool fail) -> Status {
+    PROCSIM_RETURN_IF_ERROR(passes());
+    if (fail) {
+      PROCSIM_RETURN_IF_ERROR(fails());
+    }
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper(false).ok());
+  EXPECT_EQ(wrapper(true).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> result(Status::Internal("fatal"));
+  EXPECT_DEATH({ (void)result.ValueOrDie(); }, "Internal: fatal");
+}
+
+TEST(CheckDeathTest, FailedCheckPrintsConditionAndMessage) {
+  EXPECT_DEATH({ PROCSIM_CHECK(1 == 2) << "context " << 42; },
+               "CHECK failed: 1 == 2.*context 42");
+}
+
+}  // namespace
+}  // namespace procsim

@@ -1,0 +1,156 @@
+#include "cost/sweeps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace procsim::cost {
+namespace {
+
+TEST(SpacingTest, LinSpaceEndpointsAndCount) {
+  const std::vector<double> v = LinSpace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(SpacingTest, LogSpaceIsGeometric) {
+  const std::vector<double> v = LogSpace(0.001, 0.1, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], 0.001, 1e-12);
+  EXPECT_NEAR(v[1], 0.01, 1e-12);
+  EXPECT_NEAR(v[2], 0.1, 1e-12);
+}
+
+TEST(SweepTest, UpdateProbabilitySweepShape) {
+  Params base;
+  const auto series =
+      SweepUpdateProbability(base, ProcModel::kModel1, 0.0, 0.9, 10);
+  ASSERT_EQ(series.size(), 10u);
+  // AR column constant; AVM column strictly increasing.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i].always_recompute,
+                     series[0].always_recompute);
+    EXPECT_GT(series[i].update_cache_avm, series[i - 1].update_cache_avm);
+  }
+}
+
+TEST(SweepTest, SharingSweepOnlyMovesRvm) {
+  Params base;
+  const auto series = SweepSharingFactor(base, ProcModel::kModel2, 11);
+  ASSERT_EQ(series.size(), 11u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i].update_cache_avm,
+                     series[0].update_cache_avm);
+    EXPECT_LE(series[i].update_cache_rvm, series[i - 1].update_cache_rvm);
+  }
+}
+
+TEST(SweepTest, InvalidationCostSweepOnlyMovesCi) {
+  Params base;
+  base.SetUpdateProbability(0.3);
+  const auto series =
+      SweepInvalidationCost(base, ProcModel::kModel1, {0, 30, 60});
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_LT(series[0].cache_invalidate, series[1].cache_invalidate);
+  EXPECT_LT(series[1].cache_invalidate, series[2].cache_invalidate);
+  EXPECT_DOUBLE_EQ(series[0].always_recompute, series[2].always_recompute);
+  EXPECT_DOUBLE_EQ(series[0].update_cache_rvm, series[2].update_cache_rvm);
+}
+
+TEST(RegionTest, GridDimensionsAndLowPUpdateCacheBand) {
+  Params base;
+  const WinnerRegionGrid grid = ComputeWinnerRegions(
+      base, ProcModel::kModel1, 1e-5, 0.05, 5, 0.05, 0.95, 7);
+  ASSERT_EQ(grid.f_values.size(), 5u);
+  ASSERT_EQ(grid.p_values.size(), 7u);
+  // Lowest P column: Update Cache wins for every object size (figure 12).
+  for (std::size_t i = 0; i < grid.f_values.size(); ++i) {
+    EXPECT_TRUE(grid.winner[i][0] == Strategy::kUpdateCacheAvm ||
+                grid.winner[i][0] == Strategy::kUpdateCacheRvm);
+  }
+  // Highest P, largest objects: Always Recompute wins.
+  EXPECT_EQ(grid.winner.back().back(), Strategy::kAlwaysRecompute);
+}
+
+TEST(RegionTest, UpdateCacheBandNarrowsForLargeObjects) {
+  // Figure 12's "interesting phenomenon": UC wins a smaller P range when
+  // objects are large.
+  Params base;
+  const WinnerRegionGrid grid = ComputeWinnerRegions(
+      base, ProcModel::kModel1, 1e-5, 0.05, 6, 0.02, 0.95, 24);
+  auto uc_band_width = [&](std::size_t f_index) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < grid.p_values.size(); ++j) {
+      if (grid.winner[f_index][j] == Strategy::kUpdateCacheAvm ||
+          grid.winner[f_index][j] == Strategy::kUpdateCacheRvm) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_GT(uc_band_width(0), uc_band_width(grid.f_values.size() - 1));
+}
+
+TEST(ClosenessTest, HighPBandIsClose) {
+  // Figure 14: at high P, CI is within 2x of UC (UC degrades).
+  Params base;
+  const ClosenessGrid grid = ComputeClosenessGrid(
+      base, ProcModel::kModel1, 1e-5, 0.05, 5, 0.05, 0.95, 7);
+  for (std::size_t i = 0; i < grid.f_values.size(); ++i) {
+    EXPECT_LE(grid.ratio[i].back(), 2.0) << "f=" << grid.f_values[i];
+  }
+}
+
+TEST(ClosenessTest, LargeObjectsLowPIsNotClose) {
+  // Figure 6/14: for large objects at low P, UC is far better than CI.
+  Params base;
+  const ClosenessGrid grid = ComputeClosenessGrid(
+      base, ProcModel::kModel1, 0.01, 0.05, 3, 0.05, 0.3, 3);
+  EXPECT_GT(grid.ratio[0][0], 2.0);
+}
+
+TEST(CsvTest, SweepCsvHasHeaderAndRows) {
+  Params base;
+  const auto series =
+      SweepUpdateProbability(base, ProcModel::kModel1, 0.0, 0.5, 3);
+  std::ostringstream out;
+  WriteSweepCsv(out, "P", series);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.substr(0, 2), "P,");
+  // Header + 3 data rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("always_recompute"), std::string::npos);
+}
+
+TEST(CsvTest, RegionsCsvEnumeratesGrid) {
+  Params base;
+  const auto grid = ComputeWinnerRegions(base, ProcModel::kModel1, 1e-4,
+                                         1e-2, 3, 0.1, 0.9, 4);
+  std::ostringstream out;
+  WriteRegionsCsv(out, grid);
+  const std::string csv = out.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1 + 3 * 4);
+  EXPECT_NE(csv.find("AVM"), std::string::npos);
+}
+
+TEST(CrossoverTest, BisectionAgreesWithSweep) {
+  Params base;
+  const double crossover = SharingCrossover(base, ProcModel::kModel2);
+  ASSERT_GT(crossover, 0.0);
+  Params below = base;
+  below.SF = crossover - 0.05;
+  Params above = base;
+  above.SF = crossover + 0.05;
+  AnalyticModel m_below(below, ProcModel::kModel2);
+  AnalyticModel m_above(above, ProcModel::kModel2);
+  EXPECT_GT(m_below.CostPerQuery(Strategy::kUpdateCacheRvm),
+            m_below.CostPerQuery(Strategy::kUpdateCacheAvm));
+  EXPECT_LT(m_above.CostPerQuery(Strategy::kUpdateCacheRvm),
+            m_above.CostPerQuery(Strategy::kUpdateCacheAvm));
+}
+
+}  // namespace
+}  // namespace procsim::cost

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cost_meter.h"
+#include "util/locality.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace procsim {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.UniformInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(LocalityTest, HotClassSizing) {
+  LocalityGenerator gen(100, 0.2);
+  EXPECT_EQ(gen.hot_count(), 20u);
+  EXPECT_TRUE(gen.IsHot(0));
+  EXPECT_TRUE(gen.IsHot(19));
+  EXPECT_FALSE(gen.IsHot(20));
+}
+
+TEST(LocalityTest, EightyTwentyReferenceSplit) {
+  LocalityGenerator gen(100, 0.2);
+  Rng rng(21);
+  int hot_refs = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (gen.IsHot(gen.NextReference(&rng))) ++hot_refs;
+  }
+  // 20% of objects should draw ~80% of references.
+  EXPECT_NEAR(static_cast<double>(hot_refs) / trials, 0.8, 0.01);
+}
+
+TEST(LocalityTest, UniformWhenZIsHalf) {
+  LocalityGenerator gen(10, 0.5);
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[gen.NextReference(&rng)];
+  for (int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(LocalityTest, SingleObjectAlwaysReferenced) {
+  LocalityGenerator gen(1, 0.2);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(gen.NextReference(&rng), 0u);
+}
+
+TEST(CostMeterTest, ChargesAtConfiguredRates) {
+  CostConstants constants;
+  constants.cpu_screen_ms = 2.0;
+  constants.disk_io_ms = 10.0;
+  constants.delta_maintenance_ms = 0.5;
+  CostMeter meter(constants);
+  meter.ChargeDiskRead(3);
+  meter.ChargeDiskWrite();
+  meter.ChargeScreen(4);
+  meter.ChargeDeltaMaintenance(2);
+  meter.ChargeFixed(1.5);
+  EXPECT_DOUBLE_EQ(meter.total_ms(), 3 * 10.0 + 10.0 + 4 * 2.0 + 2 * 0.5 + 1.5);
+  EXPECT_EQ(meter.disk_reads(), 3u);
+  EXPECT_EQ(meter.disk_writes(), 1u);
+  EXPECT_EQ(meter.screens(), 4u);
+  EXPECT_EQ(meter.delta_ops(), 2u);
+  meter.Reset();
+  EXPECT_DOUBLE_EQ(meter.total_ms(), 0.0);
+  EXPECT_EQ(meter.disk_reads(), 0u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"x", "value"});
+  table.AddRow(std::vector<std::string>{"1", "10"});
+  table.AddRow(std::vector<std::string>{"100", "2"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("  x  value"), std::string::npos);
+  EXPECT_NE(rendered.find("  1     10"), std::string::npos);
+  EXPECT_NE(rendered.find("100      2"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.5, 3), "1.5");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 3), "2");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.125, 3), "0.125");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.1239, 3), "0.124");
+}
+
+}  // namespace
+}  // namespace procsim

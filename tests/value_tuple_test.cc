@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace procsim::rel {
+namespace {
+
+TEST(ValueTest, TypeTagsAndAccessors) {
+  Value i(int64_t{42});
+  Value d(3.5);
+  Value s("hello");
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+  EXPECT_EQ(s.AsString(), "hello");
+}
+
+TEST(ValueTest, ComparisonWithinType) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{2}) == Value(int64_t{2}));
+  EXPECT_TRUE(Value("abc") < Value("abd"));
+  EXPECT_TRUE(Value(1.0) < Value(1.5));
+}
+
+TEST(ValueTest, CrossTypeComparisonOrdersByTag) {
+  // Deterministic, never equal: int64 < double < string by tag index.
+  EXPECT_TRUE(Value(int64_t{5}) < Value(0.1));
+  EXPECT_TRUE(Value(0.1) < Value("a"));
+  EXPECT_FALSE(Value(int64_t{5}) == Value(5.0));
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  for (const Value& value :
+       {Value(int64_t{-7}), Value(2.25), Value("päyload with ünicode"),
+        Value(std::string())}) {
+    std::vector<uint8_t> bytes;
+    value.SerializeTo(&bytes);
+    std::size_t cursor = 0;
+    Result<Value> restored = Value::DeserializeFrom(bytes, &cursor);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_TRUE(restored.ValueOrDie() == value);
+    EXPECT_EQ(cursor, bytes.size());
+  }
+}
+
+TEST(ValueTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> bytes{99};  // unknown tag
+  std::size_t cursor = 0;
+  EXPECT_FALSE(Value::DeserializeFrom(bytes, &cursor).ok());
+  bytes = {0, 1, 2};  // int64 tag but truncated payload
+  cursor = 0;
+  EXPECT_FALSE(Value::DeserializeFrom(bytes, &cursor).ok());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{10}).Hash(), Value(int64_t{10}).Hash());
+  EXPECT_NE(Value(int64_t{10}).Hash(), Value(int64_t{11}).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema schema({Column{"a", ValueType::kInt64},
+                 Column{"b", ValueType::kString}});
+  EXPECT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.ColumnIndex("b").ValueOrDie(), 1u);
+  EXPECT_EQ(schema.ColumnIndex("z").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ConcatAndPrefix) {
+  Schema left({Column{"a", ValueType::kInt64}});
+  Schema right({Column{"b", ValueType::kInt64}});
+  Schema joined = Schema::Concat(left.WithPrefix("R1"), right.WithPrefix("R2"));
+  EXPECT_EQ(joined.num_columns(), 2u);
+  EXPECT_EQ(joined.column(0).name, "R1.a");
+  EXPECT_EQ(joined.column(1).name, "R2.b");
+}
+
+TEST(TupleTest, TypeChecksAgainstSchema) {
+  Schema schema({Column{"a", ValueType::kInt64},
+                 Column{"b", ValueType::kString}});
+  EXPECT_TRUE(Tuple({Value(int64_t{1}), Value("x")}).TypeChecks(schema));
+  EXPECT_FALSE(Tuple({Value("x"), Value(int64_t{1})}).TypeChecks(schema));
+  EXPECT_FALSE(Tuple({Value(int64_t{1})}).TypeChecks(schema));
+}
+
+TEST(TupleTest, SerializeRoundTripWithPadding) {
+  Tuple tuple({Value(int64_t{1}), Value("abc"), Value(2.0)});
+  const std::vector<uint8_t> natural = tuple.Serialize();
+  const std::vector<uint8_t> padded = tuple.Serialize(100);
+  EXPECT_EQ(padded.size(), 100u);
+  EXPECT_LT(natural.size(), padded.size());
+  Result<Tuple> from_padded = Tuple::Deserialize(padded);
+  ASSERT_TRUE(from_padded.ok());
+  EXPECT_TRUE(from_padded.ValueOrDie() == tuple);
+}
+
+TEST(TupleTest, ConcatPreservesOrder) {
+  Tuple left({Value(int64_t{1}), Value(int64_t{2})});
+  Tuple right({Value(int64_t{3})});
+  Tuple joined = Tuple::Concat(left, right);
+  ASSERT_EQ(joined.arity(), 3u);
+  EXPECT_EQ(joined.value(0).AsInt64(), 1);
+  EXPECT_EQ(joined.value(2).AsInt64(), 3);
+}
+
+TEST(TupleTest, HashStableAndDiscriminating) {
+  Tuple a({Value(int64_t{1}), Value("x")});
+  Tuple b({Value(int64_t{1}), Value("x")});
+  Tuple c({Value(int64_t{2}), Value("x")});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TupleTest, SetValueMutates) {
+  Tuple tuple({Value(int64_t{1})});
+  tuple.set_value(0, Value(int64_t{9}));
+  EXPECT_EQ(tuple.value(0).AsInt64(), 9);
+}
+
+}  // namespace
+}  // namespace procsim::rel

@@ -1,0 +1,75 @@
+#include "util/yao.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace procsim {
+namespace {
+
+TEST(CardenasTest, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(CardenasApproximation(10, 0), 0.0);
+  // One record accessed touches one page in expectation... m*(1-(1-1/m)).
+  EXPECT_DOUBLE_EQ(CardenasApproximation(10, 1), 1.0);
+  // As k -> infinity, every page is touched.
+  EXPECT_NEAR(CardenasApproximation(10, 100000), 10.0, 1e-9);
+}
+
+TEST(YaoExactTest, BasicValues) {
+  // k = 0 touches nothing; k = n touches every page.
+  EXPECT_DOUBLE_EQ(YaoExact(100, 10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(YaoExact(100, 10, 100), 10.0);
+  // Selecting 1 record from any layout touches exactly 1 page.
+  EXPECT_NEAR(YaoExact(100, 10, 1), 1.0, 1e-12);
+}
+
+TEST(YaoExactTest, MoreRecordsThanFitOutsideOneBlockTouchesAll) {
+  // n=20, m=4, p=5: selecting more than n-p=15 records must hit every block.
+  EXPECT_DOUBLE_EQ(YaoExact(20, 4, 16), 4.0);
+}
+
+TEST(YaoExactTest, CardenasCloseForLargeBlockingFactor) {
+  // Appendix A: Cardenas' approximation is very close when n/m > 10.
+  const double exact = YaoExact(10000, 100, 250);
+  const double approx = CardenasApproximation(100, 250);
+  EXPECT_NEAR(exact, approx, exact * 0.02);
+}
+
+TEST(YaoEstimateTest, PaperPiecewiseRules) {
+  // k <= 1: return k.
+  EXPECT_DOUBLE_EQ(YaoEstimate(1000, 25, 0.05), 0.05);
+  EXPECT_DOUBLE_EQ(YaoEstimate(1000, 25, 1.0), 1.0);
+  // m < 1 and k > 1: a stored object occupies at least one page.
+  EXPECT_DOUBLE_EQ(YaoEstimate(10, 0.25, 2), 1.0);
+  // 1 <= m < 2 and k > 1: min(k, m).
+  EXPECT_DOUBLE_EQ(YaoEstimate(60, 1.5, 5), 1.5);
+  EXPECT_DOUBLE_EQ(YaoEstimate(60, 1.5, 1.2), 1.2);
+  // Otherwise Cardenas.
+  EXPECT_DOUBLE_EQ(YaoEstimate(10000, 250, 50),
+                   CardenasApproximation(250, 50));
+}
+
+// Property sweep: the estimate is bounded by min(k, m) (for m >= 1) and
+// monotone in k.
+class YaoPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(YaoPropertyTest, BoundedAndMonotone) {
+  const double m = GetParam();
+  const double n = m * 40;
+  double previous = 0.0;
+  for (double k = 0; k <= n; k += n / 64) {
+    const double y = YaoEstimate(n, m, k);
+    EXPECT_LE(y, std::min(k, std::max(m, 1.0)) + 1e-9)
+        << "m=" << m << " k=" << k;
+    EXPECT_GE(y + 1e-9, previous) << "m=" << m << " k=" << k;
+    previous = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageCounts, YaoPropertyTest,
+                         ::testing::Values(0.25, 1.0, 1.5, 2.0, 10.0, 250.0,
+                                           2500.0));
+
+}  // namespace
+}  // namespace procsim
