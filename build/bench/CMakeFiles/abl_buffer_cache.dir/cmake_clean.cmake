@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_buffer_cache.dir/abl_buffer_cache.cc.o"
+  "CMakeFiles/abl_buffer_cache.dir/abl_buffer_cache.cc.o.d"
+  "abl_buffer_cache"
+  "abl_buffer_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_buffer_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cinval_sweep.dir/abl_cinval_sweep.cc.o"
+  "CMakeFiles/abl_cinval_sweep.dir/abl_cinval_sweep.cc.o.d"
+  "abl_cinval_sweep"
+  "abl_cinval_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cinval_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_clustering_drift.dir/abl_clustering_drift.cc.o"
+  "CMakeFiles/abl_clustering_drift.dir/abl_clustering_drift.cc.o.d"
+  "abl_clustering_drift"
+  "abl_clustering_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_clustering_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_join_shape.dir/abl_join_shape.cc.o"
+  "CMakeFiles/abl_join_shape.dir/abl_join_shape.cc.o.d"
+  "abl_join_shape"
+  "abl_join_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_join_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

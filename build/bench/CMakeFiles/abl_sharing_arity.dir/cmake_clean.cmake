@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sharing_arity.dir/abl_sharing_arity.cc.o"
+  "CMakeFiles/abl_sharing_arity.dir/abl_sharing_arity.cc.o.d"
+  "abl_sharing_arity"
+  "abl_sharing_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sharing_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

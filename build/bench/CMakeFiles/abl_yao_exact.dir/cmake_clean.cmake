@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_yao_exact.dir/abl_yao_exact.cc.o"
+  "CMakeFiles/abl_yao_exact.dir/abl_yao_exact.cc.o.d"
+  "abl_yao_exact"
+  "abl_yao_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_yao_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

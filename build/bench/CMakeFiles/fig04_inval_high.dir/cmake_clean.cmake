@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_inval_high.dir/fig04_inval_high.cc.o"
+  "CMakeFiles/fig04_inval_high.dir/fig04_inval_high.cc.o.d"
+  "fig04_inval_high"
+  "fig04_inval_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_inval_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

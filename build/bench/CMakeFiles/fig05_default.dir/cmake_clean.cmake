@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_default.dir/fig05_default.cc.o"
+  "CMakeFiles/fig05_default.dir/fig05_default.cc.o.d"
+  "fig05_default"
+  "fig05_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_small_objects.dir/fig07_small_objects.cc.o"
+  "CMakeFiles/fig07_small_objects.dir/fig07_small_objects.cc.o.d"
+  "fig07_small_objects"
+  "fig07_small_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_small_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

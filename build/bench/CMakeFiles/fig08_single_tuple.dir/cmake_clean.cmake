@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_single_tuple.dir/fig08_single_tuple.cc.o"
+  "CMakeFiles/fig08_single_tuple.dir/fig08_single_tuple.cc.o.d"
+  "fig08_single_tuple"
+  "fig08_single_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_single_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_single_tuple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_high_locality.dir/fig09_high_locality.cc.o"
+  "CMakeFiles/fig09_high_locality.dir/fig09_high_locality.cc.o.d"
+  "fig09_high_locality"
+  "fig09_high_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_high_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

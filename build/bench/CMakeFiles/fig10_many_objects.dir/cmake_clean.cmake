@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_many_objects.dir/fig10_many_objects.cc.o"
+  "CMakeFiles/fig10_many_objects.dir/fig10_many_objects.cc.o.d"
+  "fig10_many_objects"
+  "fig10_many_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_many_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

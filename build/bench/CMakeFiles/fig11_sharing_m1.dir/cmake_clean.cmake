@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sharing_m1.dir/fig11_sharing_m1.cc.o"
+  "CMakeFiles/fig11_sharing_m1.dir/fig11_sharing_m1.cc.o.d"
+  "fig11_sharing_m1"
+  "fig11_sharing_m1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sharing_m1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

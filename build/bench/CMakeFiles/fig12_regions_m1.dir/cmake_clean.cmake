@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_regions_m1.dir/fig12_regions_m1.cc.o"
+  "CMakeFiles/fig12_regions_m1.dir/fig12_regions_m1.cc.o.d"
+  "fig12_regions_m1"
+  "fig12_regions_m1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_regions_m1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

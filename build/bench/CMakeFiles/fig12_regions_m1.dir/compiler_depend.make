@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_regions_m1.
+# This may be replaced when dependencies are built.

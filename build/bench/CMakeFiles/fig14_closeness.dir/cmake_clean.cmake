@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_closeness.dir/fig14_closeness.cc.o"
+  "CMakeFiles/fig14_closeness.dir/fig14_closeness.cc.o.d"
+  "fig14_closeness"
+  "fig14_closeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_closeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

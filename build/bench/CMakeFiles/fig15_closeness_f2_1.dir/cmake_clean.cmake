@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_closeness_f2_1.dir/fig15_closeness_f2_1.cc.o"
+  "CMakeFiles/fig15_closeness_f2_1.dir/fig15_closeness_f2_1.cc.o.d"
+  "fig15_closeness_f2_1"
+  "fig15_closeness_f2_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_closeness_f2_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_closeness_f2_1.
+# This may be replaced when dependencies are built.

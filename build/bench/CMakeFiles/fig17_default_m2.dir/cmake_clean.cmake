@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_default_m2.dir/fig17_default_m2.cc.o"
+  "CMakeFiles/fig17_default_m2.dir/fig17_default_m2.cc.o.d"
+  "fig17_default_m2"
+  "fig17_default_m2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_default_m2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

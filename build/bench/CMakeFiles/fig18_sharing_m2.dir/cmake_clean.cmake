@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sharing_m2.dir/fig18_sharing_m2.cc.o"
+  "CMakeFiles/fig18_sharing_m2.dir/fig18_sharing_m2.cc.o.d"
+  "fig18_sharing_m2"
+  "fig18_sharing_m2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sharing_m2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

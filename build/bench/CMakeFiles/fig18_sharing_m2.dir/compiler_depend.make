@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_sharing_m2.
+# This may be replaced when dependencies are built.

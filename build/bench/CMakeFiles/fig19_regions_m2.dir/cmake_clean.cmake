@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_regions_m2.dir/fig19_regions_m2.cc.o"
+  "CMakeFiles/fig19_regions_m2.dir/fig19_regions_m2.cc.o.d"
+  "fig19_regions_m2"
+  "fig19_regions_m2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_regions_m2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_regions_m2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_cost_components.dir/tbl_cost_components.cc.o"
+  "CMakeFiles/tbl_cost_components.dir/tbl_cost_components.cc.o.d"
+  "tbl_cost_components"
+  "tbl_cost_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_cost_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_params.dir/tbl_params.cc.o"
+  "CMakeFiles/tbl_params.dir/tbl_params.cc.o.d"
+  "tbl_params"
+  "tbl_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

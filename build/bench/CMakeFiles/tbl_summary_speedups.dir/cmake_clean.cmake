@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_summary_speedups.dir/tbl_summary_speedups.cc.o"
+  "CMakeFiles/tbl_summary_speedups.dir/tbl_summary_speedups.cc.o.d"
+  "tbl_summary_speedups"
+  "tbl_summary_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_summary_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_dashboard.dir/aggregation_dashboard.cpp.o"
+  "CMakeFiles/aggregation_dashboard.dir/aggregation_dashboard.cpp.o.d"
+  "aggregation_dashboard"
+  "aggregation_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/form_objects.dir/form_objects.cpp.o"
+  "CMakeFiles/form_objects.dir/form_objects.cpp.o.d"
+  "form_objects"
+  "form_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/form_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

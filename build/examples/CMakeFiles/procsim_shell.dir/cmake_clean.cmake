@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_shell.dir/procsim_shell.cpp.o"
+  "CMakeFiles/procsim_shell.dir/procsim_shell.cpp.o.d"
+  "procsim_shell"
+  "procsim_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_form_objects "/root/repo/build/examples/form_objects")
+set_tests_properties(example_form_objects PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_strategy_advisor "/root/repo/build/examples/strategy_advisor" "0.2" "0.001")
+set_tests_properties(example_strategy_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_referential_integrity "/root/repo/build/examples/referential_integrity")
+set_tests_properties(example_referential_integrity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aggregation_dashboard "/root/repo/build/examples/aggregation_dashboard")
+set_tests_properties(example_aggregation_dashboard PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_paper_figures "/root/repo/build/examples/paper_figures" "advise" "--p" "0.1")
+set_tests_properties(example_paper_figures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shell "sh" "-c" "printf 'create T (a btree, b)
+insert T 1 2
+define p ci retrieve (T.all) where T.a >= 0
+access p
+quit
+' | /root/repo/build/examples/procsim_shell")
+set_tests_properties(example_shell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

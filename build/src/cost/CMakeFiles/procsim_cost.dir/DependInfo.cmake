@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/advisor.cc" "src/cost/CMakeFiles/procsim_cost.dir/advisor.cc.o" "gcc" "src/cost/CMakeFiles/procsim_cost.dir/advisor.cc.o.d"
+  "/root/repo/src/cost/model.cc" "src/cost/CMakeFiles/procsim_cost.dir/model.cc.o" "gcc" "src/cost/CMakeFiles/procsim_cost.dir/model.cc.o.d"
+  "/root/repo/src/cost/sweeps.cc" "src/cost/CMakeFiles/procsim_cost.dir/sweeps.cc.o" "gcc" "src/cost/CMakeFiles/procsim_cost.dir/sweeps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/procsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

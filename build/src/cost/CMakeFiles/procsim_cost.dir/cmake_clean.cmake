@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_cost.dir/advisor.cc.o"
+  "CMakeFiles/procsim_cost.dir/advisor.cc.o.d"
+  "CMakeFiles/procsim_cost.dir/model.cc.o"
+  "CMakeFiles/procsim_cost.dir/model.cc.o.d"
+  "CMakeFiles/procsim_cost.dir/sweeps.cc.o"
+  "CMakeFiles/procsim_cost.dir/sweeps.cc.o.d"
+  "libprocsim_cost.a"
+  "libprocsim_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

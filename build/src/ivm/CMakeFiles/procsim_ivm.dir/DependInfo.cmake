@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivm/aggregate.cc" "src/ivm/CMakeFiles/procsim_ivm.dir/aggregate.cc.o" "gcc" "src/ivm/CMakeFiles/procsim_ivm.dir/aggregate.cc.o.d"
+  "/root/repo/src/ivm/avm.cc" "src/ivm/CMakeFiles/procsim_ivm.dir/avm.cc.o" "gcc" "src/ivm/CMakeFiles/procsim_ivm.dir/avm.cc.o.d"
+  "/root/repo/src/ivm/delta.cc" "src/ivm/CMakeFiles/procsim_ivm.dir/delta.cc.o" "gcc" "src/ivm/CMakeFiles/procsim_ivm.dir/delta.cc.o.d"
+  "/root/repo/src/ivm/tuple_store.cc" "src/ivm/CMakeFiles/procsim_ivm.dir/tuple_store.cc.o" "gcc" "src/ivm/CMakeFiles/procsim_ivm.dir/tuple_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/procsim_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/procsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/procsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

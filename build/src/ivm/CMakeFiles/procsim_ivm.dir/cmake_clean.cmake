@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_ivm.dir/aggregate.cc.o"
+  "CMakeFiles/procsim_ivm.dir/aggregate.cc.o.d"
+  "CMakeFiles/procsim_ivm.dir/avm.cc.o"
+  "CMakeFiles/procsim_ivm.dir/avm.cc.o.d"
+  "CMakeFiles/procsim_ivm.dir/delta.cc.o"
+  "CMakeFiles/procsim_ivm.dir/delta.cc.o.d"
+  "CMakeFiles/procsim_ivm.dir/tuple_store.cc.o"
+  "CMakeFiles/procsim_ivm.dir/tuple_store.cc.o.d"
+  "libprocsim_ivm.a"
+  "libprocsim_ivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_ivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/always_recompute.cc" "src/proc/CMakeFiles/procsim_proc.dir/always_recompute.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/always_recompute.cc.o.d"
+  "/root/repo/src/proc/cache_invalidate.cc" "src/proc/CMakeFiles/procsim_proc.dir/cache_invalidate.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/cache_invalidate.cc.o.d"
+  "/root/repo/src/proc/hybrid.cc" "src/proc/CMakeFiles/procsim_proc.dir/hybrid.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/hybrid.cc.o.d"
+  "/root/repo/src/proc/ilock.cc" "src/proc/CMakeFiles/procsim_proc.dir/ilock.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/ilock.cc.o.d"
+  "/root/repo/src/proc/invalidation_log.cc" "src/proc/CMakeFiles/procsim_proc.dir/invalidation_log.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/invalidation_log.cc.o.d"
+  "/root/repo/src/proc/registry.cc" "src/proc/CMakeFiles/procsim_proc.dir/registry.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/registry.cc.o.d"
+  "/root/repo/src/proc/strategy.cc" "src/proc/CMakeFiles/procsim_proc.dir/strategy.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/strategy.cc.o.d"
+  "/root/repo/src/proc/update_cache_adaptive.cc" "src/proc/CMakeFiles/procsim_proc.dir/update_cache_adaptive.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/update_cache_adaptive.cc.o.d"
+  "/root/repo/src/proc/update_cache_avm.cc" "src/proc/CMakeFiles/procsim_proc.dir/update_cache_avm.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/update_cache_avm.cc.o.d"
+  "/root/repo/src/proc/update_cache_rvm.cc" "src/proc/CMakeFiles/procsim_proc.dir/update_cache_rvm.cc.o" "gcc" "src/proc/CMakeFiles/procsim_proc.dir/update_cache_rvm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/procsim_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/procsim_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivm/CMakeFiles/procsim_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/procsim_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/procsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/procsim_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_proc.dir/always_recompute.cc.o"
+  "CMakeFiles/procsim_proc.dir/always_recompute.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/cache_invalidate.cc.o"
+  "CMakeFiles/procsim_proc.dir/cache_invalidate.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/hybrid.cc.o"
+  "CMakeFiles/procsim_proc.dir/hybrid.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/ilock.cc.o"
+  "CMakeFiles/procsim_proc.dir/ilock.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/invalidation_log.cc.o"
+  "CMakeFiles/procsim_proc.dir/invalidation_log.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/registry.cc.o"
+  "CMakeFiles/procsim_proc.dir/registry.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/strategy.cc.o"
+  "CMakeFiles/procsim_proc.dir/strategy.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/update_cache_adaptive.cc.o"
+  "CMakeFiles/procsim_proc.dir/update_cache_adaptive.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/update_cache_avm.cc.o"
+  "CMakeFiles/procsim_proc.dir/update_cache_avm.cc.o.d"
+  "CMakeFiles/procsim_proc.dir/update_cache_rvm.cc.o"
+  "CMakeFiles/procsim_proc.dir/update_cache_rvm.cc.o.d"
+  "libprocsim_proc.a"
+  "libprocsim_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

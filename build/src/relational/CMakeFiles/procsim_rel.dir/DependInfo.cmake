@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/catalog.cc" "src/relational/CMakeFiles/procsim_rel.dir/catalog.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/catalog.cc.o.d"
+  "/root/repo/src/relational/executor.cc" "src/relational/CMakeFiles/procsim_rel.dir/executor.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/executor.cc.o.d"
+  "/root/repo/src/relational/parser.cc" "src/relational/CMakeFiles/procsim_rel.dir/parser.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/parser.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/relational/CMakeFiles/procsim_rel.dir/predicate.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/predicate.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/relational/CMakeFiles/procsim_rel.dir/query.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/query.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/procsim_rel.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/relation.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/relational/CMakeFiles/procsim_rel.dir/tuple.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/procsim_rel.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/procsim_rel.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/procsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/procsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

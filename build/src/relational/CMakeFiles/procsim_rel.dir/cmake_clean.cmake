@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_rel.dir/catalog.cc.o"
+  "CMakeFiles/procsim_rel.dir/catalog.cc.o.d"
+  "CMakeFiles/procsim_rel.dir/executor.cc.o"
+  "CMakeFiles/procsim_rel.dir/executor.cc.o.d"
+  "CMakeFiles/procsim_rel.dir/parser.cc.o"
+  "CMakeFiles/procsim_rel.dir/parser.cc.o.d"
+  "CMakeFiles/procsim_rel.dir/predicate.cc.o"
+  "CMakeFiles/procsim_rel.dir/predicate.cc.o.d"
+  "CMakeFiles/procsim_rel.dir/query.cc.o"
+  "CMakeFiles/procsim_rel.dir/query.cc.o.d"
+  "CMakeFiles/procsim_rel.dir/relation.cc.o"
+  "CMakeFiles/procsim_rel.dir/relation.cc.o.d"
+  "CMakeFiles/procsim_rel.dir/tuple.cc.o"
+  "CMakeFiles/procsim_rel.dir/tuple.cc.o.d"
+  "CMakeFiles/procsim_rel.dir/value.cc.o"
+  "CMakeFiles/procsim_rel.dir/value.cc.o.d"
+  "libprocsim_rel.a"
+  "libprocsim_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

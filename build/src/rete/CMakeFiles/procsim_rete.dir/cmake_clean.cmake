@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_rete.dir/network.cc.o"
+  "CMakeFiles/procsim_rete.dir/network.cc.o.d"
+  "CMakeFiles/procsim_rete.dir/node.cc.o"
+  "CMakeFiles/procsim_rete.dir/node.cc.o.d"
+  "libprocsim_rete.a"
+  "libprocsim_rete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/procsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/procsim_sim.dir/workload.cc.o"
+  "CMakeFiles/procsim_sim.dir/workload.cc.o.d"
+  "libprocsim_sim.a"
+  "libprocsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

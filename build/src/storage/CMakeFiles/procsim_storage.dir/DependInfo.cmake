@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/procsim_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/procsim_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_cache.cc" "src/storage/CMakeFiles/procsim_storage.dir/buffer_cache.cc.o" "gcc" "src/storage/CMakeFiles/procsim_storage.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/procsim_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/procsim_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/storage/CMakeFiles/procsim_storage.dir/hash_index.cc.o" "gcc" "src/storage/CMakeFiles/procsim_storage.dir/hash_index.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/procsim_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/procsim_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/procsim_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/procsim_storage.dir/page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/procsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

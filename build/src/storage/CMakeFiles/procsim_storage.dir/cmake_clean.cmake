@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_storage.dir/btree.cc.o"
+  "CMakeFiles/procsim_storage.dir/btree.cc.o.d"
+  "CMakeFiles/procsim_storage.dir/buffer_cache.cc.o"
+  "CMakeFiles/procsim_storage.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/procsim_storage.dir/disk.cc.o"
+  "CMakeFiles/procsim_storage.dir/disk.cc.o.d"
+  "CMakeFiles/procsim_storage.dir/hash_index.cc.o"
+  "CMakeFiles/procsim_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/procsim_storage.dir/heap_file.cc.o"
+  "CMakeFiles/procsim_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/procsim_storage.dir/page.cc.o"
+  "CMakeFiles/procsim_storage.dir/page.cc.o.d"
+  "libprocsim_storage.a"
+  "libprocsim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

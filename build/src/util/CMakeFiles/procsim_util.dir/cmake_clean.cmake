@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_util.dir/cost_meter.cc.o"
+  "CMakeFiles/procsim_util.dir/cost_meter.cc.o.d"
+  "CMakeFiles/procsim_util.dir/locality.cc.o"
+  "CMakeFiles/procsim_util.dir/locality.cc.o.d"
+  "CMakeFiles/procsim_util.dir/rng.cc.o"
+  "CMakeFiles/procsim_util.dir/rng.cc.o.d"
+  "CMakeFiles/procsim_util.dir/table_printer.cc.o"
+  "CMakeFiles/procsim_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/procsim_util.dir/yao.cc.o"
+  "CMakeFiles/procsim_util.dir/yao.cc.o.d"
+  "libprocsim_util.a"
+  "libprocsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprocsim_util.a"
+)

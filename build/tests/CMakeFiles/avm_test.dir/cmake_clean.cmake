@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_test.dir/avm_test.cc.o"
+  "CMakeFiles/avm_test.dir/avm_test.cc.o.d"
+  "avm_test"
+  "avm_test.pdb"
+  "avm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/btree_test.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/procsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/procsim_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/procsim_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivm/CMakeFiles/procsim_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/procsim_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/procsim_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/procsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/procsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

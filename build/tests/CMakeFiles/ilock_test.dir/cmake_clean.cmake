@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilock_test.dir/ilock_test.cc.o"
+  "CMakeFiles/ilock_test.dir/ilock_test.cc.o.d"
+  "ilock_test"
+  "ilock_test.pdb"
+  "ilock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidation_log_test.dir/invalidation_log_test.cc.o"
+  "CMakeFiles/invalidation_log_test.dir/invalidation_log_test.cc.o.d"
+  "invalidation_log_test"
+  "invalidation_log_test.pdb"
+  "invalidation_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidation_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

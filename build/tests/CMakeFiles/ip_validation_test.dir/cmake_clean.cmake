@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_validation_test.dir/ip_validation_test.cc.o"
+  "CMakeFiles/ip_validation_test.dir/ip_validation_test.cc.o.d"
+  "ip_validation_test"
+  "ip_validation_test.pdb"
+  "ip_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweeps_test.dir/sweeps_test.cc.o"
+  "CMakeFiles/sweeps_test.dir/sweeps_test.cc.o.d"
+  "sweeps_test"
+  "sweeps_test.pdb"
+  "sweeps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_tuple_test.dir/value_tuple_test.cc.o"
+  "CMakeFiles/value_tuple_test.dir/value_tuple_test.cc.o.d"
+  "value_tuple_test"
+  "value_tuple_test.pdb"
+  "value_tuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

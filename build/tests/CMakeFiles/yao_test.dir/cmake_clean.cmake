@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yao_test.dir/yao_test.cc.o"
+  "CMakeFiles/yao_test.dir/yao_test.cc.o.d"
+  "yao_test"
+  "yao_test.pdb"
+  "yao_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yao_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
