@@ -1,0 +1,262 @@
+#include "audit/crosscheck.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/validate.h"
+#include "proc/cache_invalidate.h"
+#include "proc/hybrid.h"
+#include "proc/strategy.h"
+#include "proc/update_cache_adaptive.h"
+#include "proc/update_cache_rvm.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "storage/disk.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace procsim::audit {
+namespace {
+
+using rel::Tuple;
+using rel::Value;
+
+/// Byte-exact canonical form: each tuple serialized (unpadded) and the
+/// images sorted.  Two result bags are equal iff their canonical forms are.
+std::vector<std::string> CanonicalBytes(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> canon;
+  canon.reserve(tuples.size());
+  for (const Tuple& tuple : tuples) {
+    std::vector<uint8_t> bytes = tuple.Serialize();
+    canon.emplace_back(bytes.begin(), bytes.end());
+  }
+  std::sort(canon.begin(), canon.end());
+  return canon;
+}
+
+/// Human-readable first divergence between two canonical bags.
+std::string DescribeDifference(const std::vector<std::string>& expected,
+                               const std::vector<std::string>& actual) {
+  if (expected.size() != actual.size()) {
+    return "cardinality " + std::to_string(actual.size()) + " vs expected " +
+           std::to_string(expected.size());
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] != actual[i]) {
+      return "serialized tuple #" + std::to_string(i) + " differs";
+    }
+  }
+  return "no difference";
+}
+
+struct Harness {
+  std::unique_ptr<sim::Database> db;
+  std::vector<std::unique_ptr<proc::Strategy>> strategies;
+  // Typed views into `strategies` for structure validation.
+  proc::CacheInvalidateStrategy* cache_invalidate = nullptr;
+  proc::UpdateCacheRvmStrategy* rvm = nullptr;
+};
+
+Result<Harness> BuildHarness(const CrossCheckOptions& options) {
+  Harness harness;
+  Result<std::unique_ptr<sim::Database>> built =
+      sim::BuildDatabase(options.params, options.model, options.seed);
+  if (!built.ok()) return built.status();
+  harness.db = built.TakeValueOrDie();
+  sim::Database* db = harness.db.get();
+  const auto tuple_bytes = static_cast<std::size_t>(options.params.S);
+
+  for (cost::Strategy kind :
+       {cost::Strategy::kAlwaysRecompute, cost::Strategy::kCacheInvalidate,
+        cost::Strategy::kUpdateCacheAvm, cost::Strategy::kUpdateCacheRvm}) {
+    harness.strategies.push_back(
+        sim::Simulator::MakeStrategy(kind, db, options.params));
+  }
+  harness.cache_invalidate = static_cast<proc::CacheInvalidateStrategy*>(
+      harness.strategies[1].get());
+  harness.rvm =
+      static_cast<proc::UpdateCacheRvmStrategy*>(harness.strategies[3].get());
+  harness.strategies.push_back(std::make_unique<proc::HybridStrategy>(
+      db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
+      options.params, options.model));
+  harness.strategies.push_back(
+      std::make_unique<proc::UpdateCacheAdaptiveStrategy>(
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes));
+
+  for (const std::unique_ptr<proc::Strategy>& strategy : harness.strategies) {
+    for (const proc::DatabaseProcedure& procedure : db->procedures) {
+      PROCSIM_RETURN_IF_ERROR(strategy->AddProcedure(procedure));
+    }
+    PROCSIM_RETURN_IF_ERROR(strategy->Prepare());
+  }
+  return harness;
+}
+
+/// Compares every strategy's answer for procedure `id` byte-for-byte
+/// against the un-metered from-scratch oracle.
+Status CompareProcedure(Harness* harness, proc::ProcId id,
+                        CrossCheckReport* report) {
+  sim::Database* db = harness->db.get();
+  std::vector<std::string> expected;
+  {
+    storage::MeteringGuard guard(db->disk.get());
+    Result<std::vector<Tuple>> oracle =
+        db->executor->Execute(db->procedures[id].query);
+    PROCSIM_RETURN_IF_ERROR(oracle.status());
+    expected = CanonicalBytes(oracle.ValueOrDie());
+  }
+  for (const std::unique_ptr<proc::Strategy>& strategy : harness->strategies) {
+    Result<std::vector<Tuple>> answer = strategy->Access(id);
+    if (!answer.ok()) {
+      return Status::Internal(strategy->name() + " failed accessing " +
+                              db->procedures[id].name + ": " +
+                              answer.status().ToString());
+    }
+    const std::vector<std::string> actual =
+        CanonicalBytes(answer.ValueOrDie());
+    if (actual != expected) {
+      return Status::Internal(
+          strategy->name() + " diverged on " + db->procedures[id].name +
+          ": " + DescribeDifference(expected, actual));
+    }
+    ++report->comparisons;
+  }
+  return Status::OK();
+}
+
+/// Compares a (sampled or full) set of procedures after an update batch.
+Status CompareBatch(Harness* harness, const CrossCheckOptions& options,
+                    Rng* rng, CrossCheckReport* report) {
+  const std::size_t total = harness->db->procedures.size();
+  if (total == 0) return Status::OK();
+  if (options.compare_sample == 0 || options.compare_sample >= total) {
+    for (proc::ProcId id = 0; id < total; ++id) {
+      PROCSIM_RETURN_IF_ERROR(CompareProcedure(harness, id, report));
+    }
+  } else {
+    for (std::size_t i = 0; i < options.compare_sample; ++i) {
+      PROCSIM_RETURN_IF_ERROR(
+          CompareProcedure(harness, rng->Uniform(total), report));
+    }
+  }
+  if (options.validate_structures) {
+    PROCSIM_RETURN_IF_ERROR(ValidateCatalog(*harness->db->catalog));
+    if (harness->rvm->network() != nullptr) {
+      PROCSIM_RETURN_IF_ERROR(ValidateReteNetwork(*harness->rvm->network()));
+    }
+    PROCSIM_RETURN_IF_ERROR(ValidateILockTable(
+        harness->cache_invalidate->lock_table(), total));
+    PROCSIM_RETURN_IF_ERROR(ValidateInvalidationLog(
+        harness->cache_invalidate->validity_log()));
+  }
+  return Status::OK();
+}
+
+/// Reports one base-table write to every strategy.
+void Notify(Harness* harness, bool is_insert, const Tuple& tuple) {
+  for (const std::unique_ptr<proc::Strategy>& strategy : harness->strategies) {
+    if (is_insert) {
+      strategy->OnInsert("R1", tuple);
+    } else {
+      strategy->OnDelete("R1", tuple);
+    }
+  }
+}
+
+Status EndTransaction(Harness* harness) {
+  for (const std::unique_ptr<proc::Strategy>& strategy : harness->strategies) {
+    PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
+  }
+  return Status::OK();
+}
+
+/// A fresh R1 tuple drawn from the same domains the generator uses.
+Tuple RandomR1Tuple(const sim::Database& db, Rng* rng) {
+  return Tuple(
+      {Value(static_cast<int64_t>(
+           rng->Uniform(static_cast<uint64_t>(db.r1_keys)))),
+       Value(static_cast<int64_t>(
+           rng->Uniform(static_cast<uint64_t>(db.r2_count)))),
+       Value(static_cast<int64_t>(rng->Next() & 0x7fffffff))});
+}
+
+}  // namespace
+
+Result<CrossCheckReport> CrossCheck(const CrossCheckOptions& options) {
+  Result<Harness> built = BuildHarness(options);
+  if (!built.ok()) return built.status();
+  Harness harness = built.TakeValueOrDie();
+  sim::Database* db = harness.db.get();
+  Result<rel::Relation*> r1_lookup = db->catalog->GetRelation("R1");
+  PROCSIM_RETURN_IF_ERROR(r1_lookup.status());
+  rel::Relation* r1 = r1_lookup.ValueOrDie();
+
+  // A separate stream from the builder's so the database contents stay
+  // fixed for a given seed regardless of `steps`.
+  Rng rng(options.seed + 1000003);
+  CrossCheckReport report;
+
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    ++report.steps;
+    const double toss = rng.NextDouble();
+    if (toss < options.update_weight) {
+      // --- in-place update transaction (the paper's workload) -------------
+      const auto l = static_cast<std::size_t>(options.params.l);
+      Result<std::vector<std::pair<Tuple, Tuple>>> changes =
+          sim::ApplyUpdateTransaction(db, l, &rng);
+      PROCSIM_RETURN_IF_ERROR(changes.status());
+      for (const auto& [old_tuple, new_tuple] : changes.ValueOrDie()) {
+        Notify(&harness, /*is_insert=*/false, old_tuple);
+        Notify(&harness, /*is_insert=*/true, new_tuple);
+      }
+      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
+      ++report.update_transactions;
+      PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
+    } else if (toss < options.update_weight + options.insert_weight) {
+      // --- base-table insert ----------------------------------------------
+      const Tuple tuple = RandomR1Tuple(*db, &rng);
+      {
+        storage::MeteringGuard guard(db->disk.get());
+        Result<storage::RecordId> rid = r1->Insert(tuple);
+        PROCSIM_RETURN_IF_ERROR(rid.status());
+        db->r1_rids.push_back(rid.ValueOrDie());
+      }
+      Notify(&harness, /*is_insert=*/true, tuple);
+      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
+      ++report.base_inserts;
+      PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
+    } else if (toss <
+               options.update_weight + options.insert_weight +
+                   options.delete_weight) {
+      // --- base-table delete ----------------------------------------------
+      if (db->r1_rids.size() <= options.min_r1_tuples) continue;
+      const std::size_t victim = rng.Uniform(db->r1_rids.size());
+      const storage::RecordId rid = db->r1_rids[victim];
+      Tuple old_tuple;
+      {
+        storage::MeteringGuard guard(db->disk.get());
+        Result<Tuple> read = r1->Read(rid);
+        PROCSIM_RETURN_IF_ERROR(read.status());
+        old_tuple = read.TakeValueOrDie();
+        PROCSIM_RETURN_IF_ERROR(r1->Delete(rid));
+      }
+      db->r1_rids[victim] = db->r1_rids.back();
+      db->r1_rids.pop_back();
+      Notify(&harness, /*is_insert=*/false, old_tuple);
+      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
+      ++report.base_deletes;
+      PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
+    } else {
+      // --- procedure access ----------------------------------------------
+      const proc::ProcId id = rng.Uniform(db->procedures.size());
+      PROCSIM_RETURN_IF_ERROR(CompareProcedure(&harness, id, &report));
+      ++report.accesses;
+    }
+  }
+  return report;
+}
+
+}  // namespace procsim::audit

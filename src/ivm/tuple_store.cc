@@ -27,7 +27,11 @@ Status TupleStore::InsertInternal(const Tuple& tuple) {
   return Status::OK();
 }
 
-Status TupleStore::Insert(const Tuple& tuple) { return InsertInternal(tuple); }
+Status TupleStore::Insert(const Tuple& tuple) {
+  PROCSIM_RETURN_IF_ERROR(InsertInternal(tuple));
+  PROCSIM_AUDIT_OK(CheckConsistency());
+  return Status::OK();
+}
 
 Status TupleStore::Remove(const Tuple& tuple) {
   auto [begin, end] = by_tuple_.equal_range(tuple.Hash());
@@ -47,6 +51,7 @@ Status TupleStore::Remove(const Tuple& tuple) {
     }
     by_tuple_.erase(it);
     --count_;
+    PROCSIM_AUDIT_OK(CheckConsistency());
     return Status::OK();
   }
   return Status::NotFound("tuple not in store: " + tuple.ToString());
@@ -115,6 +120,7 @@ Status TupleStore::Rebuild(const std::vector<Tuple>& tuples) {
   for (const Tuple& tuple : tuples) {
     PROCSIM_RETURN_IF_ERROR(InsertInternal(tuple));
   }
+  PROCSIM_AUDIT_OK(CheckConsistency());
   return Status::OK();
 }
 
@@ -123,6 +129,63 @@ std::vector<Tuple> TupleStore::SnapshotForTesting() const {
   out.reserve(count_);
   for (const auto& [hash, entry] : by_tuple_) out.push_back(entry.tuple);
   return out;
+}
+
+Status TupleStore::CheckConsistency() const {
+  storage::MeteringGuard guard(disk_);
+  PROCSIM_RETURN_IF_ERROR(heap_->CheckConsistency());
+  if (by_tuple_.size() != count_) {
+    return Status::Internal("tuple map holds " +
+                            std::to_string(by_tuple_.size()) +
+                            " entries but size() is " + std::to_string(count_));
+  }
+  if (heap_->record_count() != count_) {
+    return Status::Internal("heap holds " +
+                            std::to_string(heap_->record_count()) +
+                            " records but size() is " + std::to_string(count_));
+  }
+  for (const auto& [hash, entry] : by_tuple_) {
+    if (hash != entry.tuple.Hash()) {
+      return Status::Internal("tuple map key does not hash its tuple: " +
+                              entry.tuple.ToString());
+    }
+    Result<std::vector<uint8_t>> bytes = heap_->Read(entry.rid);
+    if (!bytes.ok()) {
+      return Status::Internal("mapped record " + entry.rid.ToString() +
+                              " unreadable: " + bytes.status().ToString());
+    }
+    Result<Tuple> stored = Tuple::Deserialize(bytes.ValueOrDie());
+    if (!stored.ok()) return stored.status();
+    if (!(stored.ValueOrDie() == entry.tuple)) {
+      return Status::Internal("record " + entry.rid.ToString() +
+                              " stores " + stored.ValueOrDie().ToString() +
+                              " but the map expects " + entry.tuple.ToString());
+    }
+  }
+  for (const auto& [column, index] : probe_indexes_) {
+    if (index.size() != count_) {
+      return Status::Internal(
+          "probe index on column " + std::to_string(column) + " holds " +
+          std::to_string(index.size()) + " postings for " +
+          std::to_string(count_) + " tuples");
+    }
+    for (const auto& [key, rid] : index) {
+      Result<std::vector<uint8_t>> bytes = heap_->Read(rid);
+      if (!bytes.ok()) {
+        return Status::Internal("probe index posting " + rid.ToString() +
+                                " unreadable: " + bytes.status().ToString());
+      }
+      Result<Tuple> stored = Tuple::Deserialize(bytes.ValueOrDie());
+      if (!stored.ok()) return stored.status();
+      if (stored.ValueOrDie().value(column).AsInt64() != key) {
+        return Status::Internal(
+            "probe index on column " + std::to_string(column) +
+            " maps key " + std::to_string(key) + " to record " +
+            rid.ToString() + " holding " + stored.ValueOrDie().ToString());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace procsim::ivm

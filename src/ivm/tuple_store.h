@@ -66,6 +66,13 @@ class TupleStore {
   /// Contents without any I/O charge; for tests and invariant checks only.
   std::vector<rel::Tuple> SnapshotForTesting() const;
 
+  /// Deep self-validation (un-metered): the heap, the tuple map and every
+  /// probe index must describe the same bag — each mapped record is live on
+  /// its page and deserializes back to its tuple, counts agree everywhere,
+  /// and each probe-index posting points at a record whose column value is
+  /// the posting's key.
+  Status CheckConsistency() const;
+
   std::size_t size() const { return count_; }
   std::size_t page_count() const;
 

@@ -45,4 +45,14 @@ std::size_t ILockTable::lock_count() const {
   return total;
 }
 
+void ILockTable::ForEachLock(
+    const std::function<void(const std::string&, ProcId, std::size_t, int64_t,
+                             int64_t)>& fn) const {
+  for (const auto& [relation, locks] : locks_by_relation_) {
+    for (const Lock& lock : locks) {
+      fn(relation, lock.owner, lock.column, lock.lo, lock.hi);
+    }
+  }
+}
+
 }  // namespace procsim::proc

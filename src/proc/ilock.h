@@ -2,6 +2,7 @@
 #define PROCSIM_PROC_ILOCK_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,12 @@ class ILockTable {
                                  const rel::Tuple& tuple) const;
 
   std::size_t lock_count() const;
+
+  /// Calls `fn(relation, owner, column, lo, hi)` for every lock; iteration
+  /// order is unspecified.  Used by audit::ValidateILockTable.
+  void ForEachLock(
+      const std::function<void(const std::string&, ProcId, std::size_t,
+                               int64_t, int64_t)>& fn) const;
 
  private:
   struct Lock {

@@ -95,4 +95,28 @@ Status InvalidationLog::ResetFrom(std::vector<bool> valid) {
   return Status::OK();
 }
 
+Status InvalidationLog::CheckConsistency() const {
+  uint64_t previous_lsn = 0;
+  for (const Record& record : records_) {
+    if (record.lsn <= previous_lsn) {
+      return Status::Internal("log LSN " + std::to_string(record.lsn) +
+                              " does not increase past " +
+                              std::to_string(previous_lsn));
+    }
+    if (record.lsn >= next_lsn_) {
+      return Status::Internal("log LSN " + std::to_string(record.lsn) +
+                              " is at or beyond next_lsn " +
+                              std::to_string(next_lsn_));
+    }
+    if (record.procedure >= valid_.size()) {
+      return Status::Internal("log record at LSN " +
+                              std::to_string(record.lsn) +
+                              " names unknown procedure " +
+                              std::to_string(record.procedure));
+    }
+    previous_lsn = record.lsn;
+  }
+  return Status::OK();
+}
+
 }  // namespace procsim::proc

@@ -79,6 +79,11 @@ class InvalidationLog {
   uint64_t next_lsn() const { return next_lsn_; }
   bool crashed() const { return crashed_; }
 
+  /// Verifies log-structure invariants: LSNs strictly increase and stay
+  /// below next_lsn(), and every record names a procedure inside the
+  /// bitmap.  Used by audit::ValidateInvalidationLog.
+  Status CheckConsistency() const;
+
  private:
   Status Append(Record::Kind kind, ProcId id);
 

@@ -46,6 +46,14 @@ void UpdateCacheRvmStrategy::OnDelete(const std::string& relation,
   if (!st.ok()) deferred_error_ = st;
 }
 
+Status UpdateCacheRvmStrategy::OnTransactionEnd() {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (network_ != nullptr) {
+    PROCSIM_AUDIT_OK(network_->ValidateState());
+  }
+  return Status::OK();
+}
+
 const rete::ReteNetwork::Stats& UpdateCacheRvmStrategy::network_stats() const {
   PROCSIM_CHECK(network_ != nullptr) << "Prepare() not called";
   return network_->stats();

@@ -31,7 +31,15 @@ class UpdateCacheRvmStrategy : public Strategy {
   void OnInsert(const std::string& relation, const rel::Tuple& tuple) override;
   void OnDelete(const std::string& relation, const rel::Tuple& tuple) override;
 
+  /// Audit boundary: base relations and Rete memories must agree here (they
+  /// legitimately diverge mid-transaction while tokens are in flight).
+  Status OnTransactionEnd() override;
+
   const rete::ReteNetwork::Stats& network_stats() const;
+
+  /// The maintenance network itself (for audit::ValidateReteNetwork).
+  /// Valid after Prepare().
+  const rete::ReteNetwork* network() const { return network_.get(); }
 
   /// Graphviz rendering of the maintenance network (paper figures 1/3/16).
   std::string NetworkDot() const;

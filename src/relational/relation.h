@@ -63,6 +63,8 @@ class Relation {
   bool has_btree() const { return btree_ != nullptr; }
   bool has_hash_index() const { return hash_ != nullptr; }
   const storage::BTree* btree() const { return btree_.get(); }
+  const storage::HashIndex* hash_index() const { return hash_.get(); }
+  storage::BTree* mutable_btree() { return btree_.get(); }
   std::optional<std::size_t> btree_column() const { return options_.btree_column; }
   std::optional<std::size_t> hash_column() const { return options_.hash_column; }
 

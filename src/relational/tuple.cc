@@ -63,8 +63,10 @@ Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
 std::vector<uint8_t> Tuple::Serialize(std::size_t pad_to_bytes) const {
   std::vector<uint8_t> out;
   const auto arity = static_cast<uint32_t>(values_.size());
-  out.insert(out.end(), reinterpret_cast<const uint8_t*>(&arity),
-             reinterpret_cast<const uint8_t*>(&arity) + sizeof(arity));
+  // resize + memcpy: GCC 12's -Wstringop-overflow misfires on
+  // insert-from-pointer into a growing vector.
+  out.resize(sizeof(arity));
+  std::memcpy(out.data(), &arity, sizeof(arity));
   for (const Value& value : values_) value.SerializeTo(&out);
   // Record the payload length, then pad to the declared width so the stored
   // record occupies the paper's fixed S bytes per tuple.

@@ -73,10 +73,14 @@ std::string Value::ToString() const {
 
 namespace {
 
+// resize + memcpy rather than insert-from-pointer: GCC 12's
+// -Wstringop-overflow misfires on the latter when it inlines the vector
+// growth path.
 template <typename T>
 void AppendPod(std::vector<uint8_t>* out, T value) {
-  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
-  out->insert(out->end(), bytes, bytes + sizeof(T));
+  const std::size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
 }
 
 template <typename T>

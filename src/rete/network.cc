@@ -1,5 +1,6 @@
 #include "rete/network.h"
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 #include <map>
@@ -342,13 +343,121 @@ std::string ReteNetwork::ToDot() const {
 
 Status ReteNetwork::Submit(const std::string& relation, const Token& token) {
   auto it = root_index_.find(relation);
-  if (it == root_index_.end()) return Status::OK();
-  for (SelectionEntry* entry : it->second) {
-    if (entry->has_interval) {
-      const int64_t key = token.tuple.value(entry->key_column).AsInt64();
-      if (key < entry->lo || key > entry->hi) continue;  // lock not broken
+  if (it != root_index_.end()) {
+    for (SelectionEntry* entry : it->second) {
+      if (entry->has_interval) {
+        const int64_t key = token.tuple.value(entry->key_column).AsInt64();
+        if (key < entry->lo || key > entry->hi) continue;  // lock not broken
+      }
+      PROCSIM_RETURN_IF_ERROR(entry->node->Activate(token));
     }
-    PROCSIM_RETURN_IF_ERROR(entry->node->Activate(token));
+  }
+  // No ValidateState() here: mid-transaction the base relations already hold
+  // mutations whose tokens have not all been submitted yet, so memories
+  // legitimately diverge until the caller reaches a transaction boundary
+  // (UpdateCacheRvmStrategy::OnTransactionEnd audits there).
+  return Status::OK();
+}
+
+namespace {
+
+/// Sorted serialized form of a memory's contents for multiset comparison.
+std::vector<std::string> CanonicalBag(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const Tuple& tuple : tuples) out.push_back(tuple.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string FirstDifference(const std::vector<std::string>& expected,
+                            const std::vector<std::string>& actual) {
+  std::vector<std::string> missing;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  if (!missing.empty()) return "missing " + missing.front();
+  std::vector<std::string> extra;
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(extra));
+  if (!extra.empty()) return "spurious " + extra.front();
+  return "multiplicity mismatch";
+}
+
+}  // namespace
+
+Status ReteNetwork::ValidateState() const {
+  storage::MeteringGuard guard(catalog_->disk());
+
+  // α-memories: each must equal a from-scratch recomputation of its
+  // selection against the base relation.
+  for (const auto& entry : selections_) {
+    PROCSIM_RETURN_IF_ERROR(entry->memory->store().CheckConsistency());
+    Result<rel::Relation*> base = catalog_->GetRelation(entry->relation);
+    if (!base.ok()) return base.status();
+    std::vector<Tuple> expected;
+    auto collect = [&](storage::RecordId, const Tuple& tuple) {
+      if (entry->node->residual().Matches(tuple)) expected.push_back(tuple);
+      return true;
+    };
+    if (entry->has_interval) {
+      PROCSIM_RETURN_IF_ERROR(
+          base.ValueOrDie()->BTreeRange(entry->lo, entry->hi, collect));
+    } else {
+      PROCSIM_RETURN_IF_ERROR(base.ValueOrDie()->Scan(collect));
+    }
+    const std::vector<std::string> want = CanonicalBag(expected);
+    const std::vector<std::string> have =
+        CanonicalBag(entry->memory->store().SnapshotForTesting());
+    if (want != have) {
+      return Status::Internal(
+          "alpha-memory for " + entry->node->Describe() + " on " +
+          entry->relation + " diverged from recomputation (|memory| = " +
+          std::to_string(have.size()) + ", |recomputed| = " +
+          std::to_string(want.size()) + "): " + FirstDifference(want, have));
+    }
+  }
+
+  // β-memories: each must equal the join of its and-node's input memories.
+  // The inputs are validated before (α) or by this same loop (β feeding β;
+  // nodes_ is in construction order, so inputs precede consumers), giving
+  // from-scratch equality by induction.
+  for (const auto& node : nodes_) {
+    const auto* and_node = dynamic_cast<const AndNode*>(node.get());
+    if (and_node == nullptr) continue;
+    const MemoryNode* beta = nullptr;
+    for (const ReteNode* successor : node->successors()) {
+      beta = dynamic_cast<const MemoryNode*>(successor);
+      if (beta != nullptr) break;
+    }
+    if (beta == nullptr) {
+      return Status::Internal("and-node " + and_node->Describe() +
+                              " has no beta-memory successor");
+    }
+    PROCSIM_RETURN_IF_ERROR(beta->store().CheckConsistency());
+    std::vector<Tuple> expected;
+    const std::vector<Tuple> left =
+        and_node->left()->store().SnapshotForTesting();
+    const std::vector<Tuple> right =
+        and_node->right()->store().SnapshotForTesting();
+    for (const Tuple& left_tuple : left) {
+      for (const Tuple& right_tuple : right) {
+        if (rel::EvalCompare(left_tuple.value(and_node->left_column()),
+                             and_node->op(),
+                             right_tuple.value(and_node->right_column()))) {
+          expected.push_back(Tuple::Concat(left_tuple, right_tuple));
+        }
+      }
+    }
+    const std::vector<std::string> want = CanonicalBag(expected);
+    const std::vector<std::string> have =
+        CanonicalBag(beta->store().SnapshotForTesting());
+    if (want != have) {
+      return Status::Internal(
+          "beta-memory of " + and_node->Describe() +
+          " diverged from the join of its inputs (|memory| = " +
+          std::to_string(have.size()) + ", |join| = " +
+          std::to_string(want.size()) + "): " + FirstDifference(want, have));
+    }
   }
   return Status::OK();
 }

@@ -82,6 +82,14 @@ class ReteNetwork {
 
   const Stats& stats() const { return stats_; }
 
+  /// Deep semantic validation (un-metered): every α-memory must equal a
+  /// from-scratch recomputation of its selection against the catalog, and
+  /// every β-memory must equal the join of its and-node's current input
+  /// memories — so by induction each memory equals a from-scratch
+  /// recomputation of its subview.  Used by audit::ValidateReteNetwork and
+  /// (in PROCSIM_AUDIT builds) after every submitted token.
+  Status ValidateState() const;
+
   /// Renders the network as Graphviz DOT — the tool that drew the paper's
   /// figures 1, 3 and 16.  Shared subexpressions appear as nodes with
   /// multiple outgoing edges; memory nodes show their current cardinality.

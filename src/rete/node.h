@@ -117,6 +117,13 @@ class AndNode : public ReteNode {
   ReteNode* LeftInput() { return &left_input_; }
   ReteNode* RightInput() { return &right_input_; }
 
+  // Join structure, exposed for network validation.
+  const MemoryNode* left() const { return left_; }
+  const MemoryNode* right() const { return right_; }
+  std::size_t left_column() const { return left_column_; }
+  std::size_t right_column() const { return right_column_; }
+  rel::CompareOp op() const { return op_; }
+
  private:
   class SideAdapter : public ReteNode {
    public:

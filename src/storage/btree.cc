@@ -226,6 +226,7 @@ Status BTree::Insert(int64_t key, RecordId rid) {
     root_ = AllocateNode(new_root);
     ++height_;
   }
+  PROCSIM_AUDIT_OK(CheckInvariants());
   return Status::OK();
 }
 
@@ -277,7 +278,9 @@ Status BTree::Delete(int64_t key, RecordId rid) {
         node.keys.erase(node.keys.begin() + i);
         node.values.erase(node.values.begin() + i);
         --entry_count_;
-        return StoreNode(page_id, node);
+        PROCSIM_RETURN_IF_ERROR(StoreNode(page_id, node));
+        PROCSIM_AUDIT_OK(CheckInvariants());
+        return Status::OK();
       }
       if (node.keys[i] > key) {
         return Status::NotFound("btree entry not found");
@@ -326,7 +329,14 @@ Status BTree::CheckNode(PageId page_id, std::optional<int64_t> lo,
   if (!loaded.ok()) return loaded.status();
   const Node& node = loaded.ValueOrDie();
   if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
-    return Status::Internal("btree node keys not sorted");
+    return Status::Internal("btree node keys not sorted in page " +
+                            std::to_string(page_id));
+  }
+  if (node.keys.size() > fanout_) {
+    return Status::Internal("btree node in page " + std::to_string(page_id) +
+                            " overflows fanout: " +
+                            std::to_string(node.keys.size()) + " > " +
+                            std::to_string(fanout_));
   }
   // Bounds are inclusive on both sides because duplicate keys may equal the
   // separator on either side of a split.
@@ -364,8 +374,108 @@ Status BTree::CheckNode(PageId page_id, std::optional<int64_t> lo,
 }
 
 Status BTree::CheckInvariants() const {
+  // Validation walks every node; never charge it to the experiment.
+  MeteringGuard guard(disk_);
   int leaf_depth = -1;
-  return CheckNode(root_, std::nullopt, std::nullopt, 0, &leaf_depth);
+  PROCSIM_RETURN_IF_ERROR(
+      CheckNode(root_, std::nullopt, std::nullopt, 0, &leaf_depth));
+  if (leaf_depth >= 0 && leaf_depth + 1 != height_) {
+    return Status::Internal("btree leaf depth " + std::to_string(leaf_depth) +
+                            " inconsistent with height " +
+                            std::to_string(height_));
+  }
+
+  // Walk the leaf chain: the chain must start at the leftmost leaf, visit
+  // entries in global (key, rid) order, and account for every entry.
+  PageId page_id = root_;
+  while (true) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded.ValueOrDie().is_leaf) break;
+    if (loaded.ValueOrDie().children.empty()) {
+      return Status::Internal("btree internal node with no children");
+    }
+    page_id = loaded.ValueOrDie().children.front();
+  }
+  std::size_t chained = 0;
+  bool have_previous = false;
+  int64_t previous_key = 0;
+  // Duplicates of one key can span leaves, and inserts land in the leftmost
+  // candidate leaf, so rid order among equal keys holds only *within* a
+  // leaf; globally only the keys are ordered.  Uniqueness of (key, rid)
+  // pairs across the whole run of a key is tracked separately.
+  std::vector<RecordId> current_key_rids;
+  while (page_id != kInvalidPageId) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    const Node& node = loaded.ValueOrDie();
+    if (!node.is_leaf) {
+      return Status::Internal("btree leaf chain reaches internal node in page " +
+                              std::to_string(page_id));
+    }
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      if (have_previous && node.keys[i] < previous_key) {
+        return Status::Internal(
+            "btree leaf chain out of key order: key " +
+            std::to_string(previous_key) + " precedes key " +
+            std::to_string(node.keys[i]) + " in page " +
+            std::to_string(page_id));
+      }
+      if (i > 0 && !EntryLess(node.keys[i - 1], node.values[i - 1],
+                              node.keys[i], node.values[i])) {
+        return Status::Internal(
+            "btree leaf entries out of (key, rid) order in page " +
+            std::to_string(page_id) + " at index " + std::to_string(i));
+      }
+      if (!have_previous || node.keys[i] != previous_key) {
+        current_key_rids.clear();
+      }
+      for (const RecordId& seen : current_key_rids) {
+        if (seen == node.values[i]) {
+          return Status::Internal(
+              "btree holds duplicate entry (" + std::to_string(node.keys[i]) +
+              ", " + node.values[i].ToString() + ") in page " +
+              std::to_string(page_id));
+        }
+      }
+      current_key_rids.push_back(node.values[i]);
+      previous_key = node.keys[i];
+      have_previous = true;
+      ++chained;
+    }
+    page_id = node.next_leaf;
+  }
+  if (chained != entry_count_) {
+    return Status::Internal("btree leaf chain holds " +
+                            std::to_string(chained) + " entries but " +
+                            std::to_string(entry_count_) + " were inserted");
+  }
+  return Status::OK();
+}
+
+Status BTree::CorruptLeafOrderForTesting() {
+  MeteringGuard guard(disk_);
+  // Find the leftmost leaf, then walk the chain for a leaf with two
+  // distinct keys to swap.
+  PageId page_id = root_;
+  while (true) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded.ValueOrDie().is_leaf) break;
+    page_id = loaded.ValueOrDie().children.front();
+  }
+  while (page_id != kInvalidPageId) {
+    Result<Node> loaded = LoadNode(page_id);
+    if (!loaded.ok()) return loaded.status();
+    Node node = loaded.TakeValueOrDie();
+    if (node.keys.size() >= 2 && node.keys.front() != node.keys.back()) {
+      std::swap(node.keys.front(), node.keys.back());
+      std::swap(node.values.front(), node.values.back());
+      return StoreNode(page_id, node);
+    }
+    page_id = node.next_leaf;
+  }
+  return Status::NotFound("no leaf with two distinct keys to corrupt");
 }
 
 }  // namespace procsim::storage

@@ -56,9 +56,21 @@ class BTree {
   /// page_size / entry_bytes.
   uint32_t fanout() const { return fanout_; }
 
-  /// Verifies structural invariants (sorted keys, child separator bounds,
-  /// uniform leaf depth, leaf-chain ordering).  For tests.
+  /// Verifies structural invariants: sorted keys, child separator bounds,
+  /// node fill bounds (<= fanout), uniform leaf depth, plus a full walk of
+  /// the leaf chain checking global key ordering, per-leaf (key, rid)
+  /// ordering, absence of duplicate (key, rid) pairs, and that the chain
+  /// accounts for exactly entry_count() entries.  (Rid order among equal
+  /// keys is a within-leaf invariant only: duplicates of a key can span
+  /// leaves and inserts land in the leftmost candidate leaf.)  Un-metered.
+  /// Used by tests, by audit::ValidateBTree, and (in PROCSIM_AUDIT builds)
+  /// after every mutation.
   Status CheckInvariants() const;
+
+  /// Deliberately swaps two unequal keys inside one leaf, breaking key
+  /// order — corruption injection for validator tests.  NotFound if no leaf
+  /// holds two distinct keys.
+  Status CorruptLeafOrderForTesting();
 
  private:
   struct Node {

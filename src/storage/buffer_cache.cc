@@ -1,5 +1,7 @@
 #include "storage/buffer_cache.h"
 
+#include <string>
+
 #include "util/logging.h"
 
 namespace procsim::storage {
@@ -9,34 +11,128 @@ BufferCache::BufferCache(std::size_t capacity_pages)
   PROCSIM_CHECK_GT(capacity_pages, 0u);
 }
 
-bool BufferCache::Touch(uint32_t page_id) {
+bool BufferCache::TouchInternal(uint32_t page_id) {
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     ++hits_;
     return true;
   }
   ++misses_;
   if (frames_.size() >= capacity_) {
-    const uint32_t victim = lru_.back();
-    lru_.pop_back();
-    frames_.erase(victim);
+    // Evict the least recently used unpinned frame.
+    auto victim = lru_.end();
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      if (frames_.at(*rit).pins == 0) {
+        victim = std::prev(rit.base());
+        break;
+      }
+    }
+    PROCSIM_CHECK(victim != lru_.end())
+        << "buffer cache full of pinned pages (capacity " << capacity_ << ")";
+    dirty_.erase(*victim);
+    frames_.erase(*victim);
+    lru_.erase(victim);
   }
   lru_.push_front(page_id);
-  frames_[page_id] = lru_.begin();
+  frames_[page_id] = Frame{lru_.begin(), 0};
   return false;
 }
 
-void BufferCache::Evict(uint32_t page_id) {
+bool BufferCache::Touch(uint32_t page_id) {
+  const bool hit = TouchInternal(page_id);
+  PROCSIM_AUDIT_OK(CheckConsistency());
+  return hit;
+}
+
+Status BufferCache::Evict(uint32_t page_id) {
   auto it = frames_.find(page_id);
-  if (it == frames_.end()) return;
-  lru_.erase(it->second);
+  if (it == frames_.end()) return Status::OK();
+  if (it->second.pins > 0) {
+    return Status::InvalidArgument("cannot evict pinned page " +
+                                   std::to_string(page_id));
+  }
+  lru_.erase(it->second.lru_pos);
   frames_.erase(it);
+  dirty_.erase(page_id);
+  PROCSIM_AUDIT_OK(CheckConsistency());
+  return Status::OK();
 }
 
 void BufferCache::Clear() {
+  PROCSIM_CHECK_EQ(total_pins_, 0u) << "Clear() with pins outstanding";
   lru_.clear();
   frames_.clear();
+  dirty_.clear();
+}
+
+void BufferCache::Pin(uint32_t page_id) {
+  TouchInternal(page_id);
+  ++frames_.at(page_id).pins;
+  ++total_pins_;
+  PROCSIM_AUDIT_OK(CheckConsistency());
+}
+
+Status BufferCache::Unpin(uint32_t page_id) {
+  auto it = frames_.find(page_id);
+  if (it == frames_.end() || it->second.pins == 0) {
+    return Status::InvalidArgument("unpin of unpinned page " +
+                                   std::to_string(page_id));
+  }
+  --it->second.pins;
+  --total_pins_;
+  PROCSIM_AUDIT_OK(CheckConsistency());
+  return Status::OK();
+}
+
+uint32_t BufferCache::pin_count(uint32_t page_id) const {
+  auto it = frames_.find(page_id);
+  return it == frames_.end() ? 0 : it->second.pins;
+}
+
+Status BufferCache::MarkDirty(uint32_t page_id) {
+  if (!frames_.contains(page_id)) {
+    return Status::InvalidArgument("dirtying non-resident page " +
+                                   std::to_string(page_id));
+  }
+  dirty_.insert(page_id);
+  return Status::OK();
+}
+
+void BufferCache::ClearDirty(uint32_t page_id) { dirty_.erase(page_id); }
+
+Status BufferCache::CheckConsistency() const {
+  if (frames_.size() > capacity_) {
+    return Status::Internal("buffer cache over capacity: " +
+                            std::to_string(frames_.size()) + " > " +
+                            std::to_string(capacity_));
+  }
+  if (frames_.size() != lru_.size()) {
+    return Status::Internal("buffer cache frame map and LRU list disagree: " +
+                            std::to_string(frames_.size()) + " frames vs " +
+                            std::to_string(lru_.size()) + " LRU entries");
+  }
+  uint64_t pins = 0;
+  for (const auto& [page_id, frame] : frames_) {
+    if (*frame.lru_pos != page_id) {
+      return Status::Internal("frame for page " + std::to_string(page_id) +
+                              " points at LRU entry " +
+                              std::to_string(*frame.lru_pos));
+    }
+    pins += frame.pins;
+  }
+  if (pins != total_pins_) {
+    return Status::Internal(
+        "pin accounting leak: per-frame pins sum to " + std::to_string(pins) +
+        " but total_pins() is " + std::to_string(total_pins_));
+  }
+  for (uint32_t page_id : dirty_) {
+    if (!frames_.contains(page_id)) {
+      return Status::Internal("dirty page " + std::to_string(page_id) +
+                              " is not resident");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace procsim::storage

@@ -4,16 +4,25 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "util/status.h"
 
 namespace procsim::storage {
 
-/// \brief An LRU page-residency tracker.
+/// \brief An LRU page-residency tracker with pin and dirty accounting.
 ///
 /// The paper's 1987 cost model charges every page touch as a disk I/O — no
 /// buffer cache.  This class lets the simulator relax that assumption as an
 /// ablation: when attached to a SimulatedDisk, a read of a resident page is
 /// free and only misses pay C2.  (Pages are always durable in the page
 /// store; the cache only tracks *residency* for charging purposes.)
+///
+/// Pin counts and the dirty set exist for invariant auditing (and for the
+/// ROADMAP's concurrency work, where an in-flight operation must keep its
+/// pages resident): a pinned frame is never chosen as an eviction victim,
+/// and audit::ValidateBufferCache can assert that a quiescent system holds
+/// no pins — a leaked pin is a bug in the caller's pin/unpin pairing.
 class BufferCache {
  public:
   /// \param capacity_pages  number of page frames (> 0)
@@ -21,14 +30,42 @@ class BufferCache {
 
   /// Records an access to `page_id`.  Returns true on a hit (no charge
   /// due); on a miss the page is brought in, evicting the least recently
-  /// used frame if full.
+  /// used unpinned frame if full.  It is a checked fatal error to touch a
+  /// new page while every frame is pinned.
   bool Touch(uint32_t page_id);
 
-  /// Drops `page_id` if resident (e.g. after the caller invalidates it).
-  void Evict(uint32_t page_id);
+  /// Drops `page_id` if resident and unpinned (e.g. after the caller
+  /// invalidates it); InvalidArgument if the frame is pinned.
+  Status Evict(uint32_t page_id);
 
-  /// Empties the cache (cold start).
+  /// Empties the cache (cold start).  Checked fatal error if pins are held.
   void Clear();
+
+  // --- pin accounting ------------------------------------------------------
+
+  /// Brings `page_id` in (counting a hit/miss like Touch) and increments its
+  /// pin count; pinned frames are exempt from eviction.
+  void Pin(uint32_t page_id);
+
+  /// Decrements `page_id`'s pin count; InvalidArgument if not pinned.
+  Status Unpin(uint32_t page_id);
+
+  /// Current pin count of `page_id` (0 if absent or unpinned).
+  uint32_t pin_count(uint32_t page_id) const;
+
+  /// Sum of all pin counts; 0 when the system is quiescent.
+  uint64_t total_pins() const { return total_pins_; }
+
+  // --- dirty tracking ------------------------------------------------------
+
+  /// Marks a resident page dirty; InvalidArgument if not resident.
+  Status MarkDirty(uint32_t page_id);
+
+  /// Clears the dirty bit (after the caller writes the page back).
+  void ClearDirty(uint32_t page_id);
+
+  bool IsDirty(uint32_t page_id) const { return dirty_.contains(page_id); }
+  std::size_t dirty_count() const { return dirty_.size(); }
 
   bool Contains(uint32_t page_id) const { return frames_.contains(page_id); }
   std::size_t size() const { return frames_.size(); }
@@ -36,13 +73,29 @@ class BufferCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  /// Verifies internal invariants: the LRU list and frame map describe the
+  /// same pages, occupancy respects capacity, every pinned or dirty page is
+  /// resident, and the pin total matches the per-frame counts.
+  Status CheckConsistency() const;
+
  private:
+  struct Frame {
+    std::list<uint32_t>::iterator lru_pos;
+    uint32_t pins = 0;
+  };
+
+  /// Moves `page_id` to the MRU position, inserting it (with eviction) on a
+  /// miss.  Returns true on a hit.
+  bool TouchInternal(uint32_t page_id);
+
   std::size_t capacity_;
   // Most recently used at the front.
   std::list<uint32_t> lru_;
-  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> frames_;
+  std::unordered_map<uint32_t, Frame> frames_;
+  std::unordered_set<uint32_t> dirty_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t total_pins_ = 0;
 };
 
 }  // namespace procsim::storage

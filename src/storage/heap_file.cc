@@ -1,11 +1,36 @@
 #include "storage/heap_file.h"
 
+#include <string>
+#include <unordered_set>
+
 #include "util/logging.h"
 
 namespace procsim::storage {
 
 HeapFile::HeapFile(SimulatedDisk* disk) : disk_(disk) {
   PROCSIM_CHECK(disk != nullptr);
+}
+
+Status HeapFile::CheckConsistency() const {
+  MeteringGuard guard(disk_);
+  std::unordered_set<PageId> seen;
+  std::size_t live = 0;
+  for (PageId page_id : pages_) {
+    if (!seen.insert(page_id).second) {
+      return Status::Internal("heap file lists page " +
+                              std::to_string(page_id) + " twice");
+    }
+    Result<Page*> page = disk_->ReadPage(page_id);
+    if (!page.ok()) return page.status();
+    PROCSIM_RETURN_IF_ERROR(page.ValueOrDie()->CheckConsistency());
+    live += page.ValueOrDie()->live_count();
+  }
+  if (live != record_count_) {
+    return Status::Internal("heap file pages hold " + std::to_string(live) +
+                            " live records but record_count() is " +
+                            std::to_string(record_count_));
+  }
+  return Status::OK();
 }
 
 Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
@@ -20,6 +45,7 @@ Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
       if (!slot.ok()) return slot.status();
       PROCSIM_RETURN_IF_ERROR(disk_->MarkDirty(last));
       ++record_count_;
+      PROCSIM_AUDIT_OK(CheckConsistency());
       return RecordId{last, slot.ValueOrDie()};
     }
   }
@@ -32,6 +58,7 @@ Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
   if (!slot.ok()) return slot.status();
   PROCSIM_RETURN_IF_ERROR(disk_->MarkDirty(fresh));
   ++record_count_;
+  PROCSIM_AUDIT_OK(CheckConsistency());
   return RecordId{fresh, slot.ValueOrDie()};
 }
 
@@ -55,6 +82,7 @@ Status HeapFile::Delete(RecordId rid) {
   PROCSIM_RETURN_IF_ERROR(page.ValueOrDie()->Delete(rid.slot));
   PROCSIM_RETURN_IF_ERROR(disk_->MarkDirty(rid.page_id));
   --record_count_;
+  PROCSIM_AUDIT_OK(CheckConsistency());
   return Status::OK();
 }
 

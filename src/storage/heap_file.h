@@ -45,6 +45,11 @@ class HeapFile {
   std::size_t record_count() const { return record_count_; }
   const std::vector<PageId>& pages() const { return pages_; }
 
+  /// Verifies the file against its pages (un-metered): the page list holds
+  /// no duplicates, every page passes Page::CheckConsistency, and the live
+  /// records on the pages sum to record_count().
+  Status CheckConsistency() const;
+
  private:
   SimulatedDisk* disk_;
   std::vector<PageId> pages_;

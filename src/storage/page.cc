@@ -69,6 +69,7 @@ Result<uint16_t> Page::Insert(const uint8_t* data, uint32_t size) {
     slots_[slot_index] = Slot{free_end_, size, /*live=*/true};
   }
   ++live_count_;
+  PROCSIM_AUDIT_OK(CheckConsistency());
   return slot_index;
 }
 
@@ -94,6 +95,7 @@ Status Page::Update(uint16_t slot, const uint8_t* data, uint32_t size) {
     // Shrink (or equal) in place.
     std::memcpy(heap_.data() + s.offset, data, size);
     s.size = size;
+    PROCSIM_AUDIT_OK(CheckConsistency());
     return Status::OK();
   }
   // Grows: check capacity excluding the old copy, then reinsert.
@@ -105,6 +107,7 @@ Status Page::Update(uint16_t slot, const uint8_t* data, uint32_t size) {
   free_end_ -= size;
   std::memcpy(heap_.data() + free_end_, data, size);
   s = Slot{free_end_, size, /*live=*/true};
+  PROCSIM_AUDIT_OK(CheckConsistency());
   return Status::OK();
 }
 
@@ -115,15 +118,67 @@ Status Page::Delete(uint16_t slot) {
   slots_[slot].live = false;
   slots_[slot].size = 0;
   --live_count_;
+  PROCSIM_AUDIT_OK(CheckConsistency());
+  return Status::OK();
+}
+
+Status Page::CheckConsistency() const {
+  if (heap_.size() != page_size_) {
+    return Status::Internal("page arena size " + std::to_string(heap_.size()) +
+                            " != page size " + std::to_string(page_size_));
+  }
+  uint16_t live = 0;
+  uint64_t used = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> extents;  // (offset, size)
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (!slot.live) continue;
+    ++live;
+    used += slot.size;
+    if (slot.size == 0) {
+      return Status::Internal("live slot " + std::to_string(i) +
+                              " has zero size");
+    }
+    if (slot.offset < free_end_ ||
+        static_cast<uint64_t>(slot.offset) + slot.size > page_size_) {
+      return Status::Internal(
+          "slot " + std::to_string(i) + " extent [" +
+          std::to_string(slot.offset) + ", " +
+          std::to_string(slot.offset + slot.size) +
+          ") escapes the payload arena [" + std::to_string(free_end_) + ", " +
+          std::to_string(page_size_) + ")");
+    }
+    extents.emplace_back(slot.offset, slot.size);
+  }
+  if (live != live_count_) {
+    return Status::Internal("live slot directory count " +
+                            std::to_string(live) + " != cached live_count " +
+                            std::to_string(live_count_));
+  }
+  if (used > page_size_) {
+    return Status::Internal("live payload bytes " + std::to_string(used) +
+                            " exceed page size " + std::to_string(page_size_));
+  }
+  std::sort(extents.begin(), extents.end());
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i - 1].first + extents[i - 1].second > extents[i].first) {
+      return Status::Internal("live payload extents overlap at offset " +
+                              std::to_string(extents[i].first));
+    }
+  }
   return Status::OK();
 }
 
 namespace {
 
+// resize + memcpy rather than insert-from-pointer: GCC 12's
+// -Wstringop-overflow misfires on the latter when it inlines the vector
+// growth path.
 template <typename T>
 void AppendPod(std::vector<uint8_t>* out, T value) {
-  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
-  out->insert(out->end(), bytes, bytes + sizeof(T));
+  const std::size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
 }
 
 template <typename T>

@@ -81,6 +81,11 @@ class Page {
   /// Reconstructs a page from Serialize() output.
   static Result<Page> Deserialize(const std::vector<uint8_t>& bytes);
 
+  /// Verifies the slot directory and free-space accounting: live extents lie
+  /// inside the payload arena and do not overlap, the live count matches the
+  /// directory, and used bytes never exceed the page size.
+  Status CheckConsistency() const;
+
  private:
   struct Slot {
     uint32_t offset = 0;

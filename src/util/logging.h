@@ -67,4 +67,31 @@ struct Voidify {
 #define PROCSIM_CHECK_GT(a, b) PROCSIM_CHECK((a) > (b))
 #define PROCSIM_CHECK_GE(a, b) PROCSIM_CHECK((a) >= (b))
 
+// Audit-build checks.  PROCSIM_ENABLE_AUDIT (the PROCSIM_AUDIT CMake option)
+// turns on deep invariant re-validation in hot paths: structures re-verify
+// themselves after every mutation.  Release builds compile the checked
+// expressions but never evaluate them, so they pay nothing.
+
+#ifdef PROCSIM_ENABLE_AUDIT
+#define PROCSIM_AUDIT_ENABLED 1
+#else
+#define PROCSIM_AUDIT_ENABLED 0
+#endif
+
+#if PROCSIM_AUDIT_ENABLED
+#define PROCSIM_DCHECK(condition) PROCSIM_CHECK(condition)
+// Evaluates a Status-returning expression and aborts on a non-OK result.
+#define PROCSIM_AUDIT_OK(expr)                                   \
+  do {                                                           \
+    const ::procsim::Status _procsim_audit_status = (expr);      \
+    PROCSIM_CHECK(_procsim_audit_status.ok())                    \
+        << _procsim_audit_status.ToString();                     \
+  } while (0)
+#else
+// `true || (condition)` keeps the condition compiled (catching bit-rot) but
+// never evaluated.
+#define PROCSIM_DCHECK(condition) PROCSIM_CHECK(true || (condition))
+#define PROCSIM_AUDIT_OK(expr) ((void)sizeof(expr))
+#endif
+
 #endif  // PROCSIM_UTIL_LOGGING_H_

@@ -1,0 +1,81 @@
+// Randomized differential harness: the six strategies must return
+// byte-identical answers under a seeded random interleaving of update
+// transactions, base-table inserts/deletes and procedure accesses, with the
+// deep structure validators running after every update batch.  Parameters
+// are scaled down from the figure-2 defaults so hundreds of steps finish
+// quickly; the *structure* (clustered B-tree R1, hashed R2/R3, shared P2
+// subexpressions) is the paper's.
+#include "audit/crosscheck.h"
+
+#include <gtest/gtest.h>
+
+namespace procsim::audit {
+namespace {
+
+cost::Params SmallParams() {
+  cost::Params params;
+  params.N = 160;     // R1 tuples
+  params.f_R2 = 0.1;  // |R2| = 16
+  params.f_R3 = 0.1;  // |R3| = 16
+  params.l = 3;       // tuples modified per update transaction
+  params.N1 = 4;      // P1 procedures
+  params.N2 = 4;      // P2 procedures
+  params.SF = 0.5;
+  params.f = 0.08;    // selection interval spans ~13 keys
+  params.f2 = 0.3;
+  return params;
+}
+
+TEST(AuditFuzzTest, Model1StrategiesAgreeOver500Steps) {
+  CrossCheckOptions options;
+  options.params = SmallParams();
+  options.model = cost::ProcModel::kModel1;
+  options.seed = 20260806;
+  options.steps = 500;
+  Result<CrossCheckReport> report = CrossCheck(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.ValueOrDie().steps, 500u);
+  // The op mix must actually exercise every mutation kind.
+  EXPECT_GT(report.ValueOrDie().update_transactions, 0u);
+  EXPECT_GT(report.ValueOrDie().base_inserts, 0u);
+  EXPECT_GT(report.ValueOrDie().base_deletes, 0u);
+  EXPECT_GT(report.ValueOrDie().accesses, 0u);
+  EXPECT_GT(report.ValueOrDie().comparisons, 1000u);
+}
+
+TEST(AuditFuzzTest, Model2ThreeWayJoinsAgree) {
+  CrossCheckOptions options;
+  options.params = SmallParams();
+  options.model = cost::ProcModel::kModel2;
+  options.seed = 7;
+  options.steps = 200;
+  Result<CrossCheckReport> report = CrossCheck(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.ValueOrDie().steps, 200u);
+  EXPECT_GT(report.ValueOrDie().comparisons, 0u);
+}
+
+TEST(AuditFuzzTest, DifferentSeedsAllAgree) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    CrossCheckOptions options;
+    options.params = SmallParams();
+    options.seed = seed;
+    options.steps = 60;
+    Result<CrossCheckReport> report = CrossCheck(options);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << report.status().ToString();
+  }
+}
+
+TEST(AuditFuzzTest, SampledComparisonMode) {
+  CrossCheckOptions options;
+  options.params = SmallParams();
+  options.seed = 99;
+  options.steps = 80;
+  options.compare_sample = 2;  // spot-check two procedures per batch
+  Result<CrossCheckReport> report = CrossCheck(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+}
+
+}  // namespace
+}  // namespace procsim::audit

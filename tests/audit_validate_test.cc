@@ -1,0 +1,290 @@
+#include "audit/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "rete/network.h"
+#include "storage/btree.h"
+#include "storage/buffer_cache.h"
+#include "storage/page.h"
+#include "util/cost_meter.h"
+
+namespace procsim::audit {
+namespace {
+
+using rel::Conjunction;
+using rel::Tuple;
+using rel::Value;
+
+storage::RecordId Rid(uint32_t n) {
+  storage::RecordId rid;
+  rid.page_id = n;
+  rid.slot = static_cast<uint16_t>(n % 7);
+  return rid;
+}
+
+// ---------------------------------------------------------------------------
+// B-tree: a planted key-order violation must be detected and named.
+
+TEST(ValidateBTreeTest, CleanTreePasses) {
+  CostMeter meter;
+  storage::SimulatedDisk disk(4000, &meter);
+  disk.set_metering_enabled(false);
+  storage::BTree tree(&disk, 20);
+  for (int64_t key = 0; key < 64; ++key) {
+    ASSERT_TRUE(tree.Insert(key, Rid(static_cast<uint32_t>(key))).ok());
+  }
+  EXPECT_TRUE(ValidateBTree(tree).ok());
+}
+
+TEST(ValidateBTreeTest, DetectsCorruptedLeafOrder) {
+  CostMeter meter;
+  storage::SimulatedDisk disk(4000, &meter);
+  disk.set_metering_enabled(false);
+  storage::BTree tree(&disk, 20);
+  for (int64_t key = 0; key < 64; ++key) {
+    ASSERT_TRUE(tree.Insert(key, Rid(static_cast<uint32_t>(key))).ok());
+  }
+  ASSERT_TRUE(tree.CorruptLeafOrderForTesting().ok());
+  const Status status = ValidateBTree(tree);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("sorted"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Buffer cache: a pin without a matching unpin is a leak at quiescence.
+
+TEST(ValidateBufferCacheTest, CleanCachePasses) {
+  storage::BufferCache cache(4);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Pin(3);
+  ASSERT_TRUE(cache.Unpin(3).ok());
+  EXPECT_TRUE(ValidateBufferCache(cache).ok());
+  EXPECT_TRUE(ValidateBufferCache(cache, /*expect_unpinned=*/true).ok());
+}
+
+TEST(ValidateBufferCacheTest, DetectsLeakedPin) {
+  storage::BufferCache cache(4);
+  cache.Pin(7);  // never unpinned
+  EXPECT_TRUE(ValidateBufferCache(cache).ok());  // structurally fine...
+  const Status status = ValidateBufferCache(cache, /*expect_unpinned=*/true);
+  ASSERT_FALSE(status.ok());  // ...but a leak at a quiescent point
+  EXPECT_NE(status.ToString().find("leaked pin"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateBufferCacheTest, PinnedFrameSurvivesEvictionPressure) {
+  storage::BufferCache cache(2);
+  cache.Pin(1);
+  cache.Touch(2);
+  cache.Touch(3);  // must evict page 2, not the pinned page 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(cache.Evict(1).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(cache.Unpin(1).ok());
+  EXPECT_TRUE(ValidateBufferCache(cache, /*expect_unpinned=*/true).ok());
+}
+
+TEST(ValidateBufferCacheTest, DirtyTrackingRequiresResidency) {
+  storage::BufferCache cache(2);
+  cache.Touch(1);
+  ASSERT_TRUE(cache.MarkDirty(1).ok());
+  EXPECT_TRUE(cache.IsDirty(1));
+  EXPECT_EQ(cache.MarkDirty(99).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(cache.Evict(1).ok());  // eviction clears the dirty bit
+  EXPECT_FALSE(cache.IsDirty(1));
+  EXPECT_TRUE(ValidateBufferCache(cache).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Page: round-trip validation.
+
+TEST(ValidatePageTest, RoundTripsLiveRecords) {
+  storage::Page page(4000);
+  const std::vector<uint8_t> a(40, 0xAB);
+  const std::vector<uint8_t> b(60, 0xCD);
+  const uint16_t slot_a =
+      page.Insert(a.data(), static_cast<uint32_t>(a.size())).ValueOrDie();
+  (void)page.Insert(b.data(), static_cast<uint32_t>(b.size())).ValueOrDie();
+  ASSERT_TRUE(page.Delete(slot_a).ok());  // leave a tombstone behind
+  EXPECT_TRUE(ValidatePage(page).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Rete: a desynchronized memory (α or β) must be caught by ValidateState.
+
+class ValidateReteTest : public ::testing::Test {
+ protected:
+  ValidateReteTest()
+      : disk_(4000, &meter_), catalog_(&disk_), executor_(&catalog_, &meter_) {
+    disk_.set_metering_enabled(false);
+    rel::Relation::Options r1_options;
+    r1_options.tuple_width_bytes = 100;
+    r1_options.btree_column = 0;
+    r1_ = catalog_
+              .CreateRelation("R1",
+                              rel::Schema({{"key", rel::ValueType::kInt64},
+                                           {"a", rel::ValueType::kInt64}}),
+                              r1_options)
+              .ValueOrDie();
+    rel::Relation::Options r2_options;
+    r2_options.tuple_width_bytes = 100;
+    r2_options.hash_column = 0;
+    r2_ = catalog_
+              .CreateRelation("R2",
+                              rel::Schema({{"b", rel::ValueType::kInt64},
+                                           {"c", rel::ValueType::kInt64}}),
+                              r2_options)
+              .ValueOrDie();
+    for (int64_t i = 0; i < 40; ++i) {
+      (void)r1_->Insert(Tuple({Value(i), Value(i % 5)}));
+    }
+    for (int64_t i = 0; i < 5; ++i) {
+      (void)r2_->Insert(Tuple({Value(i), Value(i * 11)}));
+    }
+  }
+
+  rel::ProcedureQuery P1(int64_t lo, int64_t hi) {
+    rel::ProcedureQuery query;
+    query.base = rel::BaseSelection{"R1", lo, hi, Conjunction{}};
+    return query;
+  }
+
+  rel::ProcedureQuery P2(int64_t lo, int64_t hi) {
+    rel::ProcedureQuery query = P1(lo, hi);
+    rel::JoinStage stage;
+    stage.relation = "R2";
+    stage.probe_column = 1;  // R1.a probes R2.b
+    query.joins.push_back(stage);
+    return query;
+  }
+
+  CostMeter meter_;
+  storage::SimulatedDisk disk_;
+  rel::Catalog catalog_;
+  rel::Executor executor_;
+  rel::Relation* r1_ = nullptr;
+  rel::Relation* r2_ = nullptr;
+};
+
+TEST_F(ValidateReteTest, CleanNetworkPasses) {
+  rete::ReteNetwork network(&catalog_, &meter_, 100);
+  ASSERT_TRUE(network.AddProcedure(P1(3, 12)).ok());
+  ASSERT_TRUE(network.AddProcedure(P2(5, 20)).ok());
+  EXPECT_TRUE(ValidateReteNetwork(network).ok());
+  // Still clean after maintenance traffic: modify the base table, then
+  // notify the network of the delete/insert pair (the validator recomputes
+  // each memory from the catalog, so base table and tokens must agree).
+  storage::RecordId victim;
+  Tuple old_tuple;
+  ASSERT_TRUE(r1_->Scan([&](storage::RecordId rid, const Tuple& tuple) {
+                    victim = rid;
+                    old_tuple = tuple;
+                    return false;
+                  })
+                  .ok());
+  const Tuple new_tuple({old_tuple.value(0), Value(int64_t{4})});
+  ASSERT_TRUE(r1_->UpdateInPlace(victim, new_tuple).ok());
+  ASSERT_TRUE(network.OnDelete("R1", old_tuple).ok());
+  ASSERT_TRUE(network.OnInsert("R1", new_tuple).ok());
+  EXPECT_TRUE(ValidateReteNetwork(network).ok());
+}
+
+TEST_F(ValidateReteTest, DetectsDesynchronizedAlphaMemory) {
+  rete::ReteNetwork network(&catalog_, &meter_, 100);
+  rete::MemoryNode* alpha = network.AddProcedure(P1(3, 12)).ValueOrDie();
+  ASSERT_FALSE(alpha->is_beta());
+  // Plant a tuple that no recomputation of the selection would produce.
+  ASSERT_TRUE(alpha->mutable_store()
+                  ->Insert(Tuple({Value(int64_t{999}), Value(int64_t{0})}))
+                  .ok());
+  const Status status = ValidateReteNetwork(network);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("spurious"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(ValidateReteTest, DetectsDesynchronizedBetaMemory) {
+  rete::ReteNetwork network(&catalog_, &meter_, 100);
+  rete::MemoryNode* beta = network.AddProcedure(P2(0, 30)).ValueOrDie();
+  ASSERT_TRUE(beta->is_beta());
+  // Remove one legitimate join result: the β-memory no longer equals the
+  // join of its inputs.
+  std::vector<Tuple> contents = beta->mutable_store()->SnapshotForTesting();
+  ASSERT_FALSE(contents.empty());
+  ASSERT_TRUE(beta->mutable_store()->Remove(contents.front()).ok());
+  const Status status = ValidateReteNetwork(network);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("missing"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// I-locks and the invalidation log.
+
+TEST(ValidateILockTableTest, CleanTablePasses) {
+  proc::ILockTable locks;
+  locks.AddIntervalLock(/*owner=*/0, "R1", /*column=*/0, 10, 20);
+  locks.AddIntervalLock(/*owner=*/2, "R1", /*column=*/0, 15, 15);
+  EXPECT_TRUE(ValidateILockTable(locks, /*procedure_count=*/3).ok());
+}
+
+TEST(ValidateILockTableTest, DetectsDanglingOwner) {
+  proc::ILockTable locks;
+  locks.AddIntervalLock(/*owner=*/7, "R1", /*column=*/0, 10, 20);
+  const Status status = ValidateILockTable(locks, /*procedure_count=*/3);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("dangling"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateILockTableTest, DetectsEmptyInterval) {
+  proc::ILockTable locks;
+  locks.AddIntervalLock(/*owner=*/0, "R1", /*column=*/0, 20, 10);
+  const Status status = ValidateILockTable(locks, /*procedure_count=*/3);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("interval"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateInvalidationLogTest, TracksTransitions) {
+  proc::InvalidationLog log(4);
+  ASSERT_TRUE(log.MarkInvalid(1).ok());
+  ASSERT_TRUE(log.MarkInvalid(3).ok());
+  ASSERT_TRUE(log.MarkValid(1).ok());
+  EXPECT_TRUE(ValidateInvalidationLog(log).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Relation cross-checks: heap, B-tree and hash index must agree.
+
+TEST_F(ValidateReteTest, ValidateCatalogPassesOnCleanDatabase) {
+  EXPECT_TRUE(ValidateCatalog(catalog_).ok());
+}
+
+TEST_F(ValidateReteTest, DetectsIndexEntryMissingForLiveRecord) {
+  // Remove one B-tree entry behind the relation's back: the record is still
+  // live in the heap, so the cross-check must flag the divergence.
+  storage::BTree* btree = r1_->mutable_btree();
+  ASSERT_NE(btree, nullptr);
+  bool removed = false;
+  ASSERT_TRUE(r1_->Scan([&](storage::RecordId rid, const Tuple& tuple) {
+                    removed = btree->Delete(tuple.value(0).AsInt64(), rid).ok();
+                    return false;  // first record only
+                  })
+                  .ok());
+  ASSERT_TRUE(removed);
+  const Status status = ValidateRelation(*r1_, catalog_.disk());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("btree"), std::string::npos)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace procsim::audit

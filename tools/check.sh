@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Static-analysis gate.
+#
+# Preferred path: clang-tidy over every translation unit in src/, driven by
+# the compile-commands database of an existing build tree.  Fallback path
+# (for containers without LLVM tooling): g++ -fsyntax-only with the project's
+# strict warning set, which still catches header breakage and most of what
+# the -Werror build would reject.
+#
+# Usage: tools/check.sh [build-dir]   (default: build)
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "check.sh: ${BUILD_DIR}/compile_commands.json not found; configuring..." >&2
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+
+SOURCES=$(find src -name '*.cc' | sort)
+if [ -z "${SOURCES}" ]; then
+  echo "check.sh: no sources found under src/" >&2
+  exit 1
+fi
+
+FAILED=0
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "check.sh: running clang-tidy (config: .clang-tidy) over src/..."
+  for src in ${SOURCES}; do
+    if ! clang-tidy --quiet -p "${BUILD_DIR}" "${src}"; then
+      FAILED=1
+    fi
+  done
+else
+  echo "check.sh: clang-tidy not found; falling back to g++ -fsyntax-only" >&2
+  # Mirror the include setup recorded in the compile-commands DB.
+  GTEST_INC=""
+  if [ -d /usr/include/gtest ]; then GTEST_INC="-I/usr/include"; fi
+  for src in ${SOURCES}; do
+    if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+         -Isrc ${GTEST_INC} "${src}"; then
+      echo "check.sh: FAILED ${src}" >&2
+      FAILED=1
+    fi
+  done
+fi
+
+if [ "${FAILED}" -ne 0 ]; then
+  echo "check.sh: FAILURES detected" >&2
+  exit 1
+fi
+echo "check.sh: OK"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-2 correctness gate.  Slower than the tier-1 `cmake && ctest` loop;
+# run before merging anything that touches storage, Rete, or the strategies.
+#
+#   1. AddressSanitizer build + full test suite
+#   2. UndefinedBehaviorSanitizer build + full test suite
+#   3. Deep-audit build (PROCSIM_AUDIT=ON) + focused structural tests.
+#      Audit hooks re-validate whole structures after every mutation, so the
+#      full suite under audit would be quadratic on bulk loads; the focused
+#      list exercises every validator without that blowup.
+#   4. Static-analysis gate (tools/check.sh)
+#   5. Format gate (tools/format.sh --check; no-op without clang-format)
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+run_preset() {
+  local preset="$1"
+  shift
+  echo "=== ci.sh: preset ${preset} ==="
+  cmake --preset "${preset}" >/dev/null
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  ctest --preset "${preset}" "$@"
+}
+
+run_preset asan
+run_preset ubsan
+run_preset audit -R 'Audit|Validate|BTree|HeapFile|Page|BufferCache|Rete|TupleStore|ILock|Invalidation'
+
+echo "=== ci.sh: static analysis ==="
+bash tools/check.sh build-asan
+
+echo "=== ci.sh: format check ==="
+bash tools/format.sh --check
+
+echo "ci.sh: ALL GATES PASSED"
