@@ -60,16 +60,14 @@ int main() {
   for (std::size_t target :
        {std::size_t{0}, std::size_t{1000}, std::size_t{4000},
         std::size_t{10000}, std::size_t{20000}, std::size_t{40000}}) {
-    while (churned < target) {
-      const std::size_t batch = std::min<std::size_t>(200, target - churned);
-      Result<std::vector<std::pair<rel::Tuple, rel::Tuple>>> changes =
-          sim::ApplyUpdateTransaction(&db, batch, &rng);
-      if (!changes.ok()) {
-        std::cerr << changes.status().ToString() << "\n";
-        return 1;
-      }
-      churned += batch;
+    // Churn through the shared workload-op path (inline-RNG mode keeps
+    // this bench's random stream identical to the historical loop).
+    Status churn = bench::ChurnR1(&db, target - churned, 200, &rng);
+    if (!churn.ok()) {
+      std::cerr << churn.ToString() << "\n";
+      return 1;
     }
+    churned = target;
     const double measured = measure();
     table.AddRow({std::to_string(churned),
                   TablePrinter::FormatDouble(

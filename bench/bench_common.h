@@ -1,12 +1,15 @@
 #ifndef PROCSIM_BENCH_BENCH_COMMON_H_
 #define PROCSIM_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cost/model.h"
 #include "cost/sweeps.h"
+#include "sim/workload.h"
+#include "util/rng.h"
 #include "util/table_printer.h"
 
 namespace procsim::bench {
@@ -16,6 +19,28 @@ inline void PrintHeader(const std::string& figure, const std::string& title,
                         const cost::Params& params) {
   std::cout << "=== " << figure << ": " << title << " ===\n";
   std::cout << params.ToString() << "\n\n";
+}
+
+/// Churns `count` R1 tuples in batches of `batch_size`, routed through the
+/// same sim::WorkloadOp path the differential oracle and the concurrent
+/// session pool execute (inline-RNG ops, so `rng` is consumed exactly as a
+/// direct ApplyUpdateTransaction loop would).  Strategy notification is the
+/// caller's business — benches that only measure raw executor drift skip it.
+inline Status ChurnR1(sim::Database* db, std::size_t count,
+                      std::size_t batch_size, Rng* rng) {
+  std::size_t churned = 0;
+  while (churned < count) {
+    const std::size_t batch = std::min(batch_size, count - churned);
+    sim::WorkloadMix mix;
+    mix.update_batch = batch;
+    // value == 0: inline-RNG mode, preserving the historical stream.
+    const sim::WorkloadOp op{sim::WorkloadOp::Kind::kUpdate, 0};
+    Result<sim::MutationResult> applied =
+        sim::ApplyMutationOp(db, op, mix, rng);
+    PROCSIM_RETURN_IF_ERROR(applied.status());
+    churned += batch;
+  }
+  return Status::OK();
 }
 
 /// Prints a cost-vs-x series (the paper's line plots) as an aligned table.

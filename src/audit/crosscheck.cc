@@ -8,9 +8,7 @@
 
 #include "audit/validate.h"
 #include "proc/cache_invalidate.h"
-#include "proc/hybrid.h"
 #include "proc/strategy.h"
-#include "proc/update_cache_adaptive.h"
 #include "proc/update_cache_rvm.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
@@ -22,7 +20,7 @@ namespace procsim::audit {
 namespace {
 
 using rel::Tuple;
-using rel::Value;
+using sim::WorkloadOp;
 
 /// Byte-exact canonical form: each tuple serialized (unpadded) and the
 /// images sorted.  Two result bags are equal iff their canonical forms are.
@@ -54,10 +52,7 @@ std::string DescribeDifference(const std::vector<std::string>& expected,
 
 struct Harness {
   std::unique_ptr<sim::Database> db;
-  std::vector<std::unique_ptr<proc::Strategy>> strategies;
-  // Typed views into `strategies` for structure validation.
-  proc::CacheInvalidateStrategy* cache_invalidate = nullptr;
-  proc::UpdateCacheRvmStrategy* rvm = nullptr;
+  sim::StrategySet strategies;
 };
 
 Result<Harness> BuildHarness(const CrossCheckOptions& options) {
@@ -66,39 +61,19 @@ Result<Harness> BuildHarness(const CrossCheckOptions& options) {
       sim::BuildDatabase(options.params, options.model, options.seed);
   if (!built.ok()) return built.status();
   harness.db = built.TakeValueOrDie();
-  sim::Database* db = harness.db.get();
-  const auto tuple_bytes = static_cast<std::size_t>(options.params.S);
-
-  for (cost::Strategy kind :
-       {cost::Strategy::kAlwaysRecompute, cost::Strategy::kCacheInvalidate,
-        cost::Strategy::kUpdateCacheAvm, cost::Strategy::kUpdateCacheRvm}) {
-    harness.strategies.push_back(
-        sim::Simulator::MakeStrategy(kind, db, options.params));
-  }
-  harness.cache_invalidate = static_cast<proc::CacheInvalidateStrategy*>(
-      harness.strategies[1].get());
-  harness.rvm =
-      static_cast<proc::UpdateCacheRvmStrategy*>(harness.strategies[3].get());
-  harness.strategies.push_back(std::make_unique<proc::HybridStrategy>(
-      db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
-      options.params, options.model));
-  harness.strategies.push_back(
-      std::make_unique<proc::UpdateCacheAdaptiveStrategy>(
-          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes));
-
-  for (const std::unique_ptr<proc::Strategy>& strategy : harness.strategies) {
-    for (const proc::DatabaseProcedure& procedure : db->procedures) {
-      PROCSIM_RETURN_IF_ERROR(strategy->AddProcedure(procedure));
-    }
-    PROCSIM_RETURN_IF_ERROR(strategy->Prepare());
-  }
+  Result<sim::StrategySet> strategies = sim::MakeAllStrategies(
+      harness.db.get(), options.params, options.model);
+  if (!strategies.ok()) return strategies.status();
+  harness.strategies = strategies.TakeValueOrDie();
   return harness;
 }
 
 /// Compares every strategy's answer for procedure `id` byte-for-byte
-/// against the un-metered from-scratch oracle.
+/// against the un-metered from-scratch oracle.  If `digest` is non-null it
+/// receives the oracle's canonical result bytes.
 Status CompareProcedure(Harness* harness, proc::ProcId id,
-                        CrossCheckReport* report) {
+                        CrossCheckReport* report,
+                        std::string* digest = nullptr) {
   sim::Database* db = harness->db.get();
   std::vector<std::string> expected;
   {
@@ -106,9 +81,13 @@ Status CompareProcedure(Harness* harness, proc::ProcId id,
     Result<std::vector<Tuple>> oracle =
         db->executor->Execute(db->procedures[id].query);
     PROCSIM_RETURN_IF_ERROR(oracle.status());
+    if (digest != nullptr) {
+      *digest = sim::CanonicalResultBytes(oracle.ValueOrDie());
+    }
     expected = CanonicalBytes(oracle.ValueOrDie());
   }
-  for (const std::unique_ptr<proc::Strategy>& strategy : harness->strategies) {
+  for (const std::unique_ptr<proc::Strategy>& strategy :
+       harness->strategies.all) {
     Result<std::vector<Tuple>> answer = strategy->Access(id);
     if (!answer.ok()) {
       return Status::Internal(strategy->name() + " failed accessing " +
@@ -144,20 +123,22 @@ Status CompareBatch(Harness* harness, const CrossCheckOptions& options,
   }
   if (options.validate_structures) {
     PROCSIM_RETURN_IF_ERROR(ValidateCatalog(*harness->db->catalog));
-    if (harness->rvm->network() != nullptr) {
-      PROCSIM_RETURN_IF_ERROR(ValidateReteNetwork(*harness->rvm->network()));
+    if (harness->strategies.rvm->network() != nullptr) {
+      PROCSIM_RETURN_IF_ERROR(
+          ValidateReteNetwork(*harness->strategies.rvm->network()));
     }
     PROCSIM_RETURN_IF_ERROR(ValidateILockTable(
-        harness->cache_invalidate->lock_table(), total));
+        harness->strategies.cache_invalidate->lock_table(), total));
     PROCSIM_RETURN_IF_ERROR(ValidateInvalidationLog(
-        harness->cache_invalidate->validity_log()));
+        harness->strategies.cache_invalidate->validity_log()));
   }
   return Status::OK();
 }
 
 /// Reports one base-table write to every strategy.
 void Notify(Harness* harness, bool is_insert, const Tuple& tuple) {
-  for (const std::unique_ptr<proc::Strategy>& strategy : harness->strategies) {
+  for (const std::unique_ptr<proc::Strategy>& strategy :
+       harness->strategies.all) {
     if (is_insert) {
       strategy->OnInsert("R1", tuple);
     } else {
@@ -167,96 +148,98 @@ void Notify(Harness* harness, bool is_insert, const Tuple& tuple) {
 }
 
 Status EndTransaction(Harness* harness) {
-  for (const std::unique_ptr<proc::Strategy>& strategy : harness->strategies) {
+  for (const std::unique_ptr<proc::Strategy>& strategy :
+       harness->strategies.all) {
     PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
   }
   return Status::OK();
 }
 
-/// A fresh R1 tuple drawn from the same domains the generator uses.
-Tuple RandomR1Tuple(const sim::Database& db, Rng* rng) {
-  return Tuple(
-      {Value(static_cast<int64_t>(
-           rng->Uniform(static_cast<uint64_t>(db.r1_keys)))),
-       Value(static_cast<int64_t>(
-           rng->Uniform(static_cast<uint64_t>(db.r2_count)))),
-       Value(static_cast<int64_t>(rng->Next() & 0x7fffffff))});
+sim::WorkloadMix MixFromOptions(const CrossCheckOptions& options) {
+  sim::WorkloadMix mix;
+  mix.update_weight = options.update_weight;
+  mix.insert_weight = options.insert_weight;
+  mix.delete_weight = options.delete_weight;
+  mix.update_batch = static_cast<std::size_t>(options.params.l);
+  mix.min_r1_tuples = options.min_r1_tuples;
+  return mix;
 }
 
 }  // namespace
 
-Result<CrossCheckReport> CrossCheck(const CrossCheckOptions& options) {
+std::vector<WorkloadOp> GenerateOpStream(const CrossCheckOptions& options) {
+  const auto proc_count = static_cast<std::size_t>(options.params.N1) +
+                          static_cast<std::size_t>(options.params.N2);
+  // A separate stream from the builder's so the database contents stay
+  // fixed for a given seed regardless of `steps`.
+  sim::Workload workload(MixFromOptions(options),
+                         std::max<std::size_t>(1, proc_count),
+                         options.seed + 1000003);
+  return workload.Take(options.steps);
+}
+
+Result<CrossCheckReport> RunOpStream(
+    const CrossCheckOptions& options, const std::vector<WorkloadOp>& ops,
+    std::vector<std::string>* access_digests) {
   Result<Harness> built = BuildHarness(options);
   if (!built.ok()) return built.status();
   Harness harness = built.TakeValueOrDie();
   sim::Database* db = harness.db.get();
-  Result<rel::Relation*> r1_lookup = db->catalog->GetRelation("R1");
-  PROCSIM_RETURN_IF_ERROR(r1_lookup.status());
-  rel::Relation* r1 = r1_lookup.ValueOrDie();
+  const sim::WorkloadMix mix = MixFromOptions(options);
 
-  // A separate stream from the builder's so the database contents stay
-  // fixed for a given seed regardless of `steps`.
-  Rng rng(options.seed + 1000003);
+  // Run-local stream for CompareBatch sampling only — op randomness lives
+  // in the ops themselves.
+  Rng rng(options.seed + 2000003);
   CrossCheckReport report;
 
-  for (std::size_t step = 0; step < options.steps; ++step) {
+  for (const WorkloadOp& op : ops) {
     ++report.steps;
-    const double toss = rng.NextDouble();
-    if (toss < options.update_weight) {
-      // --- in-place update transaction (the paper's workload) -------------
-      const auto l = static_cast<std::size_t>(options.params.l);
-      Result<std::vector<std::pair<Tuple, Tuple>>> changes =
-          sim::ApplyUpdateTransaction(db, l, &rng);
-      PROCSIM_RETURN_IF_ERROR(changes.status());
-      for (const auto& [old_tuple, new_tuple] : changes.ValueOrDie()) {
-        Notify(&harness, /*is_insert=*/false, old_tuple);
-        Notify(&harness, /*is_insert=*/true, new_tuple);
+    if (op.kind == WorkloadOp::Kind::kAccess) {
+      const proc::ProcId id =
+          static_cast<proc::ProcId>(op.value) % db->procedures.size();
+      std::string digest;
+      PROCSIM_RETURN_IF_ERROR(CompareProcedure(
+          &harness, id, &report,
+          access_digests != nullptr ? &digest : nullptr));
+      if (access_digests != nullptr) {
+        access_digests->push_back(std::move(digest));
       }
-      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
-      ++report.update_transactions;
-      PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
-    } else if (toss < options.update_weight + options.insert_weight) {
-      // --- base-table insert ----------------------------------------------
-      const Tuple tuple = RandomR1Tuple(*db, &rng);
-      {
-        storage::MeteringGuard guard(db->disk.get());
-        Result<storage::RecordId> rid = r1->Insert(tuple);
-        PROCSIM_RETURN_IF_ERROR(rid.status());
-        db->r1_rids.push_back(rid.ValueOrDie());
-      }
-      Notify(&harness, /*is_insert=*/true, tuple);
-      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
-      ++report.base_inserts;
-      PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
-    } else if (toss <
-               options.update_weight + options.insert_weight +
-                   options.delete_weight) {
-      // --- base-table delete ----------------------------------------------
-      if (db->r1_rids.size() <= options.min_r1_tuples) continue;
-      const std::size_t victim = rng.Uniform(db->r1_rids.size());
-      const storage::RecordId rid = db->r1_rids[victim];
-      Tuple old_tuple;
-      {
-        storage::MeteringGuard guard(db->disk.get());
-        Result<Tuple> read = r1->Read(rid);
-        PROCSIM_RETURN_IF_ERROR(read.status());
-        old_tuple = read.TakeValueOrDie();
-        PROCSIM_RETURN_IF_ERROR(r1->Delete(rid));
-      }
-      db->r1_rids[victim] = db->r1_rids.back();
-      db->r1_rids.pop_back();
-      Notify(&harness, /*is_insert=*/false, old_tuple);
-      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
-      ++report.base_deletes;
-      PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
-    } else {
-      // --- procedure access ----------------------------------------------
-      const proc::ProcId id = rng.Uniform(db->procedures.size());
-      PROCSIM_RETURN_IF_ERROR(CompareProcedure(&harness, id, &report));
       ++report.accesses;
+      continue;
     }
+    Result<sim::MutationResult> mutation =
+        sim::ApplyMutationOp(db, op, mix, &rng);
+    PROCSIM_RETURN_IF_ERROR(mutation.status());
+    const sim::MutationResult& applied = mutation.ValueOrDie();
+    if (!applied.applied) continue;  // e.g. delete against a minimum table
+    if (applied.notify) {
+      for (const auto& [old_tuple, new_tuple] : applied.changes) {
+        if (old_tuple.has_value()) Notify(&harness, false, *old_tuple);
+        if (new_tuple.has_value()) Notify(&harness, true, *new_tuple);
+      }
+      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
+    }
+    switch (op.kind) {
+      case WorkloadOp::Kind::kUpdate:
+      case WorkloadOp::Kind::kSilentUpdate:
+        ++report.update_transactions;
+        break;
+      case WorkloadOp::Kind::kInsert:
+        ++report.base_inserts;
+        break;
+      case WorkloadOp::Kind::kDelete:
+        ++report.base_deletes;
+        break;
+      case WorkloadOp::Kind::kAccess:
+        break;
+    }
+    PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
   }
   return report;
+}
+
+Result<CrossCheckReport> CrossCheck(const CrossCheckOptions& options) {
+  return RunOpStream(options, GenerateOpStream(options));
 }
 
 }  // namespace procsim::audit

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "cost/params.h"
+#include "sim/workload.h"
 #include "util/status.h"
 
 namespace procsim::audit {
@@ -65,6 +68,31 @@ struct CrossCheckReport {
 /// paper's core correctness property, and the property every refactor of
 /// the maintenance machinery must preserve.
 Result<CrossCheckReport> CrossCheck(const CrossCheckOptions& options);
+
+/// \brief The op stream CrossCheck(options) would execute, reified.
+///
+/// Every op is self-contained (see sim::WorkloadOp), so the stream can be
+/// replayed through RunOpStream, sliced by the delta-debugging reducer, or
+/// merged with other sessions' streams by the concurrent session pool —
+/// all observing identical per-op behavior.
+std::vector<sim::WorkloadOp> GenerateOpStream(const CrossCheckOptions& options);
+
+/// \brief Replays an explicit op stream under the differential oracle:
+/// builds the options' database plus all six strategies, then executes
+/// `ops` — comparing every access against the from-scratch oracle and
+/// running CompareBatch/validators after each applied mutation.
+///
+/// kSilentUpdate ops mutate the base table but skip strategy notification
+/// AND the transaction-end hook, so the immediately following comparison
+/// reports the stale cache — the planted bug the reducer shrinks toward.
+///
+/// If `access_digests` is non-null, the canonical result bytes
+/// (sim::CanonicalResultBytes) of every kAccess op are appended in
+/// execution order — the byte-identity witness the deterministic
+/// concurrent-interleaving test compares against.
+Result<CrossCheckReport> RunOpStream(
+    const CrossCheckOptions& options, const std::vector<sim::WorkloadOp>& ops,
+    std::vector<std::string>* access_digests = nullptr);
 
 }  // namespace procsim::audit
 

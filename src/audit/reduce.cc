@@ -1,0 +1,126 @@
+#include "audit/reduce.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace procsim::audit {
+namespace {
+
+using sim::WorkloadOp;
+
+/// Probes one candidate stream: true iff it still fails.
+bool Fails(const CrossCheckOptions& options,
+           const std::vector<WorkloadOp>& candidate, std::size_t* probes) {
+  ++*probes;
+  return !RunOpStream(options, candidate).ok();
+}
+
+/// `current` minus the chunk [begin, end).
+std::vector<WorkloadOp> WithoutRange(const std::vector<WorkloadOp>& current,
+                                     std::size_t begin, std::size_t end) {
+  std::vector<WorkloadOp> candidate;
+  candidate.reserve(current.size() - (end - begin));
+  candidate.insert(candidate.end(), current.begin(),
+                   current.begin() + static_cast<std::ptrdiff_t>(begin));
+  candidate.insert(candidate.end(),
+                   current.begin() + static_cast<std::ptrdiff_t>(end),
+                   current.end());
+  return candidate;
+}
+
+}  // namespace
+
+Result<ReduceOutcome> ReduceOpStream(const CrossCheckOptions& options,
+                                     const std::vector<WorkloadOp>& ops) {
+  ReduceOutcome outcome;
+  {
+    Result<CrossCheckReport> initial = RunOpStream(options, ops);
+    ++outcome.probes;
+    if (initial.ok()) {
+      return Status::InvalidArgument(
+          "op stream passes; nothing to reduce (" +
+          std::to_string(ops.size()) + " ops)");
+    }
+    outcome.failure = initial.status().ToString();
+  }
+
+  // ddmin: try removing ever-finer chunks; on success restart at the
+  // coarsest granularity that still covers the shrunk stream.
+  std::vector<WorkloadOp> current = ops;
+  std::size_t chunks = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk_size =
+        std::max<std::size_t>(1, current.size() / chunks);
+    bool reduced = false;
+    for (std::size_t begin = 0; begin < current.size(); begin += chunk_size) {
+      const std::size_t end = std::min(begin + chunk_size, current.size());
+      if (end - begin == current.size()) continue;  // would empty the stream
+      std::vector<WorkloadOp> candidate = WithoutRange(current, begin, end);
+      if (Fails(options, candidate, &outcome.probes)) {
+        current = std::move(candidate);
+        chunks = std::max<std::size_t>(2, chunks - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk_size == 1) break;  // finest granularity exhausted
+      chunks = std::min(current.size(), chunks * 2);
+    }
+  }
+
+  // Greedy single-op elimination until 1-minimal: ddmin's complement pass
+  // can leave ops whose removal only helps after a later removal.
+  bool changed = true;
+  while (changed && current.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      std::vector<WorkloadOp> candidate = WithoutRange(current, i, i + 1);
+      if (Fails(options, candidate, &outcome.probes)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  outcome.minimal = std::move(current);
+  outcome.test_case =
+      FormatReducedTestCase(options, outcome.minimal, outcome.failure);
+  return outcome;
+}
+
+std::string FormatReducedTestCase(const CrossCheckOptions& options,
+                                  const std::vector<WorkloadOp>& ops,
+                                  const std::string& failure) {
+  std::ostringstream out;
+  out << "// Reduced reproduction: " << ops.size() << " op"
+      << (ops.size() == 1 ? "" : "s") << ".\n"
+      << "// Expected failure: " << failure << "\n"
+      << "audit::CrossCheckOptions options;\n"
+      << "options.seed = " << options.seed << ";\n"
+      << "options.model = cost::ProcModel::"
+      << (options.model == cost::ProcModel::kModel1 ? "kModel1" : "kModel2")
+      << ";\n"
+      << "options.params.N = " << options.params.N << ";\n"
+      << "options.params.N1 = " << options.params.N1 << ";\n"
+      << "options.params.N2 = " << options.params.N2 << ";\n"
+      << "options.params.l = " << options.params.l << ";\n"
+      << "options.params.SF = " << options.params.SF << ";\n"
+      << "options.params.f = " << options.params.f << ";\n"
+      << "options.params.f2 = " << options.params.f2 << ";\n"
+      << "options.compare_sample = " << options.compare_sample << ";\n"
+      << "options.min_r1_tuples = " << options.min_r1_tuples << ";\n"
+      << "const std::vector<sim::WorkloadOp> ops = {\n";
+  for (const WorkloadOp& op : ops) {
+    out << "    {sim::WorkloadOp::Kind::" << sim::WorkloadOpKindName(op.kind)
+        << ", " << op.value << "ull},\n";
+  }
+  out << "};\n"
+      << "EXPECT_FALSE(audit::RunOpStream(options, ops).ok());\n";
+  return out.str();
+}
+
+}  // namespace procsim::audit

@@ -1,0 +1,47 @@
+#ifndef PROCSIM_AUDIT_REDUCE_H_
+#define PROCSIM_AUDIT_REDUCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audit/crosscheck.h"
+#include "sim/workload.h"
+#include "util/status.h"
+
+namespace procsim::audit {
+
+/// Result of a delta-debugging reduction.
+struct ReduceOutcome {
+  /// The 1-minimal failing op stream: removing any single op makes it pass.
+  std::vector<sim::WorkloadOp> minimal;
+  /// Number of RunOpStream probes the reduction spent.
+  std::size_t probes = 0;
+  /// The failure the minimal stream still reproduces.
+  std::string failure;
+  /// A replayable C++ test-case snippet reproducing the failure.
+  std::string test_case;
+};
+
+/// \brief Shrinks a failing op stream to a minimal reproduction via ddmin
+/// (Zeller's delta debugging: chunked complement removal with granularity
+/// doubling, finished by a greedy single-op elimination pass until
+/// 1-minimal).
+///
+/// Because ops are self-contained (each mutation carries its own RNG seed),
+/// any sublist of a failing stream is a well-formed stream — the property
+/// that makes this reduction sound.  Every probe replays the candidate
+/// against a fresh database/strategy harness, so probes are independent.
+///
+/// Returns InvalidArgument if `ops` does not fail to begin with.
+Result<ReduceOutcome> ReduceOpStream(const CrossCheckOptions& options,
+                                     const std::vector<sim::WorkloadOp>& ops);
+
+/// Renders a reduced stream as a paste-ready test-case snippet.
+std::string FormatReducedTestCase(const CrossCheckOptions& options,
+                                  const std::vector<sim::WorkloadOp>& ops,
+                                  const std::string& failure);
+
+}  // namespace procsim::audit
+
+#endif  // PROCSIM_AUDIT_REDUCE_H_

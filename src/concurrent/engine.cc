@@ -1,0 +1,121 @@
+#include "concurrent/engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "audit/validate.h"
+#include "proc/cache_invalidate.h"
+#include "proc/strategy.h"
+#include "proc/update_cache_rvm.h"
+#include "storage/disk.h"
+#include "util/logging.h"
+
+namespace procsim::concurrent {
+
+Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  Result<std::unique_ptr<sim::Database>> built =
+      sim::BuildDatabase(options.params, options.model, options.seed);
+  if (!built.ok()) return built.status();
+  engine->db_ = built.TakeValueOrDie();
+  Result<sim::StrategySet> strategies = sim::MakeAllStrategies(
+      engine->db_.get(), options.params, options.model);
+  if (!strategies.ok()) return strategies.status();
+  engine->strategies_ = strategies.TakeValueOrDie();
+  const std::size_t stripes = std::max<std::size_t>(
+      1, std::min(options.slot_stripes, engine->db_->procedures.size()));
+  engine->slot_stripes_ = std::make_unique<LatchStripes>(
+      LatchRank::kStrategySlot, "Engine::slot", stripes);
+  return engine;
+}
+
+std::size_t Engine::procedure_count() const { return db_->procedures.size(); }
+
+Result<std::string> Engine::Access(uint64_t access_id) {
+  const auto id =
+      static_cast<proc::ProcId>(access_id % db_->procedures.size());
+  std::shared_lock<RankedSharedMutex> db_guard(db_latch_);
+  // The slot stripe serializes concurrent refreshes of the same cache slot
+  // (e.g. two sessions both finding CacheInvalidate's entry invalid).
+  std::lock_guard<RankedMutex> slot_guard(slot_stripes_->For(id));
+
+  std::string expected;
+  bool first = true;
+  for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+    Result<std::vector<rel::Tuple>> answer = strategy->Access(id);
+    if (!answer.ok()) {
+      return Status::Internal(strategy->name() + " failed accessing " +
+                              db_->procedures[id].name + ": " +
+                              answer.status().ToString());
+    }
+    std::string digest = sim::CanonicalResultBytes(answer.ValueOrDie());
+    if (first) {
+      expected = std::move(digest);
+      first = false;
+    } else if (digest != expected) {
+      return Status::Internal(strategy->name() + " diverged on " +
+                              db_->procedures[id].name +
+                              " under concurrent access");
+    }
+  }
+  return expected;
+}
+
+Status Engine::Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix) {
+  PROCSIM_CHECK(op.value != 0)
+      << "engine mutations must be op-seeded (value != 0)";
+  std::lock_guard<RankedSharedMutex> db_guard(db_latch_);
+  Result<sim::MutationResult> mutation =
+      sim::ApplyMutationOp(db_.get(), op, mix, /*inline_rng=*/nullptr);
+  PROCSIM_RETURN_IF_ERROR(mutation.status());
+  const sim::MutationResult& applied = mutation.ValueOrDie();
+  if (!applied.applied || !applied.notify) return Status::OK();
+  for (const auto& [old_tuple, new_tuple] : applied.changes) {
+    for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+      if (old_tuple.has_value()) strategy->OnDelete("R1", *old_tuple);
+      if (new_tuple.has_value()) strategy->OnInsert("R1", *new_tuple);
+    }
+  }
+  for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+    PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
+  }
+  return Status::OK();
+}
+
+Status Engine::ValidateAtQuiesce() {
+  PROCSIM_CHECK_EQ(internal::HeldCount(), 0u)
+      << "quiescent validation with latches held";
+  for (proc::ProcId id = 0; id < db_->procedures.size(); ++id) {
+    std::string expected;
+    {
+      storage::MeteringGuard guard(db_->disk.get());
+      Result<std::vector<rel::Tuple>> oracle =
+          db_->executor->Execute(db_->procedures[id].query);
+      PROCSIM_RETURN_IF_ERROR(oracle.status());
+      expected = sim::CanonicalResultBytes(oracle.ValueOrDie());
+    }
+    for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+      Result<std::vector<rel::Tuple>> answer = strategy->Access(id);
+      PROCSIM_RETURN_IF_ERROR(answer.status());
+      if (sim::CanonicalResultBytes(answer.ValueOrDie()) != expected) {
+        return Status::Internal(strategy->name() + " diverged on " +
+                                db_->procedures[id].name +
+                                " at quiesce after concurrent run");
+      }
+    }
+  }
+  PROCSIM_RETURN_IF_ERROR(audit::ValidateCatalog(*db_->catalog));
+  if (strategies_.rvm->network() != nullptr) {
+    PROCSIM_RETURN_IF_ERROR(
+        audit::ValidateReteNetwork(*strategies_.rvm->network()));
+  }
+  PROCSIM_RETURN_IF_ERROR(audit::ValidateILockTable(
+      strategies_.cache_invalidate->lock_table(), db_->procedures.size()));
+  PROCSIM_RETURN_IF_ERROR(audit::ValidateInvalidationLog(
+      strategies_.cache_invalidate->validity_log()));
+  return Status::OK();
+}
+
+}  // namespace procsim::concurrent

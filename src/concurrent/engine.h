@@ -1,0 +1,81 @@
+#ifndef PROCSIM_CONCURRENT_ENGINE_H_
+#define PROCSIM_CONCURRENT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concurrent/latch.h"
+#include "cost/params.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "util/status.h"
+
+namespace procsim::concurrent {
+
+/// \brief A multi-session façade over one shared Database plus the full
+/// six-strategy set.
+///
+/// The paper's engine is single-user; this layer adds the latching
+/// discipline a real procedure cache needs when several client sessions
+/// read and update at once, without changing any answer:
+///
+///  - Accesses take the database latch SHARED, then the accessed
+///    procedure's slot stripe EXCLUSIVE.  Different procedures proceed in
+///    parallel; two accesses racing to recompute the same invalid cache
+///    slot serialize on the stripe.  Below the stripe, the shared
+///    structures the access touches (i-lock shards, the invalidation log,
+///    the disk page table, the buffer cache) each take their own
+///    higher-ranked internal latch.
+///  - Mutations take the database latch EXCLUSIVE — base-table writes fan
+///    out to every strategy (Rete token propagation, cache invalidation,
+///    delta queues), which is inherently whole-engine work in this design,
+///    exactly like a table-level X lock.
+///
+/// Latch order follows LatchRank; every path acquires strictly upward, so
+/// the hierarchy is deadlock-free by construction (latch_rank_test plants
+/// an inversion to prove the checker would catch a violation).
+class Engine {
+ public:
+  struct Options {
+    cost::Params params;
+    cost::ProcModel model = cost::ProcModel::kModel1;
+    uint64_t seed = 42;
+    /// Number of per-procedure slot stripes (capped by procedure count).
+    std::size_t slot_stripes = 16;
+  };
+
+  /// Builds the database and all six strategies (single-threaded).
+  static Result<std::unique_ptr<Engine>> Create(const Options& options);
+
+  /// Serves procedure `access_id % procedure_count`: every strategy answers
+  /// and all answers must agree byte-for-byte; returns the canonical result
+  /// bytes (sim::CanonicalResultBytes).  Safe to call from many sessions.
+  Result<std::string> Access(uint64_t access_id);
+
+  /// Applies one mutation op and notifies every strategy (unless the op is
+  /// silent).  Op-seeded ops only (value != 0): the engine has no inline
+  /// RNG because interleaving across sessions is nondeterministic.
+  Status Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix);
+
+  /// Single-threaded quiescent sweep: every strategy's answer for every
+  /// procedure is compared against the from-scratch oracle, and the deep
+  /// structure validators run.  Call only when no session is in flight.
+  Status ValidateAtQuiesce();
+
+  std::size_t procedure_count() const;
+  sim::Database* database() { return db_.get(); }
+
+ private:
+  Engine() = default;
+
+  mutable RankedSharedMutex db_latch_{LatchRank::kDatabase, "Engine::db"};
+  std::unique_ptr<LatchStripes> slot_stripes_;
+  std::unique_ptr<sim::Database> db_;
+  sim::StrategySet strategies_;
+};
+
+}  // namespace procsim::concurrent
+
+#endif  // PROCSIM_CONCURRENT_ENGINE_H_

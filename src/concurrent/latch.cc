@@ -1,0 +1,64 @@
+#include "concurrent/latch.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace procsim::concurrent {
+namespace {
+
+std::atomic<LatchViolationHandler> g_violation_handler{nullptr};
+
+struct HeldLatch {
+  LatchRank rank;
+  const char* name;
+};
+
+/// The per-thread stack of held latches.  Small (the deepest engine path
+/// holds four), so linear scans are cheap enough to keep the checker on in
+/// every build type.
+thread_local std::vector<HeldLatch> t_held;
+
+}  // namespace
+
+LatchViolationHandler SetLatchViolationHandlerForTesting(
+    LatchViolationHandler handler) {
+  return g_violation_handler.exchange(handler);
+}
+
+namespace internal {
+
+void NoteAcquire(LatchRank rank, const char* name) {
+  for (const HeldLatch& held : t_held) {
+    if (static_cast<int>(held.rank) >= static_cast<int>(rank)) {
+      std::string description =
+          std::string("latch rank inversion: acquiring '") + name + "' (rank " +
+          std::to_string(static_cast<int>(rank)) + ") while holding '" +
+          held.name + "' (rank " +
+          std::to_string(static_cast<int>(held.rank)) + ")";
+      LatchViolationHandler handler = g_violation_handler.load();
+      if (handler != nullptr) {
+        handler(description);
+        break;  // test mode: record and carry on
+      }
+      PROCSIM_CHECK(false) << description;
+    }
+  }
+  t_held.push_back(HeldLatch{rank, name});
+}
+
+void NoteRelease(LatchRank rank) {
+  for (std::size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1].rank == rank) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  PROCSIM_CHECK(false) << "released latch of rank "
+                       << static_cast<int>(rank) << " that is not held";
+}
+
+std::size_t HeldCount() { return t_held.size(); }
+
+}  // namespace internal
+}  // namespace procsim::concurrent

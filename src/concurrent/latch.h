@@ -1,0 +1,169 @@
+#ifndef PROCSIM_CONCURRENT_LATCH_H_
+#define PROCSIM_CONCURRENT_LATCH_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace procsim::concurrent {
+
+/// \brief Global latch acquisition order for the multi-session engine.
+///
+/// Deadlock freedom is structural: a thread may only acquire a latch whose
+/// rank is strictly greater than every latch it already holds, so no cycle
+/// of waiters can form.  The ranks follow the engine's call nesting:
+///
+///   kSessionPool      session-pool scheduling state (coordinator/worker
+///                     hand-off in deterministic mode)
+///   kDatabase         the engine's coarse database latch — shared for
+///                     procedure accesses, exclusive for update transactions
+///   kStrategySlot     per-procedure strategy cache slot stripes (serializes
+///                     two sessions refreshing the same procedure's cache)
+///   kRete             Rete network token-propagation latch (whole network;
+///                     taken for the duration of one submitted token)
+///   kReteMemory       per α/β memory latch (store refresh while a token is
+///                     being applied to that memory)
+///   kILock            ILockTable stripe latches
+///   kInvalidationLog  validity bitmap + log append latch
+///   kPageTable        SimulatedDisk page-directory latch (page allocation
+///                     vs concurrent page lookups)
+///   kBufferCache      buffer-cache frame/LRU latch
+///
+/// Gaps between values leave room for future subsystems.
+enum class LatchRank : int {
+  kSessionPool = 0,
+  kDatabase = 10,
+  kStrategySlot = 20,
+  kRete = 30,
+  kReteMemory = 35,
+  kILock = 40,
+  kInvalidationLog = 50,
+  kPageTable = 55,
+  kBufferCache = 60,
+};
+
+/// Called when a thread attempts an out-of-order acquisition.  The default
+/// handler aborts (a rank inversion is a structural deadlock hazard, not a
+/// recoverable condition); tests install a recording handler to assert the
+/// checker detects planted inversions.
+using LatchViolationHandler = void (*)(const std::string& description);
+
+/// Installs `handler` (nullptr restores the aborting default) and returns
+/// the previously installed handler.
+LatchViolationHandler SetLatchViolationHandlerForTesting(
+    LatchViolationHandler handler);
+
+namespace internal {
+
+/// Records an acquisition by the calling thread, checking rank order.
+void NoteAcquire(LatchRank rank, const char* name);
+
+/// Records a release by the calling thread (latches may be released in any
+/// order; the most recent acquisition of `rank` is retired).
+void NoteRelease(LatchRank rank);
+
+/// Number of latches the calling thread currently holds.
+std::size_t HeldCount();
+
+}  // namespace internal
+
+/// \brief A mutex that participates in the rank checker.  Satisfies
+/// *Lockable*, so std::lock_guard / std::unique_lock work as usual.
+class RankedMutex {
+ public:
+  RankedMutex(LatchRank rank, const char* name) : rank_(rank), name_(name) {}
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock() {
+    internal::NoteAcquire(rank_, name_);
+    mutex_.lock();
+  }
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    internal::NoteAcquire(rank_, name_);
+    return true;
+  }
+  void unlock() {
+    mutex_.unlock();
+    internal::NoteRelease(rank_);
+  }
+
+  LatchRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mutex_;
+  LatchRank rank_;
+  const char* name_;
+};
+
+/// \brief A reader-writer latch with rank checking.  Shared and exclusive
+/// acquisitions occupy the same rank slot in the per-thread held stack.
+class RankedSharedMutex {
+ public:
+  RankedSharedMutex(LatchRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock() {
+    internal::NoteAcquire(rank_, name_);
+    mutex_.lock();
+  }
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    internal::NoteAcquire(rank_, name_);
+    return true;
+  }
+  void unlock() {
+    mutex_.unlock();
+    internal::NoteRelease(rank_);
+  }
+
+  void lock_shared() {
+    internal::NoteAcquire(rank_, name_);
+    mutex_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (!mutex_.try_lock_shared()) return false;
+    internal::NoteAcquire(rank_, name_);
+    return true;
+  }
+  void unlock_shared() {
+    mutex_.unlock_shared();
+    internal::NoteRelease(rank_);
+  }
+
+ private:
+  std::shared_mutex mutex_;
+  LatchRank rank_;
+  const char* name_;
+};
+
+/// \brief A fixed set of same-rank stripe latches.  Callers hash to one
+/// stripe per operation and never hold two stripes at once (whole-structure
+/// sweeps lock stripes one at a time), so same-rank nesting cannot occur.
+class LatchStripes {
+ public:
+  LatchStripes(LatchRank rank, const char* name, std::size_t stripes) {
+    stripes_.reserve(stripes);
+    for (std::size_t i = 0; i < stripes; ++i) {
+      stripes_.push_back(std::make_unique<RankedMutex>(rank, name));
+    }
+  }
+
+  std::size_t size() const { return stripes_.size(); }
+  RankedMutex& For(std::size_t hash) { return *stripes_[hash % stripes_.size()]; }
+  RankedMutex& At(std::size_t index) { return *stripes_[index]; }
+
+ private:
+  std::vector<std::unique_ptr<RankedMutex>> stripes_;
+};
+
+}  // namespace procsim::concurrent
+
+#endif  // PROCSIM_CONCURRENT_LATCH_H_

@@ -62,11 +62,11 @@ Result<std::vector<rel::Tuple>> CacheInvalidateStrategy::Access(ProcId id) {
   if (id >= entries_.size()) {
     return Status::NotFound("no procedure with id " + std::to_string(id));
   }
-  ++access_count_;
+  access_count_.fetch_add(1, std::memory_order_relaxed);
   if (validity_->IsValid(id)) {
     return entries_[id].cache->ReadAll();
   }
-  ++invalid_access_count_;
+  invalid_access_count_.fetch_add(1, std::memory_order_relaxed);
   return Recompute(id);
 }
 
@@ -76,7 +76,7 @@ void CacheInvalidateStrategy::HandleWrite(const std::string& relation,
     if (!validity_->IsValid(id)) continue;  // already marked
     Status st = validity_->MarkInvalid(id);
     PROCSIM_CHECK(st.ok()) << st.ToString();
-    ++invalidation_count_;
+    invalidation_count_.fetch_add(1, std::memory_order_relaxed);
     meter_->ChargeFixed(invalidation_cost_ms_);
   }
 }

@@ -1,6 +1,7 @@
 #ifndef PROCSIM_PROC_CACHE_INVALIDATE_H_
 #define PROCSIM_PROC_CACHE_INVALIDATE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -48,12 +49,18 @@ class CacheInvalidateStrategy : public Strategy {
 
   /// Number of invalidation events recorded so far (includes false
   /// invalidations; re-invalidating an already-invalid entry not counted).
-  std::size_t invalidation_count() const { return invalidation_count_; }
+  std::size_t invalidation_count() const {
+    return invalidation_count_.load(std::memory_order_relaxed);
+  }
 
   /// Accesses served so far, and how many found the cache invalid — the
   /// empirical counterpart of the paper's IP formula (§4.2).
-  std::size_t access_count() const { return access_count_; }
-  std::size_t invalid_access_count() const { return invalid_access_count_; }
+  std::size_t access_count() const {
+    return access_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t invalid_access_count() const {
+    return invalid_access_count_.load(std::memory_order_relaxed);
+  }
 
   const ILockTable& lock_table() const { return locks_; }
 
@@ -84,9 +91,11 @@ class CacheInvalidateStrategy : public Strategy {
   std::vector<Entry> entries_;
   std::optional<InvalidationLog> validity_;
   ILockTable locks_;
-  std::size_t invalidation_count_ = 0;
-  std::size_t access_count_ = 0;
-  std::size_t invalid_access_count_ = 0;
+  // Statistics counters are atomics so concurrent sessions (which hold the
+  // db latch in shared mode during accesses) can bump them racelessly.
+  std::atomic<std::size_t> invalidation_count_{0};
+  std::atomic<std::size_t> access_count_{0};
+  std::atomic<std::size_t> invalid_access_count_{0};
 };
 
 }  // namespace procsim::proc

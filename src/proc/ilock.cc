@@ -1,29 +1,39 @@
 #include "proc/ilock.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace procsim::proc {
 
+using Guard = std::lock_guard<concurrent::RankedMutex>;
+
 void ILockTable::AddIntervalLock(ProcId owner, const std::string& relation,
                                  std::size_t column, int64_t lo, int64_t hi) {
-  locks_by_relation_[relation].push_back(Lock{owner, column, lo, hi});
+  Shard& shard = ShardFor(relation);
+  Guard guard(shard.latch);
+  shard.locks_by_relation[relation].push_back(Lock{owner, column, lo, hi});
 }
 
 void ILockTable::ClearLocks(ProcId owner) {
-  for (auto& [relation, locks] : locks_by_relation_) {
-    locks.erase(std::remove_if(locks.begin(), locks.end(),
-                               [owner](const Lock& lock) {
-                                 return lock.owner == owner;
-                               }),
-                locks.end());
+  for (Shard& shard : shards_) {
+    Guard guard(shard.latch);
+    for (auto& [relation, locks] : shard.locks_by_relation) {
+      locks.erase(std::remove_if(locks.begin(), locks.end(),
+                                 [owner](const Lock& lock) {
+                                   return lock.owner == owner;
+                                 }),
+                  locks.end());
+    }
   }
 }
 
 std::vector<ProcId> ILockTable::FindBroken(const std::string& relation,
                                            const rel::Tuple& tuple) const {
   std::vector<ProcId> broken;
-  auto it = locks_by_relation_.find(relation);
-  if (it == locks_by_relation_.end()) return broken;
+  Shard& shard = ShardFor(relation);
+  Guard guard(shard.latch);
+  auto it = shard.locks_by_relation.find(relation);
+  if (it == shard.locks_by_relation.end()) return broken;
   for (const Lock& lock : it->second) {
     if (lock.column >= tuple.arity()) continue;
     const rel::Value& value = tuple.value(lock.column);
@@ -39,8 +49,11 @@ std::vector<ProcId> ILockTable::FindBroken(const std::string& relation,
 
 std::size_t ILockTable::lock_count() const {
   std::size_t total = 0;
-  for (const auto& [relation, locks] : locks_by_relation_) {
-    total += locks.size();
+  for (Shard& shard : shards_) {
+    Guard guard(shard.latch);
+    for (const auto& [relation, locks] : shard.locks_by_relation) {
+      total += locks.size();
+    }
   }
   return total;
 }
@@ -48,9 +61,12 @@ std::size_t ILockTable::lock_count() const {
 void ILockTable::ForEachLock(
     const std::function<void(const std::string&, ProcId, std::size_t, int64_t,
                              int64_t)>& fn) const {
-  for (const auto& [relation, locks] : locks_by_relation_) {
-    for (const Lock& lock : locks) {
-      fn(relation, lock.owner, lock.column, lock.lo, lock.hi);
+  for (Shard& shard : shards_) {
+    Guard guard(shard.latch);
+    for (const auto& [relation, locks] : shard.locks_by_relation) {
+      for (const Lock& lock : locks) {
+        fn(relation, lock.owner, lock.column, lock.lo, lock.hi);
+      }
     }
   }
 }

@@ -1,12 +1,14 @@
 #ifndef PROCSIM_PROC_ILOCK_H_
 #define PROCSIM_PROC_ILOCK_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "concurrent/latch.h"
 #include "proc/procedure.h"
 #include "relational/tuple.h"
 
@@ -22,8 +24,18 @@ namespace procsim::proc {
 /// Lock lookup is an in-memory operation (the lock table rides with the
 /// index structures); the paper charges no I/O for it — only the downstream
 /// screening/invalidations are charged by the callers.
+///
+/// Thread safety: the table is sharded by relation name, each shard behind
+/// its own kILock stripe latch.  Per-operation calls (AddIntervalLock,
+/// FindBroken) touch exactly one shard; whole-table sweeps (ClearLocks,
+/// lock_count, ForEachLock) latch shards one at a time and never hold two,
+/// so stripe latches cannot deadlock against each other.
 class ILockTable {
  public:
+  ILockTable() = default;
+  ILockTable(const ILockTable&) = delete;
+  ILockTable& operator=(const ILockTable&) = delete;
+
   /// Sets an interval i-lock [lo, hi] on `column` of `relation`.
   void AddIntervalLock(ProcId owner, const std::string& relation,
                        std::size_t column, int64_t lo, int64_t hi);
@@ -45,7 +57,9 @@ class ILockTable {
   std::size_t lock_count() const;
 
   /// Calls `fn(relation, owner, column, lo, hi)` for every lock; iteration
-  /// order is unspecified.  Used by audit::ValidateILockTable.
+  /// order is unspecified.  Used by audit::ValidateILockTable.  The
+  /// callback runs with one stripe latch held — it must not call back into
+  /// this table.
   void ForEachLock(
       const std::function<void(const std::string&, ProcId, std::size_t,
                                int64_t, int64_t)>& fn) const;
@@ -58,7 +72,19 @@ class ILockTable {
     int64_t hi;
   };
 
-  std::unordered_map<std::string, std::vector<Lock>> locks_by_relation_;
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    concurrent::RankedMutex latch{concurrent::LatchRank::kILock,
+                                  "ILockTable::shard"};
+    std::unordered_map<std::string, std::vector<Lock>> locks_by_relation;
+  };
+
+  Shard& ShardFor(const std::string& relation) const {
+    return shards_[std::hash<std::string>{}(relation) % kShards];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace procsim::proc

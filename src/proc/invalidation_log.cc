@@ -1,15 +1,19 @@
 #include "proc/invalidation_log.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/logging.h"
 
 namespace procsim::proc {
 
+using Guard = std::lock_guard<concurrent::RankedMutex>;
+
 InvalidationLog::InvalidationLog(std::size_t procedure_count)
     : valid_(procedure_count, true) {}
 
 bool InvalidationLog::IsValid(ProcId id) const {
+  Guard guard(latch_);
   PROCSIM_CHECK(!crashed_) << "bitmap lost; recover first";
   PROCSIM_CHECK_LT(id, valid_.size());
   return valid_[id];
@@ -25,6 +29,7 @@ Status InvalidationLog::Append(Record::Kind kind, ProcId id) {
 }
 
 Status InvalidationLog::MarkInvalid(ProcId id) {
+  Guard guard(latch_);
   if (crashed_) return Status::Internal("bitmap lost; recover first");
   if (id >= valid_.size()) {
     return Status::InvalidArgument("procedure id out of range");
@@ -36,6 +41,7 @@ Status InvalidationLog::MarkInvalid(ProcId id) {
 }
 
 Status InvalidationLog::MarkValid(ProcId id) {
+  Guard guard(latch_);
   if (crashed_) return Status::Internal("bitmap lost; recover first");
   if (id >= valid_.size()) {
     return Status::InvalidArgument("procedure id out of range");
@@ -47,6 +53,7 @@ Status InvalidationLog::MarkValid(ProcId id) {
 }
 
 InvalidationLog::Checkpoint InvalidationLog::TakeCheckpoint() const {
+  Guard guard(latch_);
   PROCSIM_CHECK(!crashed_);
   Checkpoint checkpoint;
   checkpoint.lsn = next_lsn_ - 1;
@@ -55,6 +62,7 @@ InvalidationLog::Checkpoint InvalidationLog::TakeCheckpoint() const {
 }
 
 void InvalidationLog::TruncateThrough(const Checkpoint& checkpoint) {
+  Guard guard(latch_);
   records_.erase(
       std::remove_if(records_.begin(), records_.end(),
                      [&](const Record& record) {
@@ -65,6 +73,7 @@ void InvalidationLog::TruncateThrough(const Checkpoint& checkpoint) {
 
 Result<std::vector<bool>> InvalidationLog::Recover(
     const Checkpoint& checkpoint) const {
+  Guard guard(latch_);
   if (checkpoint.valid.size() != valid_.size()) {
     return Status::InvalidArgument("checkpoint bitmap size mismatch");
   }
@@ -82,11 +91,13 @@ Result<std::vector<bool>> InvalidationLog::Recover(
 }
 
 void InvalidationLog::Crash() {
+  Guard guard(latch_);
   crashed_ = true;
   std::fill(valid_.begin(), valid_.end(), false);
 }
 
 Status InvalidationLog::ResetFrom(std::vector<bool> valid) {
+  Guard guard(latch_);
   if (valid.size() != valid_.size()) {
     return Status::InvalidArgument("bitmap size mismatch");
   }
@@ -96,6 +107,7 @@ Status InvalidationLog::ResetFrom(std::vector<bool> valid) {
 }
 
 Status InvalidationLog::CheckConsistency() const {
+  Guard guard(latch_);
   uint64_t previous_lsn = 0;
   for (const Record& record : records_) {
     if (record.lsn <= previous_lsn) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "concurrent/latch.h"
 #include "proc/procedure.h"
 #include "util/status.h"
 
@@ -25,6 +26,13 @@ namespace procsim::proc {
 /// Log storage is modeled in memory; the I/O cost of the log write is the
 /// caller's C_inval (a log append is a sequential write amortized across
 /// many records, hence ≈ 0 compared with 2·C2 random I/O).
+///
+/// Thread safety: bitmap reads and log appends are serialized by one
+/// kInvalidationLog-rank latch.  Unlike the ILockTable, the log cannot be
+/// striped — LSNs form a single total order, exactly as a WAL tail does —
+/// so the latch models a real log-manager serialization point.  The
+/// `records()` accessor returns an unguarded reference and is only safe at
+/// quiescent points (validators, recovery tests).
 class InvalidationLog {
  public:
   /// One durable record: procedure `id` became invalid (kInvalidate) or
@@ -44,6 +52,8 @@ class InvalidationLog {
 
   /// \param procedure_count  size of the validity bitmap; all start valid
   explicit InvalidationLog(std::size_t procedure_count);
+  InvalidationLog(const InvalidationLog&) = delete;
+  InvalidationLog& operator=(const InvalidationLog&) = delete;
 
   std::size_t procedure_count() const { return valid_.size(); }
 
@@ -75,6 +85,7 @@ class InvalidationLog {
   void Crash();
   Status ResetFrom(std::vector<bool> valid);
 
+  /// Quiescent-only accessors (no latch; see class comment).
   const std::vector<Record>& records() const { return records_; }
   uint64_t next_lsn() const { return next_lsn_; }
   bool crashed() const { return crashed_; }
@@ -87,6 +98,8 @@ class InvalidationLog {
  private:
   Status Append(Record::Kind kind, ProcId id);
 
+  mutable concurrent::RankedMutex latch_{
+      concurrent::LatchRank::kInvalidationLog, "InvalidationLog"};
   std::vector<bool> valid_;
   std::vector<Record> records_;
   uint64_t next_lsn_ = 1;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "util/logging.h"
@@ -342,6 +343,7 @@ std::string ReteNetwork::ToDot() const {
 }
 
 Status ReteNetwork::Submit(const std::string& relation, const Token& token) {
+  std::lock_guard<concurrent::RankedMutex> guard(submit_latch_);
   auto it = root_index_.find(relation);
   if (it != root_index_.end()) {
     for (SelectionEntry* entry : it->second) {

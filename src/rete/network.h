@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "concurrent/latch.h"
 #include "relational/catalog.h"
 #include "relational/query.h"
 #include "rete/node.h"
@@ -29,6 +30,11 @@ namespace procsim::rete {
 /// analogue of rule indexing's lock table, not charged), and affected
 /// t-const chains screen, join and refresh the memories, charging the
 /// paper's C1/C2 costs.
+/// Thread safety: token submission takes a network-level kRete latch
+/// before walking the root index, so concurrent Submit calls serialize at
+/// the root; each memory then re-latches at kReteMemory (> kRete) during
+/// its own store mutation.  Network *construction* (AddProcedure) is not
+/// latched against submission — build the network before going concurrent.
 class ReteNetwork {
  public:
   /// How multi-join procedures are compiled (§8: a statically optimized
@@ -154,6 +160,8 @@ class ReteNetwork {
     std::string label;  ///< "", "L" or "R" (and-node input side)
   };
 
+  mutable concurrent::RankedMutex submit_latch_{
+      concurrent::LatchRank::kRete, "ReteNetwork::submit"};
   rel::Catalog* catalog_;
   CostMeter* meter_;
   std::size_t pad_to_bytes_;

@@ -59,10 +59,15 @@ MemoryNode::MemoryNode(storage::SimulatedDisk* disk, std::size_t pad_to_bytes,
     : store_(disk, pad_to_bytes), is_beta_(is_beta) {}
 
 Status MemoryNode::Activate(const Token& token) {
-  if (token.is_insert()) {
-    PROCSIM_RETURN_IF_ERROR(store_.Insert(token.tuple));
-  } else {
-    PROCSIM_RETURN_IF_ERROR(store_.Remove(token.tuple));
+  {
+    // Latch only the store mutation; drop before propagating so no two
+    // memory latches are ever held together (see class comment).
+    std::lock_guard<concurrent::RankedMutex> guard(latch_);
+    if (token.is_insert()) {
+      PROCSIM_RETURN_IF_ERROR(store_.Insert(token.tuple));
+    } else {
+      PROCSIM_RETURN_IF_ERROR(store_.Remove(token.tuple));
+    }
   }
   return Propagate(token);
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrent/latch.h"
 #include "ivm/tuple_store.h"
 #include "relational/predicate.h"
 #include "rete/token.h"
@@ -74,6 +75,11 @@ class TConstNode : public ReteNode {
 /// \brief An α- or β-memory node: holds the materialized output of its
 /// predecessor on disk pages (inserting/removing charges the refresh I/O)
 /// and passes tokens through to successors.
+///
+/// Each memory carries its own kReteMemory-rank latch around store
+/// mutation, released before tokens propagate downstream — so the network
+/// never holds two memory latches at once (downstream memories re-latch at
+/// the same rank only after the upstream latch is dropped).
 class MemoryNode : public ReteNode {
  public:
   /// \param disk          page store
@@ -94,6 +100,8 @@ class MemoryNode : public ReteNode {
   Result<std::vector<rel::Tuple>> ReadAll() const { return store_.ReadAll(); }
 
  private:
+  mutable concurrent::RankedMutex latch_{
+      concurrent::LatchRank::kReteMemory, "MemoryNode"};
   ivm::TupleStore store_;
   bool is_beta_;
 };

@@ -4,6 +4,8 @@
 
 #include "proc/always_recompute.h"
 #include "proc/cache_invalidate.h"
+#include "proc/hybrid.h"
+#include "proc/update_cache_adaptive.h"
 #include "proc/update_cache_avm.h"
 #include "proc/update_cache_rvm.h"
 #include "util/logging.h"
@@ -43,6 +45,35 @@ std::unique_ptr<proc::Strategy> Simulator::MakeStrategy(
   return nullptr;
 }
 
+Result<StrategySet> MakeAllStrategies(Database* db,
+                                      const cost::Params& params,
+                                      cost::ProcModel model) {
+  PROCSIM_CHECK(db != nullptr);
+  StrategySet set;
+  const auto tuple_bytes = static_cast<std::size_t>(params.S);
+  for (Strategy kind :
+       {Strategy::kAlwaysRecompute, Strategy::kCacheInvalidate,
+        Strategy::kUpdateCacheAvm, Strategy::kUpdateCacheRvm}) {
+    set.all.push_back(Simulator::MakeStrategy(kind, db, params));
+  }
+  set.cache_invalidate =
+      static_cast<proc::CacheInvalidateStrategy*>(set.all[1].get());
+  set.rvm = static_cast<proc::UpdateCacheRvmStrategy*>(set.all[3].get());
+  set.all.push_back(std::make_unique<proc::HybridStrategy>(
+      db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes, params,
+      model));
+  set.all.push_back(std::make_unique<proc::UpdateCacheAdaptiveStrategy>(
+      db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes));
+
+  for (const std::unique_ptr<proc::Strategy>& strategy : set.all) {
+    for (const proc::DatabaseProcedure& procedure : db->procedures) {
+      PROCSIM_RETURN_IF_ERROR(strategy->AddProcedure(procedure));
+    }
+    PROCSIM_RETURN_IF_ERROR(strategy->Prepare());
+  }
+  return set;
+}
+
 Result<SimulationResult> Simulator::Run(Strategy strategy_kind,
                                         const Options& options) {
   return RunWithFactory(
@@ -67,33 +98,30 @@ Result<SimulationResult> Simulator::RunWithFactory(
 
   const auto k = static_cast<uint64_t>(options.params.k);
   const auto q = static_cast<uint64_t>(options.params.q);
-  const auto l = static_cast<std::size_t>(options.params.l);
 
   // Build the randomly interleaved operation schedule (k updates, q reads).
   // Workload randomness is drawn from a separate stream (seed+1) so the
   // database contents (seed) stay identical across parameter sweeps of k.
+  // The ops are in inline-RNG mode: each update consumes `rng` in place,
+  // exactly as the pre-Workload scheduling loop did.
   Rng rng(options.seed + 1);
-  std::vector<uint8_t> schedule;
-  schedule.reserve(k + q);
-  schedule.insert(schedule.end(), k, 1);
-  schedule.insert(schedule.end(), q, 0);
-  for (std::size_t i = schedule.size(); i > 1; --i) {
-    std::swap(schedule[i - 1], schedule[rng.Uniform(i)]);
-  }
+  const std::vector<WorkloadOp> schedule = Workload::ExactSchedule(k, q, &rng);
+  WorkloadMix mix;
+  mix.update_batch = static_cast<std::size_t>(options.params.l);
 
   LocalityGenerator locality(std::max<std::size_t>(1, db->procedures.size()),
                              options.params.Z);
 
   db->meter.Reset();
   SimulationResult result;
-  for (uint8_t is_update : schedule) {
-    if (is_update != 0) {
-      Result<std::vector<std::pair<rel::Tuple, rel::Tuple>>> changes =
-          ApplyUpdateTransaction(db.get(), l, &rng);
-      if (!changes.ok()) return changes.status();
-      for (const auto& [old_tuple, new_tuple] : changes.ValueOrDie()) {
-        strategy->OnDelete("R1", old_tuple);
-        strategy->OnInsert("R1", new_tuple);
+  for (const WorkloadOp& op : schedule) {
+    if (op.kind == WorkloadOp::Kind::kUpdate) {
+      Result<MutationResult> mutation =
+          ApplyMutationOp(db.get(), op, mix, &rng);
+      if (!mutation.ok()) return mutation.status();
+      for (const auto& [old_tuple, new_tuple] : mutation.ValueOrDie().changes) {
+        if (old_tuple.has_value()) strategy->OnDelete("R1", *old_tuple);
+        if (new_tuple.has_value()) strategy->OnInsert("R1", *new_tuple);
       }
       PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
       ++result.update_transactions;

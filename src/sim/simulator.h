@@ -11,6 +11,13 @@
 #include "sim/workload.h"
 #include "util/locality.h"
 
+namespace procsim::proc {
+// Forward declarations keep simulator.h independent of concrete strategy
+// headers; StrategySet only carries typed pointers.
+class CacheInvalidateStrategy;
+class UpdateCacheRvmStrategy;
+}  // namespace procsim::proc
+
 namespace procsim::sim {
 
 /// Outcome of one simulated run.
@@ -63,6 +70,22 @@ class Simulator {
 /// Sorted, serialized form of a result set for order-insensitive equality.
 std::vector<std::string> CanonicalizeResult(
     const std::vector<rel::Tuple>& tuples);
+
+/// \brief All six strategies attached to one database, with typed views
+/// into the two whose internal structures the validators inspect.  Built in
+/// a fixed order (AR, CI, AVM, RVM, Hybrid, Adaptive) shared by the
+/// differential oracle and the concurrent engine.
+struct StrategySet {
+  std::vector<std::unique_ptr<proc::Strategy>> all;
+  proc::CacheInvalidateStrategy* cache_invalidate = nullptr;
+  proc::UpdateCacheRvmStrategy* rvm = nullptr;
+};
+
+/// Builds the full strategy set over `db`, registers every procedure with
+/// every strategy and calls Prepare().  Metering state is untouched.
+Result<StrategySet> MakeAllStrategies(Database* db,
+                                      const cost::Params& params,
+                                      cost::ProcModel model);
 
 }  // namespace procsim::sim
 

@@ -182,6 +182,15 @@ Result<std::unique_ptr<Database>> BuildDatabase(const cost::Params& params,
   return db;
 }
 
+rel::Tuple RandomR1Tuple(const Database& db, Rng* rng) {
+  return Tuple(
+      {Value(static_cast<int64_t>(
+           rng->Uniform(static_cast<uint64_t>(db.r1_keys)))),
+       Value(static_cast<int64_t>(
+           rng->Uniform(static_cast<uint64_t>(db.r2_count)))),
+       Value(static_cast<int64_t>(rng->Next() & 0x7fffffff))});
+}
+
 Result<std::vector<std::pair<Tuple, Tuple>>> ApplyUpdateTransaction(
     Database* db, std::size_t tuples_to_modify, Rng* rng) {
   PROCSIM_CHECK(db != nullptr);
@@ -207,6 +216,162 @@ Result<std::vector<std::pair<Tuple, Tuple>>> ApplyUpdateTransaction(
     changes.emplace_back(old_tuple.TakeValueOrDie(), std::move(new_tuple));
   }
   return changes;
+}
+
+const char* WorkloadOpKindName(WorkloadOp::Kind kind) {
+  switch (kind) {
+    case WorkloadOp::Kind::kAccess:
+      return "kAccess";
+    case WorkloadOp::Kind::kUpdate:
+      return "kUpdate";
+    case WorkloadOp::Kind::kInsert:
+      return "kInsert";
+    case WorkloadOp::Kind::kDelete:
+      return "kDelete";
+    case WorkloadOp::Kind::kSilentUpdate:
+      return "kSilentUpdate";
+  }
+  return "k?";
+}
+
+Workload::Workload(const WorkloadMix& mix, std::size_t proc_count,
+                   uint64_t seed)
+    : mix_(mix), proc_count_(proc_count), rng_(seed) {
+  PROCSIM_CHECK_GT(proc_count, 0u);
+}
+
+uint64_t Workload::NonZeroSeed() {
+  const uint64_t seed = rng_.Next();
+  return seed != 0 ? seed : 1;
+}
+
+WorkloadOp Workload::Next() {
+  const double toss = rng_.NextDouble();
+  WorkloadOp op;
+  if (toss < mix_.update_weight) {
+    op.kind = WorkloadOp::Kind::kUpdate;
+    op.value = NonZeroSeed();
+  } else if (toss < mix_.update_weight + mix_.insert_weight) {
+    op.kind = WorkloadOp::Kind::kInsert;
+    op.value = NonZeroSeed();
+  } else if (toss <
+             mix_.update_weight + mix_.insert_weight + mix_.delete_weight) {
+    op.kind = WorkloadOp::Kind::kDelete;
+    op.value = NonZeroSeed();
+  } else {
+    op.kind = WorkloadOp::Kind::kAccess;
+    op.value = rng_.Uniform(proc_count_);
+  }
+  return op;
+}
+
+std::vector<WorkloadOp> Workload::Take(std::size_t n) {
+  std::vector<WorkloadOp> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ops.push_back(Next());
+  return ops;
+}
+
+std::vector<WorkloadOp> Workload::ExactSchedule(uint64_t k_updates,
+                                                uint64_t q_accesses,
+                                                Rng* rng) {
+  PROCSIM_CHECK(rng != nullptr);
+  std::vector<WorkloadOp> ops;
+  ops.reserve(k_updates + q_accesses);
+  ops.insert(ops.end(), k_updates,
+             WorkloadOp{WorkloadOp::Kind::kUpdate, 0});
+  ops.insert(ops.end(), q_accesses,
+             WorkloadOp{WorkloadOp::Kind::kAccess, 0});
+  // The exact Fisher–Yates the scheduling loop has always used, so a given
+  // seed still yields the same interleaving.
+  for (std::size_t i = ops.size(); i > 1; --i) {
+    std::swap(ops[i - 1], ops[rng->Uniform(i)]);
+  }
+  return ops;
+}
+
+Result<MutationResult> ApplyMutationOp(Database* db, const WorkloadOp& op,
+                                       const WorkloadMix& mix,
+                                       Rng* inline_rng) {
+  PROCSIM_CHECK(db != nullptr);
+  if (op.kind == WorkloadOp::Kind::kAccess) {
+    return Status::InvalidArgument("access op is not a mutation");
+  }
+  Rng private_rng(op.value);
+  Rng* rng = op.value != 0 ? &private_rng : inline_rng;
+  PROCSIM_CHECK(rng != nullptr) << "inline-RNG op needs an inline rng";
+
+  MutationResult result;
+  result.notify = op.kind != WorkloadOp::Kind::kSilentUpdate;
+  switch (op.kind) {
+    case WorkloadOp::Kind::kAccess:
+      break;  // rejected above
+    case WorkloadOp::Kind::kUpdate:
+    case WorkloadOp::Kind::kSilentUpdate: {
+      Result<std::vector<std::pair<Tuple, Tuple>>> changes =
+          ApplyUpdateTransaction(db, mix.update_batch, rng);
+      if (!changes.ok()) return changes.status();
+      for (auto& [old_tuple, new_tuple] : changes.ValueOrDie()) {
+        result.changes.emplace_back(std::move(old_tuple),
+                                    std::move(new_tuple));
+      }
+      result.applied = true;
+      break;
+    }
+    case WorkloadOp::Kind::kInsert: {
+      Result<rel::Relation*> r1 = db->catalog->GetRelation("R1");
+      if (!r1.ok()) return r1.status();
+      Tuple tuple = RandomR1Tuple(*db, rng);
+      {
+        storage::MeteringGuard guard(db->disk.get());
+        Result<storage::RecordId> rid = r1.ValueOrDie()->Insert(tuple);
+        if (!rid.ok()) return rid.status();
+        db->r1_rids.push_back(rid.ValueOrDie());
+      }
+      result.changes.emplace_back(std::nullopt, std::move(tuple));
+      result.applied = true;
+      break;
+    }
+    case WorkloadOp::Kind::kDelete: {
+      if (db->r1_rids.size() <= mix.min_r1_tuples) break;  // skipped
+      Result<rel::Relation*> r1 = db->catalog->GetRelation("R1");
+      if (!r1.ok()) return r1.status();
+      const std::size_t victim = rng->Uniform(db->r1_rids.size());
+      const storage::RecordId rid = db->r1_rids[victim];
+      Tuple old_tuple;
+      {
+        storage::MeteringGuard guard(db->disk.get());
+        Result<Tuple> read = r1.ValueOrDie()->Read(rid);
+        if (!read.ok()) return read.status();
+        old_tuple = read.TakeValueOrDie();
+        PROCSIM_RETURN_IF_ERROR(r1.ValueOrDie()->Delete(rid));
+      }
+      db->r1_rids[victim] = db->r1_rids.back();
+      db->r1_rids.pop_back();
+      result.changes.emplace_back(std::move(old_tuple), std::nullopt);
+      result.applied = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::string CanonicalResultBytes(const std::vector<rel::Tuple>& tuples) {
+  std::vector<std::string> images;
+  images.reserve(tuples.size());
+  for (const Tuple& tuple : tuples) {
+    std::vector<uint8_t> bytes = tuple.Serialize();
+    images.emplace_back(bytes.begin(), bytes.end());
+  }
+  std::sort(images.begin(), images.end());
+  std::string digest;
+  for (const std::string& image : images) {
+    // Length prefix so tuple boundaries cannot alias across images.
+    uint32_t length = static_cast<uint32_t>(image.size());
+    digest.append(reinterpret_cast<const char*>(&length), sizeof(length));
+    digest.append(image);
+  }
+  return digest;
 }
 
 }  // namespace procsim::sim

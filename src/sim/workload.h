@@ -1,7 +1,11 @@
 #ifndef PROCSIM_SIM_WORKLOAD_H_
 #define PROCSIM_SIM_WORKLOAD_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cost/params.h"
@@ -76,6 +80,110 @@ Result<std::unique_ptr<Database>> BuildDatabase(const cost::Params& params,
 /// notify a strategy with metering on.
 Result<std::vector<std::pair<rel::Tuple, rel::Tuple>>> ApplyUpdateTransaction(
     Database* db, std::size_t tuples_to_modify, Rng* rng);
+
+/// \brief A fresh R1 tuple drawn from the same domains BuildDatabase uses.
+rel::Tuple RandomR1Tuple(const Database& db, Rng* rng);
+
+/// \brief One step of a generated workload.
+///
+/// Ops are self-contained: an access names its procedure and a mutation
+/// carries the seed of its own private RNG stream, so a recorded op list
+/// replays identically regardless of which thread executes it, in what
+/// order relative to other sessions' ops, or how a reducer has sliced the
+/// list.  This is the property the concurrent session layer and the
+/// delta-debugging reducer both rely on.
+struct WorkloadOp {
+  enum class Kind : uint8_t {
+    kAccess,        ///< read one procedure's value
+    kUpdate,        ///< in-place update transaction (mix.update_batch tuples)
+    kInsert,        ///< base-table insert of a fresh R1 tuple
+    kDelete,        ///< base-table delete of a random R1 tuple
+    kSilentUpdate,  ///< kUpdate applied WITHOUT notifying strategies — a
+                    ///< deliberately lost invalidation, planted to give the
+                    ///< reducer and failure-path tests a real bug to find
+  };
+  Kind kind = Kind::kAccess;
+  /// kAccess: the procedure id.  Mutations: the seed of the op's private
+  /// RNG stream; 0 means "draw from the caller's inline RNG instead",
+  /// which preserves the classic Simulator loop's bit-exact stream
+  /// consumption.
+  uint64_t value = 0;
+};
+
+const char* WorkloadOpKindName(WorkloadOp::Kind kind);
+
+/// Per-step operation mix; the remainder of the probability mass is a
+/// procedure access.  Defaults match the historical CrossCheck mix.
+struct WorkloadMix {
+  double update_weight = 0.30;
+  double insert_weight = 0.10;
+  double delete_weight = 0.10;
+  /// Tuples modified per update transaction (the paper's l).
+  std::size_t update_batch = 1;
+  /// R1 is never shrunk below this size: a kDelete op against a smaller
+  /// table is a no-op (MutationResult::applied == false).
+  std::size_t min_r1_tuples = 8;
+};
+
+/// \brief A seeded generator of self-contained workload ops.
+///
+/// Every consumer of randomized op interleavings — the differential
+/// oracle, the fuzz reducer, the concurrent session pool and the bench
+/// churn loops — draws from this one generator, so an interleaving
+/// observed in any of them can be replayed in all of them.
+class Workload {
+ public:
+  /// \param proc_count  accesses draw uniformly over [0, proc_count)
+  Workload(const WorkloadMix& mix, std::size_t proc_count, uint64_t seed);
+
+  WorkloadOp Next();
+  std::vector<WorkloadOp> Take(std::size_t n);
+
+  /// The classic Simulator schedule: `k_updates` kUpdate ops and
+  /// `q_accesses` kAccess ops Fisher–Yates shuffled with `rng`, all in
+  /// inline-RNG mode (value == 0) — consuming `rng` exactly as the
+  /// historical scheduling loop did, so simulator figures stay
+  /// bit-identical.  The caller interprets each kAccess by drawing from
+  /// its own locality model.
+  static std::vector<WorkloadOp> ExactSchedule(uint64_t k_updates,
+                                               uint64_t q_accesses, Rng* rng);
+
+ private:
+  uint64_t NonZeroSeed();
+
+  WorkloadMix mix_;
+  std::size_t proc_count_;
+  Rng rng_;
+};
+
+/// What applying one mutation op did.
+struct MutationResult {
+  /// (old, new) tuple pairs: update = both set, insert = new only,
+  /// delete = old only.  Callers notify strategies old-as-delete then
+  /// new-as-insert, in order.
+  std::vector<std::pair<std::optional<rel::Tuple>, std::optional<rel::Tuple>>>
+      changes;
+  /// False when the op was skipped (kDelete against a minimum-size table).
+  bool applied = false;
+  /// False for kSilentUpdate: the caller must NOT notify strategies.
+  bool notify = true;
+};
+
+/// \brief Applies one mutation op to the base tables (un-metered, like
+/// ApplyUpdateTransaction).  Op-seeded ops (value != 0) use a private RNG;
+/// inline ops (value == 0) draw from `inline_rng`.  kAccess ops are
+/// rejected — accesses are the caller's business (oracle comparison,
+/// strategy access, locality draw).
+Result<MutationResult> ApplyMutationOp(Database* db, const WorkloadOp& op,
+                                       const WorkloadMix& mix,
+                                       Rng* inline_rng);
+
+/// \brief Byte-exact canonical form of a result bag: each tuple serialized,
+/// images sorted, then length-prefix concatenated into one string.  Two
+/// result bags are equal iff their canonical forms are; used as the digest
+/// the deterministic concurrent engine compares against the single-threaded
+/// oracle.
+std::string CanonicalResultBytes(const std::vector<rel::Tuple>& tuples);
 
 }  // namespace procsim::sim
 

@@ -1,29 +1,32 @@
 #include "storage/buffer_cache.h"
 
+#include <mutex>
 #include <string>
 
 #include "util/logging.h"
 
 namespace procsim::storage {
 
+using Guard = std::lock_guard<concurrent::RankedMutex>;
+
 BufferCache::BufferCache(std::size_t capacity_pages)
     : capacity_(capacity_pages) {
   PROCSIM_CHECK_GT(capacity_pages, 0u);
 }
 
-bool BufferCache::TouchInternal(uint32_t page_id) {
+bool BufferCache::TouchLocked(uint32_t page_id) {
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second->lru_pos);
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (frames_.size() >= capacity_) {
     // Evict the least recently used unpinned frame.
     auto victim = lru_.end();
     for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-      if (frames_.at(*rit).pins == 0) {
+      if (frames_.at(*rit)->pins.load(std::memory_order_relaxed) == 0) {
         victim = std::prev(rit.base());
         break;
       }
@@ -35,62 +38,74 @@ bool BufferCache::TouchInternal(uint32_t page_id) {
     lru_.erase(victim);
   }
   lru_.push_front(page_id);
-  frames_[page_id] = Frame{lru_.begin(), 0};
+  auto frame = std::make_unique<Frame>();
+  frame->lru_pos = lru_.begin();
+  frames_[page_id] = std::move(frame);
   return false;
 }
 
 bool BufferCache::Touch(uint32_t page_id) {
-  const bool hit = TouchInternal(page_id);
-  PROCSIM_AUDIT_OK(CheckConsistency());
+  Guard guard(latch_);
+  const bool hit = TouchLocked(page_id);
+  PROCSIM_AUDIT_OK(CheckConsistencyLocked());
   return hit;
 }
 
 Status BufferCache::Evict(uint32_t page_id) {
+  Guard guard(latch_);
   auto it = frames_.find(page_id);
   if (it == frames_.end()) return Status::OK();
-  if (it->second.pins > 0) {
+  if (it->second->pins.load(std::memory_order_relaxed) > 0) {
     return Status::InvalidArgument("cannot evict pinned page " +
                                    std::to_string(page_id));
   }
-  lru_.erase(it->second.lru_pos);
+  lru_.erase(it->second->lru_pos);
   frames_.erase(it);
   dirty_.erase(page_id);
-  PROCSIM_AUDIT_OK(CheckConsistency());
+  PROCSIM_AUDIT_OK(CheckConsistencyLocked());
   return Status::OK();
 }
 
 void BufferCache::Clear() {
-  PROCSIM_CHECK_EQ(total_pins_, 0u) << "Clear() with pins outstanding";
+  Guard guard(latch_);
+  PROCSIM_CHECK_EQ(total_pins_.load(), 0u) << "Clear() with pins outstanding";
   lru_.clear();
   frames_.clear();
   dirty_.clear();
 }
 
 void BufferCache::Pin(uint32_t page_id) {
-  TouchInternal(page_id);
-  ++frames_.at(page_id).pins;
-  ++total_pins_;
-  PROCSIM_AUDIT_OK(CheckConsistency());
+  Guard guard(latch_);
+  TouchLocked(page_id);
+  frames_.at(page_id)->pins.fetch_add(1, std::memory_order_relaxed);
+  total_pins_.fetch_add(1, std::memory_order_relaxed);
+  PROCSIM_AUDIT_OK(CheckConsistencyLocked());
 }
 
 Status BufferCache::Unpin(uint32_t page_id) {
+  Guard guard(latch_);
   auto it = frames_.find(page_id);
-  if (it == frames_.end() || it->second.pins == 0) {
+  if (it == frames_.end() ||
+      it->second->pins.load(std::memory_order_relaxed) == 0) {
     return Status::InvalidArgument("unpin of unpinned page " +
                                    std::to_string(page_id));
   }
-  --it->second.pins;
-  --total_pins_;
-  PROCSIM_AUDIT_OK(CheckConsistency());
+  it->second->pins.fetch_sub(1, std::memory_order_relaxed);
+  total_pins_.fetch_sub(1, std::memory_order_relaxed);
+  PROCSIM_AUDIT_OK(CheckConsistencyLocked());
   return Status::OK();
 }
 
 uint32_t BufferCache::pin_count(uint32_t page_id) const {
+  Guard guard(latch_);
   auto it = frames_.find(page_id);
-  return it == frames_.end() ? 0 : it->second.pins;
+  return it == frames_.end()
+             ? 0
+             : it->second->pins.load(std::memory_order_relaxed);
 }
 
 Status BufferCache::MarkDirty(uint32_t page_id) {
+  Guard guard(latch_);
   if (!frames_.contains(page_id)) {
     return Status::InvalidArgument("dirtying non-resident page " +
                                    std::to_string(page_id));
@@ -99,9 +114,37 @@ Status BufferCache::MarkDirty(uint32_t page_id) {
   return Status::OK();
 }
 
-void BufferCache::ClearDirty(uint32_t page_id) { dirty_.erase(page_id); }
+void BufferCache::ClearDirty(uint32_t page_id) {
+  Guard guard(latch_);
+  dirty_.erase(page_id);
+}
+
+bool BufferCache::IsDirty(uint32_t page_id) const {
+  Guard guard(latch_);
+  return dirty_.contains(page_id);
+}
+
+std::size_t BufferCache::dirty_count() const {
+  Guard guard(latch_);
+  return dirty_.size();
+}
+
+bool BufferCache::Contains(uint32_t page_id) const {
+  Guard guard(latch_);
+  return frames_.contains(page_id);
+}
+
+std::size_t BufferCache::size() const {
+  Guard guard(latch_);
+  return frames_.size();
+}
 
 Status BufferCache::CheckConsistency() const {
+  Guard guard(latch_);
+  return CheckConsistencyLocked();
+}
+
+Status BufferCache::CheckConsistencyLocked() const {
   if (frames_.size() > capacity_) {
     return Status::Internal("buffer cache over capacity: " +
                             std::to_string(frames_.size()) + " > " +
@@ -114,17 +157,18 @@ Status BufferCache::CheckConsistency() const {
   }
   uint64_t pins = 0;
   for (const auto& [page_id, frame] : frames_) {
-    if (*frame.lru_pos != page_id) {
+    if (*frame->lru_pos != page_id) {
       return Status::Internal("frame for page " + std::to_string(page_id) +
                               " points at LRU entry " +
-                              std::to_string(*frame.lru_pos));
+                              std::to_string(*frame->lru_pos));
     }
-    pins += frame.pins;
+    pins += frame->pins.load(std::memory_order_relaxed);
   }
-  if (pins != total_pins_) {
+  if (pins != total_pins_.load(std::memory_order_relaxed)) {
     return Status::Internal(
         "pin accounting leak: per-frame pins sum to " + std::to_string(pins) +
-        " but total_pins() is " + std::to_string(total_pins_));
+        " but total_pins() is " +
+        std::to_string(total_pins_.load(std::memory_order_relaxed)));
   }
   for (uint32_t page_id : dirty_) {
     if (!frames_.contains(page_id)) {

@@ -1,11 +1,14 @@
 #ifndef PROCSIM_STORAGE_BUFFER_CACHE_H_
 #define PROCSIM_STORAGE_BUFFER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "concurrent/latch.h"
 #include "util/status.h"
 
 namespace procsim::storage {
@@ -18,11 +21,16 @@ namespace procsim::storage {
 /// free and only misses pay C2.  (Pages are always durable in the page
 /// store; the cache only tracks *residency* for charging purposes.)
 ///
-/// Pin counts and the dirty set exist for invariant auditing (and for the
-/// ROADMAP's concurrency work, where an in-flight operation must keep its
-/// pages resident): a pinned frame is never chosen as an eviction victim,
-/// and audit::ValidateBufferCache can assert that a quiescent system holds
-/// no pins — a leaked pin is a bug in the caller's pin/unpin pairing.
+/// Pin counts and the dirty set exist for invariant auditing and for the
+/// concurrent engine, where an in-flight operation must keep its pages
+/// resident: a pinned frame is never chosen as an eviction victim, and
+/// audit::ValidateBufferCache can assert that a quiescent system holds no
+/// pins — a leaked pin is a bug in the caller's pin/unpin pairing.
+///
+/// Thread safety: every access to the frame map / LRU list is serialized by
+/// an internal kBufferCache-rank latch (a read is an LRU *mutation*, so
+/// even lookups latch).  Pin counts are atomics, so accounting reads
+/// (total_pins, pin_count) never block a session mid-eviction.
 class BufferCache {
  public:
   /// \param capacity_pages  number of page frames (> 0)
@@ -54,7 +62,9 @@ class BufferCache {
   uint32_t pin_count(uint32_t page_id) const;
 
   /// Sum of all pin counts; 0 when the system is quiescent.
-  uint64_t total_pins() const { return total_pins_; }
+  uint64_t total_pins() const {
+    return total_pins_.load(std::memory_order_relaxed);
+  }
 
   // --- dirty tracking ------------------------------------------------------
 
@@ -64,14 +74,14 @@ class BufferCache {
   /// Clears the dirty bit (after the caller writes the page back).
   void ClearDirty(uint32_t page_id);
 
-  bool IsDirty(uint32_t page_id) const { return dirty_.contains(page_id); }
-  std::size_t dirty_count() const { return dirty_.size(); }
+  bool IsDirty(uint32_t page_id) const;
+  std::size_t dirty_count() const;
 
-  bool Contains(uint32_t page_id) const { return frames_.contains(page_id); }
-  std::size_t size() const { return frames_.size(); }
+  bool Contains(uint32_t page_id) const;
+  std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
   /// Verifies internal invariants: the LRU list and frame map describe the
   /// same pages, occupancy respects capacity, every pinned or dirty page is
@@ -79,23 +89,29 @@ class BufferCache {
   Status CheckConsistency() const;
 
  private:
+  // Frames are heap-allocated so the atomic pin count has a stable address
+  // across rehashes of the frame map.
   struct Frame {
     std::list<uint32_t>::iterator lru_pos;
-    uint32_t pins = 0;
+    std::atomic<uint32_t> pins{0};
   };
 
   /// Moves `page_id` to the MRU position, inserting it (with eviction) on a
-  /// miss.  Returns true on a hit.
-  bool TouchInternal(uint32_t page_id);
+  /// miss.  Returns true on a hit.  Caller holds `latch_`.
+  bool TouchLocked(uint32_t page_id);
+
+  Status CheckConsistencyLocked() const;
 
   std::size_t capacity_;
+  mutable concurrent::RankedMutex latch_{
+      concurrent::LatchRank::kBufferCache, "BufferCache"};
   // Most recently used at the front.
   std::list<uint32_t> lru_;
-  std::unordered_map<uint32_t, Frame> frames_;
+  std::unordered_map<uint32_t, std::unique_ptr<Frame>> frames_;
   std::unordered_set<uint32_t> dirty_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t total_pins_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> total_pins_{0};
 };
 
 }  // namespace procsim::storage

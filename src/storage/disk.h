@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "concurrent/latch.h"
 #include "storage/buffer_cache.h"
 #include "storage/page.h"
 #include "util/cost_meter.h"
@@ -23,24 +24,32 @@ namespace procsim::storage {
 /// Yao-function page-touch counts assume.  AccessScope provides exactly that
 /// semantics: while a scope is open, repeated reads/writes of the same page
 /// are charged once.
+///
+/// Concurrency: access scopes and metering disablement are *per thread*
+/// (each concurrent session dedups and un-meters only its own operation),
+/// the page directory is guarded by a kPageTable latch so sessions can
+/// allocate pages while others look pages up, and page *contents* are
+/// protected by the engine's coarse database latch (writers run exclusive).
 class SimulatedDisk {
  public:
   /// \param page_size  bytes per page (the paper's B)
   /// \param meter      cost sink; must outlive the disk; may be null for
   ///                   cost-free setup phases (see set_metering_enabled)
   SimulatedDisk(uint32_t page_size, CostMeter* meter);
+  ~SimulatedDisk();
 
   SimulatedDisk(const SimulatedDisk&) = delete;
   SimulatedDisk& operator=(const SimulatedDisk&) = delete;
 
   uint32_t page_size() const { return page_size_; }
-  std::size_t page_count() const { return pages_.size(); }
+  std::size_t page_count() const;
 
-  /// Enables/disables cost charging.  Bulk-loading the database before an
-  /// experiment is free, as in the paper (the k updates and q queries are
-  /// the measured workload, not the initial load).
+  /// Enables/disables cost charging globally.  Bulk-loading the database
+  /// before an experiment is free, as in the paper.  Only call while the
+  /// disk is quiescent (no concurrent sessions); per-operation un-metering
+  /// goes through MeteringGuard, which is thread-local.
   void set_metering_enabled(bool enabled) { metering_enabled_ = enabled; }
-  bool metering_enabled() const { return metering_enabled_; }
+  bool metering_enabled() const;
 
   CostMeter* meter() const { return meter_; }
 
@@ -56,11 +65,17 @@ class SimulatedDisk {
 
   // --- deduplicated accounting scopes -------------------------------------
 
-  /// Opens an access scope: until EndAccessScope(), each distinct page is
-  /// charged at most one read and at most one write.  Scopes do not nest.
+  /// Opens an access scope *for the calling thread*: until EndAccessScope(),
+  /// each distinct page is charged at most one read and at most one write.
+  /// Scopes do not nest (per thread).
   void BeginAccessScope();
   void EndAccessScope();
-  bool in_access_scope() const { return in_scope_; }
+  bool in_access_scope() const;
+
+  // --- thread-local metering disablement (used by MeteringGuard) -----------
+
+  void PushThreadMeteringDisable();
+  void PopThreadMeteringDisable();
 
   // --- optional buffer cache (ablation; the paper's model has none) --------
 
@@ -79,30 +94,30 @@ class SimulatedDisk {
 
   uint32_t page_size_;
   CostMeter* meter_;
+  // Written only while quiescent; concurrent sessions read it under the
+  // engine's database latch, which provides the ordering.
   bool metering_enabled_ = true;
+  mutable concurrent::RankedMutex page_table_latch_{
+      concurrent::LatchRank::kPageTable, "SimulatedDisk::page_table"};
   std::vector<std::unique_ptr<Page>> pages_;
-
-  bool in_scope_ = false;
-  std::set<PageId> scope_reads_;
-  std::set<PageId> scope_writes_;
   std::optional<BufferCache> cache_;
 };
 
 /// RAII helper that disables cost metering for a scope (static compilation
-/// and bulk-load phases, which the paper does not charge).
+/// and bulk-load phases, which the paper does not charge).  The disablement
+/// is thread-local: a concurrent session validating or rebuilding its own
+/// structures never turns off another session's charging.
 class MeteringGuard {
  public:
-  explicit MeteringGuard(SimulatedDisk* disk)
-      : disk_(disk), previous_(disk->metering_enabled()) {
-    disk_->set_metering_enabled(false);
+  explicit MeteringGuard(SimulatedDisk* disk) : disk_(disk) {
+    disk_->PushThreadMeteringDisable();
   }
-  ~MeteringGuard() { disk_->set_metering_enabled(previous_); }
+  ~MeteringGuard() { disk_->PopThreadMeteringDisable(); }
   MeteringGuard(const MeteringGuard&) = delete;
   MeteringGuard& operator=(const MeteringGuard&) = delete;
 
  private:
   SimulatedDisk* disk_;
-  bool previous_;
 };
 
 /// RAII helper for SimulatedDisk access scopes.

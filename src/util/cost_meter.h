@@ -1,6 +1,7 @@
 #ifndef PROCSIM_UTIL_COST_METER_H_
 #define PROCSIM_UTIL_COST_METER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -24,56 +25,80 @@ struct CostConstants {
 ///
 /// Every component of the execution engine (simulated disk, predicate
 /// evaluation, delta-set bookkeeping, invalidation recording) charges its
-/// work here.  Scoped counters allow attributing cost to a phase (e.g. "per
-/// update maintenance" vs "per query read").
+/// work here.  Counters are atomic so concurrent sessions can charge without
+/// a latch; single-threaded runs see the exact same totals as before (the
+/// adds execute in program order).  Under free-running concurrency the
+/// floating-point total becomes order-dependent, which is fine — concurrent
+/// runs compare answers, not charges.
 class CostMeter {
  public:
   CostMeter() = default;
   explicit CostMeter(CostConstants constants) : constants_(constants) {}
 
+  CostMeter(const CostMeter&) = delete;
+  CostMeter& operator=(const CostMeter&) = delete;
+
   const CostConstants& constants() const { return constants_; }
 
   // -- charging -----------------------------------------------------------
   void ChargeDiskRead(uint64_t pages = 1) {
-    disk_reads_ += pages;
-    total_ms_ += static_cast<double>(pages) * constants_.disk_io_ms;
+    disk_reads_.fetch_add(pages, std::memory_order_relaxed);
+    AddMs(static_cast<double>(pages) * constants_.disk_io_ms);
   }
   void ChargeDiskWrite(uint64_t pages = 1) {
-    disk_writes_ += pages;
-    total_ms_ += static_cast<double>(pages) * constants_.disk_io_ms;
+    disk_writes_.fetch_add(pages, std::memory_order_relaxed);
+    AddMs(static_cast<double>(pages) * constants_.disk_io_ms);
   }
   void ChargeScreen(uint64_t tuples = 1) {
-    screens_ += tuples;
-    total_ms_ += static_cast<double>(tuples) * constants_.cpu_screen_ms;
+    screens_.fetch_add(tuples, std::memory_order_relaxed);
+    AddMs(static_cast<double>(tuples) * constants_.cpu_screen_ms);
   }
   void ChargeDeltaMaintenance(uint64_t tuples = 1) {
-    delta_ops_ += tuples;
-    total_ms_ += static_cast<double>(tuples) * constants_.delta_maintenance_ms;
+    delta_ops_.fetch_add(tuples, std::memory_order_relaxed);
+    AddMs(static_cast<double>(tuples) * constants_.delta_maintenance_ms);
   }
   /// Arbitrary extra cost (e.g. the C_inval invalidation-recording cost).
-  void ChargeFixed(double ms) { total_ms_ += ms; }
+  void ChargeFixed(double ms) { AddMs(ms); }
 
   // -- reading ------------------------------------------------------------
-  double total_ms() const { return total_ms_; }
-  uint64_t disk_reads() const { return disk_reads_; }
-  uint64_t disk_writes() const { return disk_writes_; }
-  uint64_t screens() const { return screens_; }
-  uint64_t delta_ops() const { return delta_ops_; }
+  double total_ms() const { return total_ms_.load(std::memory_order_relaxed); }
+  uint64_t disk_reads() const {
+    return disk_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t disk_writes() const {
+    return disk_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t screens() const { return screens_.load(std::memory_order_relaxed); }
+  uint64_t delta_ops() const {
+    return delta_ops_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
-    total_ms_ = 0;
-    disk_reads_ = disk_writes_ = screens_ = delta_ops_ = 0;
+    total_ms_.store(0, std::memory_order_relaxed);
+    disk_reads_.store(0, std::memory_order_relaxed);
+    disk_writes_.store(0, std::memory_order_relaxed);
+    screens_.store(0, std::memory_order_relaxed);
+    delta_ops_.store(0, std::memory_order_relaxed);
   }
 
   std::string ToString() const;
 
  private:
+  // CAS loop instead of atomic<double>::fetch_add, which some supported
+  // toolchains still lack.
+  void AddMs(double ms) {
+    double current = total_ms_.load(std::memory_order_relaxed);
+    while (!total_ms_.compare_exchange_weak(current, current + ms,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
   CostConstants constants_;
-  double total_ms_ = 0;
-  uint64_t disk_reads_ = 0;
-  uint64_t disk_writes_ = 0;
-  uint64_t screens_ = 0;
-  uint64_t delta_ops_ = 0;
+  std::atomic<double> total_ms_{0};
+  std::atomic<uint64_t> disk_reads_{0};
+  std::atomic<uint64_t> disk_writes_{0};
+  std::atomic<uint64_t> screens_{0};
+  std::atomic<uint64_t> delta_ops_{0};
 };
 
 }  // namespace procsim

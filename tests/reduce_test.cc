@@ -1,0 +1,93 @@
+// Delta-debugging reducer: a planted lost invalidation (kSilentUpdate)
+// must shrink to a minimal reproduction automatically, and a passing
+// stream must be rejected rather than "reduced" to noise.
+#include "audit/reduce.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/crosscheck.h"
+
+namespace procsim::audit {
+namespace {
+
+using sim::WorkloadOp;
+
+CrossCheckOptions ReducerOptions() {
+  CrossCheckOptions options;
+  options.params.N = 160;
+  options.params.f_R2 = 0.1;
+  options.params.f_R3 = 0.1;
+  // A large update batch so a single silent update transaction almost
+  // surely breaks some procedure's interval — the failure the reducer
+  // must preserve while shrinking.
+  options.params.l = 20;
+  options.params.N1 = 4;
+  options.params.N2 = 4;
+  options.params.SF = 0.5;
+  options.params.f = 0.08;
+  options.params.f2 = 0.3;
+  options.seed = 20260806;
+  return options;
+}
+
+TEST(ReduceTest, PlantedSilentUpdateShrinksToMinimalRepro) {
+  CrossCheckOptions options = ReducerOptions();
+  options.steps = 60;
+  std::vector<WorkloadOp> ops = GenerateOpStream(options);
+  ASSERT_EQ(ops.size(), 60u);
+  ops[17].kind = WorkloadOp::Kind::kSilentUpdate;
+  if (ops[17].value == 0) ops[17].value = 12345;
+
+  Result<ReduceOutcome> reduced = ReduceOpStream(options, ops);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  const ReduceOutcome& outcome = reduced.ValueOrDie();
+  // The silent update fails on its own (CompareBatch runs right after the
+  // un-notified mutation), so 1-minimality means a tiny repro.
+  EXPECT_LE(outcome.minimal.size(), 10u);
+  EXPECT_GE(outcome.minimal.size(), 1u);
+  EXPECT_GT(outcome.probes, 1u);
+  EXPECT_FALSE(outcome.failure.empty());
+  EXPECT_NE(outcome.test_case.find("kSilentUpdate"), std::string::npos);
+
+  // The minimal stream really does still fail...
+  EXPECT_FALSE(RunOpStream(options, outcome.minimal).ok());
+  // ...and is 1-minimal: dropping any single op makes it pass.
+  for (std::size_t i = 0; i < outcome.minimal.size(); ++i) {
+    std::vector<WorkloadOp> without = outcome.minimal;
+    without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_TRUE(RunOpStream(options, without).ok())
+        << "op " << i << " is removable";
+  }
+}
+
+TEST(ReduceTest, PassingStreamIsRejected) {
+  CrossCheckOptions options = ReducerOptions();
+  options.steps = 20;
+  const std::vector<WorkloadOp> ops = GenerateOpStream(options);
+  Result<ReduceOutcome> reduced = ReduceOpStream(options, ops);
+  EXPECT_FALSE(reduced.ok());
+  EXPECT_EQ(reduced.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReduceTest, GeneratedStreamMatchesCrossCheck) {
+  // CrossCheck(options) must be exactly GenerateOpStream + RunOpStream:
+  // same counts, same comparisons.
+  CrossCheckOptions options = ReducerOptions();
+  options.steps = 40;
+  Result<CrossCheckReport> direct = CrossCheck(options);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  Result<CrossCheckReport> replayed =
+      RunOpStream(options, GenerateOpStream(options));
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(direct.ValueOrDie().accesses, replayed.ValueOrDie().accesses);
+  EXPECT_EQ(direct.ValueOrDie().update_transactions,
+            replayed.ValueOrDie().update_transactions);
+  EXPECT_EQ(direct.ValueOrDie().comparisons,
+            replayed.ValueOrDie().comparisons);
+}
+
+}  // namespace
+}  // namespace procsim::audit

@@ -8,8 +8,10 @@
 #      Audit hooks re-validate whole structures after every mutation, so the
 #      full suite under audit would be quadratic on bulk loads; the focused
 #      list exercises every validator without that blowup.
-#   4. Static-analysis gate (tools/check.sh)
-#   5. Format gate (tools/format.sh --check; no-op without clang-format)
+#   4. ThreadSanitizer build + the concurrent-engine tests (the latch-rank
+#      checker plus free-running multi-session stress; zero reports allowed)
+#   5. Static-analysis gate (tools/check.sh)
+#   6. Format gate (tools/format.sh --check; no-op without clang-format)
 set -eu -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +29,7 @@ run_preset() {
 run_preset asan
 run_preset ubsan
 run_preset audit -R 'Audit|Validate|BTree|HeapFile|Page|BufferCache|Rete|TupleStore|ILock|Invalidation'
+run_preset tsan -R 'Concurrent|LatchRank'
 
 echo "=== ci.sh: static analysis ==="
 bash tools/check.sh build-asan
