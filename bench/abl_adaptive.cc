@@ -11,14 +11,19 @@
 #include "proc/update_cache_adaptive.h"
 #include "sim/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("abl_adaptive", argc, argv);
   cost::Params params;
   params.N = 20000;
   params.N1 = 20;
   params.N2 = 20;
   params.f = 0.005;
   params.q = 60;
+  if (report.quick()) {
+    params.N = 4000;
+    params.q = 12;
+  }
 
   bench::PrintHeader(
       "Ablation AB5",
@@ -27,7 +32,10 @@ int main() {
 
   TablePrinter table(
       {"P", "CI", "AVM", "Adaptive(0.1)", "Adaptive(0.5)", "Adaptive(2.0)"});
-  for (double p : {0.05, 0.2, 0.5, 0.8}) {
+  const std::vector<double> p_values =
+      report.quick() ? std::vector<double>{0.2, 0.8}
+                     : std::vector<double>{0.05, 0.2, 0.5, 0.8};
+  for (double p : p_values) {
     cost::Params point = params;
     point.SetUpdateProbability(p);
     sim::Simulator::Options options;
@@ -45,6 +53,11 @@ int main() {
       }
       row.push_back(
           TablePrinter::FormatDouble(run.ValueOrDie().avg_ms_per_query, 1));
+      report.AddScalar(
+          (strategy == cost::Strategy::kCacheInvalidate ? "ci_ms_p_"
+                                                        : "avm_ms_p_") +
+              TablePrinter::FormatDouble(p, 2),
+          run.ValueOrDie().avg_ms_per_query);
     }
     for (double fraction : {0.1, 0.5, 2.0}) {
       Result<sim::SimulationResult> run = sim::Simulator::RunWithFactory(
@@ -60,6 +73,9 @@ int main() {
       }
       row.push_back(
           TablePrinter::FormatDouble(run.ValueOrDie().avg_ms_per_query, 1));
+      report.AddScalar("adaptive_" + TablePrinter::FormatDouble(fraction, 1) +
+                           "_ms_p_" + TablePrinter::FormatDouble(p, 2),
+                       run.ValueOrDie().avg_ms_per_query);
     }
     table.AddRow(std::move(row));
   }
@@ -67,5 +83,5 @@ int main() {
   std::cout << "\nThe adaptive columns should track min(CI, AVM) across the "
                "sweep; small patch fractions behave like CI at high P, large "
                "ones like AVM at low P.\n";
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -3,15 +3,20 @@
 // endpoints (0 and 60 ms) to a sweep.  Only the CI column varies.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("abl_cinval_sweep", argc, argv);
   cost::Params params;
   params.SetUpdateProbability(0.3);
   bench::PrintHeader("Ablation AB1",
                      "query cost vs C_inval at P = 0.3, model 1", params);
-  bench::PrintSweep("C_inval",
-                    cost::SweepInvalidationCost(
-                        params, cost::ProcModel::kModel1,
-                        {0, 5, 10, 15, 20, 30, 40, 50, 60, 80, 100}));
-  return 0;
+  const std::vector<double> costs =
+      report.quick() ? std::vector<double>{0, 30, 60, 100}
+                     : std::vector<double>{0, 5, 10, 15, 20, 30, 40, 50, 60,
+                                           80, 100};
+  const std::vector<cost::SweepPoint> series =
+      cost::SweepInvalidationCost(params, cost::ProcModel::kModel1, costs);
+  bench::PrintSweep("C_inval", series);
+  report.AddSeries("cost_vs_C_inval", "C_inval", series);
+  return report.Write() ? 0 : 1;
 }

@@ -10,14 +10,19 @@
 #include "proc/hybrid.h"
 #include "sim/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("abl_hybrid", argc, argv);
   cost::Params params;
   params.N = 20000;
   params.N1 = 20;
   params.N2 = 20;
   params.f = 0.005;
   params.q = 60;
+  if (report.quick()) {
+    params.N = 4000;
+    params.q = 12;
+  }
 
   bench::PrintHeader("Ablation AB3",
                      "hybrid per-procedure assignment vs pure strategies "
@@ -26,7 +31,10 @@ int main() {
 
   TablePrinter table(
       {"P", "AR", "CI", "AVM", "RVM", "Hybrid", "hybrid routes AR/CI/AVM/RVM"});
-  for (double p : {0.05, 0.2, 0.5, 0.8}) {
+  const std::vector<double> p_values =
+      report.quick() ? std::vector<double>{0.2, 0.8}
+                     : std::vector<double>{0.05, 0.2, 0.5, 0.8};
+  for (double p : p_values) {
     cost::Params point = params;
     point.SetUpdateProbability(p);
     sim::Simulator::Options options;
@@ -46,6 +54,9 @@ int main() {
       }
       row.push_back(
           TablePrinter::FormatDouble(run.ValueOrDie().avg_ms_per_query, 1));
+      report.AddScalar(std::string(1, bench::WinnerCode(strategy)) +
+                           "_ms_p_" + TablePrinter::FormatDouble(p, 2),
+                       run.ValueOrDie().avg_ms_per_query);
     }
 
     std::string routes;
@@ -74,10 +85,12 @@ int main() {
     row.push_back(TablePrinter::FormatDouble(
         hybrid_run.ValueOrDie().avg_ms_per_query, 1));
     row.push_back(routes);
+    report.AddScalar("hybrid_ms_p_" + TablePrinter::FormatDouble(p, 2),
+                     hybrid_run.ValueOrDie().avg_ms_per_query);
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
   std::cout << "\nThe hybrid column should track min(AR, CI, AVM, RVM) at "
                "every P without per-sweep tuning.\n";
-  return 0;
+  return report.Write() ? 0 : 1;
 }

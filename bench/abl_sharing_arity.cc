@@ -6,8 +6,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("abl_sharing_arity", argc, argv);
   cost::Params params;
 
   bench::PrintHeader("Ablation AB2", "sharing benefit vs join arity", params);
@@ -41,8 +42,12 @@ int main() {
               << (crossover < 0 ? std::string("never")
                                 : TablePrinter::FormatDouble(crossover, 3))
               << "\n";
+    report.AddScalar(model == cost::ProcModel::kModel1
+                         ? "crossover_sf_2way"
+                         : "crossover_sf_3way",
+                     crossover);
   }
   std::cout << "paper: ~0.97 for 2-way (RVM rarely worth it), ~0.47 for "
                "3-way\n";
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -9,8 +9,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("abl_yao_exact", argc, argv);
   cost::Params approx_params;  // defaults: paper approximation
   cost::Params exact_params;
   exact_params.yao_mode = cost::YaoMode::kExact;
@@ -20,10 +21,11 @@ int main() {
                      "figure-5 configuration",
                      approx_params);
 
+  const int steps = report.StepCount(19, 5);
   const auto approx = cost::SweepUpdateProbability(
-      approx_params, cost::ProcModel::kModel1, 0.0, 0.9, 19);
+      approx_params, cost::ProcModel::kModel1, 0.0, 0.9, steps);
   const auto exact = cost::SweepUpdateProbability(
-      exact_params, cost::ProcModel::kModel1, 0.0, 0.9, 19);
+      exact_params, cost::ProcModel::kModel1, 0.0, 0.9, steps);
 
   TablePrinter table({"P", "AR approx", "AR exact", "CI approx", "CI exact",
                       "AVM approx", "AVM exact"});
@@ -53,5 +55,10 @@ int main() {
             << TablePrinter::FormatDouble(100 * worst[2], 2)
             << "% (Appendix A's accuracy claim holds if these stay in the "
                "low single digits)\n";
-  return 0;
+  report.AddSeries("cost_vs_P_approx", "P", approx);
+  report.AddSeries("cost_vs_P_exact", "P", exact);
+  report.AddScalar("worst_deviation_ar", worst[0]);
+  report.AddScalar("worst_deviation_ci", worst[1]);
+  report.AddScalar("worst_deviation_avm", worst[2]);
+  return report.Write() ? 0 : 1;
 }

@@ -2,12 +2,18 @@
 #define PROCSIM_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cost/model.h"
 #include "cost/sweeps.h"
+#include "obs/metrics.h"
 #include "sim/workload.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
@@ -28,6 +34,8 @@ inline void PrintHeader(const std::string& figure, const std::string& title,
 /// caller's business — benches that only measure raw executor drift skip it.
 inline Status ChurnR1(sim::Database* db, std::size_t count,
                       std::size_t batch_size, Rng* rng) {
+  obs::Counter* const churn_counter =
+      obs::GlobalMetrics().RegisterCounter("bench.churn.tuples_churned");
   std::size_t churned = 0;
   while (churned < count) {
     const std::size_t batch = std::min(batch_size, count - churned);
@@ -38,7 +46,15 @@ inline Status ChurnR1(sim::Database* db, std::size_t count,
     Result<sim::MutationResult> applied =
         sim::ApplyMutationOp(db, op, mix, rng);
     PROCSIM_RETURN_IF_ERROR(applied.status());
-    churned += batch;
+    // Advance by what was actually mutated, not by what was requested, and
+    // surface the count in metrics so callers (sim_vs_analytic) can assert
+    // the simulated update volume matches the analytic model's k*l.
+    const std::size_t mutated = applied.ValueOrDie().changes.size();
+    if (mutated == 0) {
+      return Status::Internal("ChurnR1 made no progress");
+    }
+    churn_counter->Add(mutated);
+    churned += mutated;
   }
   return Status::OK();
 }
@@ -127,6 +143,207 @@ inline void PrintClosenessRegions(const cost::ClosenessGrid& grid,
     std::cout << "\n";
   }
   std::cout << "\n";
+}
+
+/// \brief Machine-readable snapshot of one bench binary's output.
+///
+/// Every fig*/tbl*/abl* main constructs one of these, mirrors into it what
+/// it prints as tables (series, scalars, region rows), and calls Write() at
+/// the end, producing BENCH_<name>.json next to the binary (or under
+/// $PROCSIM_BENCH_OUT when set).  tools/bench_json.sh collects the files
+/// and diffs them against the committed goldens in bench/goldens/.
+///
+/// The constructor also owns the shared flag handling: `--quick` asks the
+/// bench to shrink its sweeps to a smoke-test size (each main decides what
+/// that means via quick()); quick runs are tagged in the JSON so the golden
+/// gate can refuse to compare them against full-size goldens.
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--quick") quick_ = true;
+    }
+  }
+
+  bool quick() const { return quick_; }
+
+  /// Shorthand for the "full size unless --quick" pattern every sweep uses.
+  int StepCount(int full, int quick_steps) const {
+    return quick_ ? quick_steps : full;
+  }
+
+  void AddScalar(const std::string& scalar_name, double value) {
+    scalars_.emplace_back(scalar_name, value);
+  }
+
+  void AddSeries(const std::string& series_name, const std::string& x_name,
+                 const std::vector<cost::SweepPoint>& series) {
+    std::ostringstream out;
+    out << "    {\"name\": \"" << series_name << "\", \"x\": \"" << x_name
+        << "\", \"points\": [";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const cost::SweepPoint& point = series[i];
+      if (i > 0) out << ",";
+      out << "\n      {\"x\": " << FormatJsonDouble(point.x)
+          << ", \"always_recompute\": "
+          << FormatJsonDouble(point.always_recompute)
+          << ", \"cache_invalidate\": "
+          << FormatJsonDouble(point.cache_invalidate)
+          << ", \"update_cache_avm\": "
+          << FormatJsonDouble(point.update_cache_avm)
+          << ", \"update_cache_rvm\": "
+          << FormatJsonDouble(point.update_cache_rvm) << "}";
+    }
+    out << "\n    ]}";
+    series_.push_back(out.str());
+  }
+
+  /// Region maps are recorded as one code string per f row ("RCCAV..."),
+  /// matching the printed map; exact string equality is the golden check.
+  void AddWinnerGrid(const std::string& grid_name,
+                     const cost::WinnerRegionGrid& grid) {
+    std::vector<std::string> rows;
+    rows.reserve(grid.winner.size());
+    for (const std::vector<cost::Strategy>& row : grid.winner) {
+      std::string codes;
+      for (cost::Strategy strategy : row) codes.push_back(WinnerCode(strategy));
+      rows.push_back(std::move(codes));
+    }
+    grids_.push_back(
+        FormatGrid(grid_name, grid.f_values, grid.p_values, rows));
+  }
+
+  void AddClosenessGrid(const std::string& grid_name,
+                        const cost::ClosenessGrid& grid, double threshold) {
+    std::vector<std::string> rows;
+    rows.reserve(grid.ratio.size());
+    for (const std::vector<double>& row : grid.ratio) {
+      std::string codes;
+      for (double ratio : row) codes.push_back(ratio <= threshold ? '#' : '.');
+      rows.push_back(std::move(codes));
+    }
+    grids_.push_back(
+        FormatGrid(grid_name, grid.f_values, grid.p_values, rows));
+  }
+
+  /// Writes BENCH_<name>.json and reports where it went on stdout.
+  /// Returns false (after printing a diagnostic) if the file cannot be
+  /// written, so mains can propagate a nonzero exit code.
+  bool Write() const {
+    const char* out_dir = std::getenv("PROCSIM_BENCH_OUT");
+    const std::string path = (out_dir != nullptr && out_dir[0] != '\0')
+                                 ? std::string(out_dir) + "/BENCH_" + name_ +
+                                       ".json"
+                                 : "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n";
+    out << "  \"quick\": " << (quick_ ? "true" : "false") << ",\n";
+    out << "  \"scalars\": {";
+    for (std::size_t i = 0; i < scalars_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\n    \"" << scalars_[i].first
+          << "\": " << FormatJsonDouble(scalars_[i].second);
+    }
+    out << "\n  },\n";
+    out << "  \"series\": [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\n" << series_[i];
+    }
+    out << "\n  ],\n";
+    out << "  \"grids\": [";
+    for (std::size_t i = 0; i < grids_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\n" << grids_[i];
+    }
+    out << "\n  ],\n";
+    out << "  \"metrics\": ";
+    obs::GlobalMetrics().WriteJson(out);
+    out << "\n}\n";
+    std::cout << "wrote " << path << "\n";
+    return out.good();
+  }
+
+ private:
+  static std::string FormatJsonDouble(double value) {
+    if (value != value || value > std::numeric_limits<double>::max() ||
+        value < std::numeric_limits<double>::lowest()) {
+      return "null";  // JSON has no nan/inf
+    }
+    std::ostringstream out;
+    out << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << value;
+    return out.str();
+  }
+
+  static std::string FormatGrid(const std::string& grid_name,
+                                const std::vector<double>& f_values,
+                                const std::vector<double>& p_values,
+                                const std::vector<std::string>& rows) {
+    std::ostringstream out;
+    out << "    {\"name\": \"" << grid_name << "\", \"f_values\": [";
+    for (std::size_t i = 0; i < f_values.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << FormatJsonDouble(f_values[i]);
+    }
+    out << "], \"p_values\": [";
+    for (std::size_t i = 0; i < p_values.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << FormatJsonDouble(p_values[i]);
+    }
+    out << "], \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "\"" << rows[i] << "\"";
+    }
+    out << "]}";
+    return out.str();
+  }
+
+  std::string name_;
+  bool quick_ = false;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::string> series_;  ///< pre-rendered JSON objects
+  std::vector<std::string> grids_;   ///< pre-rendered JSON objects
+};
+
+/// The shared tail of the P-sweep figures (4-10, 17): sweep cost vs update
+/// probability, print the table, mirror it into the report and write the
+/// JSON snapshot.  Returns the process exit code.
+inline int FinishUpdateProbabilityBench(BenchReport* report,
+                                        const cost::Params& params,
+                                        cost::ProcModel model,
+                                        int precision = 1) {
+  const std::vector<cost::SweepPoint> series = cost::SweepUpdateProbability(
+      params, model, 0.0, 0.9, report->StepCount(19, 5));
+  PrintSweep("P", series, precision);
+  report->AddSeries("cost_vs_P", "P", series);
+  return report->Write() ? 0 : 1;
+}
+
+/// The shared tail of the SF-sweep figures (11, 18): sweep cost vs sharing
+/// factor, report the AVM/RVM crossover as a scalar, write the snapshot.
+inline int FinishSharingFactorBench(BenchReport* report,
+                                    const cost::Params& params,
+                                    cost::ProcModel model) {
+  const std::vector<cost::SweepPoint> series =
+      cost::SweepSharingFactor(params, model, report->StepCount(21, 5));
+  PrintSweep("SF", series);
+  report->AddSeries("cost_vs_SF", "SF", series);
+  const double crossover = cost::SharingCrossover(params, model);
+  if (crossover < 0) {
+    std::cout << "RVM never reaches AVM's cost in [0, 1]\n";
+  } else {
+    std::cout << "AVM/RVM crossover at SF = "
+              << TablePrinter::FormatDouble(crossover, 3) << "\n";
+  }
+  report->AddScalar("sharing_crossover_sf", crossover);
+  return report->Write() ? 0 : 1;
 }
 
 }  // namespace procsim::bench

@@ -5,13 +5,13 @@
 // mechanism is essential.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig04_inval_high", argc, argv);
   cost::Params params;
   params.C_inval = 60.0;
   bench::PrintHeader("Figure 4", "query cost vs P, high invalidation cost",
                      params);
-  bench::PrintSweep("P", cost::SweepUpdateProbability(
-                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel1);
 }

@@ -5,12 +5,12 @@
 // and blowing up as P -> 1.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig05_default", argc, argv);
   cost::Params params;  // figure-2 defaults, C_inval = 0
   bench::PrintHeader("Figure 5", "query cost vs P, default parameters",
                      params);
-  bench::PrintSweep("P", cost::SweepUpdateProbability(
-                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel1);
 }

@@ -4,13 +4,13 @@
 // incrementally patching a big object is far cheaper than recomputing it.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig06_large_objects", argc, argv);
   cost::Params params;
   params.f = 0.01;
   bench::PrintHeader("Figure 6", "query cost vs P, large objects (f=0.01)",
                      params);
-  bench::PrintSweep("P", cost::SweepUpdateProbability(
-                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel1);
 }

@@ -5,15 +5,13 @@
 // AR at P = 0.1) come from this configuration.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig07_small_objects", argc, argv);
   cost::Params params;
   params.f = 0.0001;
   bench::PrintHeader("Figure 7", "query cost vs P, small objects (f=0.0001)",
                      params);
-  bench::PrintSweep("P",
-                    cost::SweepUpdateProbability(
-                        params, cost::ProcModel::kModel1, 0.0, 0.9, 19),
-                    2);
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel1, 2);
 }

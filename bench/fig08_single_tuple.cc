@@ -4,8 +4,9 @@
 // degradation at large P.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig08_single_tuple", argc, argv);
   cost::Params params;
   params.N1 = 100;
   params.N2 = 0;
@@ -13,9 +14,6 @@ int main() {
   bench::PrintHeader("Figure 8",
                      "query cost vs P, single-tuple objects (f=1/N, N2=0)",
                      params);
-  bench::PrintSweep("P",
-                    cost::SweepUpdateProbability(
-                        params, cost::ProcModel::kModel1, 0.0, 0.9, 19),
-                    2);
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel1, 2);
 }

@@ -4,13 +4,13 @@
 // while Update Cache pays the same maintenance regardless of access skew.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig09_high_locality", argc, argv);
   cost::Params params;
   params.Z = 0.05;
   bench::PrintHeader("Figure 9", "query cost vs P, high locality (Z=0.05)",
                      params);
-  bench::PrintSweep("P", cost::SweepUpdateProbability(
-                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel1);
 }

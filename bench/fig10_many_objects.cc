@@ -4,14 +4,14 @@
 // steeply and Cache and Invalidate reaches its plateau at smaller P.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig10_many_objects", argc, argv);
   cost::Params params;
   params.N1 = 1000;
   params.N2 = 1000;
   bench::PrintHeader("Figure 10",
                      "query cost vs P, many objects (N1=N2=1000)", params);
-  bench::PrintSweep("P", cost::SweepUpdateProbability(
-                             params, cost::ProcModel::kModel1, 0.0, 0.9, 19));
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel1);
 }

@@ -4,20 +4,12 @@
 // its selection subexpression (crossover near SF ≈ 0.97).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig11_sharing_m1", argc, argv);
   cost::Params params;
   bench::PrintHeader("Figure 11", "Update Cache cost vs SF, model 1 (2-way)",
                      params);
-  bench::PrintSweep("SF", cost::SweepSharingFactor(
-                              params, cost::ProcModel::kModel1, 21));
-  const double crossover =
-      cost::SharingCrossover(params, cost::ProcModel::kModel1);
-  if (crossover < 0) {
-    std::cout << "RVM never reaches AVM's cost in [0, 1]\n";
-  } else {
-    std::cout << "AVM/RVM crossover at SF = "
-              << procsim::TablePrinter::FormatDouble(crossover, 3) << "\n";
-  }
-  return 0;
+  return bench::FinishSharingFactorBench(&report, params,
+                                         cost::ProcModel::kModel1);
 }

@@ -4,13 +4,17 @@
 // while Update Cache gets no benefit from access skew.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig13_regions_locality", argc, argv);
   cost::Params params;
   params.Z = 0.05;
   bench::PrintHeader("Figure 13",
                      "winner regions, f x P, high locality (Z=0.05)", params);
-  bench::PrintWinnerRegions(cost::ComputeWinnerRegions(
-      params, cost::ProcModel::kModel1, 1e-5, 0.05, 13, 0.02, 0.95, 16));
-  return 0;
+  const cost::WinnerRegionGrid grid = cost::ComputeWinnerRegions(
+      params, cost::ProcModel::kModel1, 1e-5, 0.05, report.StepCount(13, 5),
+      0.02, 0.95, report.StepCount(16, 5));
+  bench::PrintWinnerRegions(grid);
+  report.AddWinnerGrid("winner_regions", grid);
+  return report.Write() ? 0 : 1;
 }

@@ -3,17 +3,19 @@
 // Expected: Cache and Invalidate does even better for small objects.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig15_closeness_f2_1", argc, argv);
   cost::Params params;
   params.f2 = 1.0;
   bench::PrintHeader(
       "Figure 15",
       "CI within 2x of best Update Cache, no false invalidation (f2=1)",
       params);
-  bench::PrintClosenessRegions(
-      cost::ComputeClosenessGrid(params, cost::ProcModel::kModel1, 1e-5, 0.05,
-                                 13, 0.02, 0.95, 16),
-      2.0);
-  return 0;
+  const cost::ClosenessGrid grid = cost::ComputeClosenessGrid(
+      params, cost::ProcModel::kModel1, 1e-5, 0.05, report.StepCount(13, 5),
+      0.02, 0.95, report.StepCount(16, 5));
+  bench::PrintClosenessRegions(grid, 2.0);
+  report.AddClosenessGrid("closeness_2x", grid, 2.0);
+  return report.Write() ? 0 : 1;
 }

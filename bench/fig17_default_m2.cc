@@ -4,13 +4,13 @@
 // slightly past the crossover with) AVM.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig17_default_m2", argc, argv);
   cost::Params params;
   bench::PrintHeader("Figure 17",
                      "query cost vs P, model 2 (3-way joins), defaults",
                      params);
-  bench::PrintSweep("P", cost::SweepUpdateProbability(
-                             params, cost::ProcModel::kModel2, 0.0, 0.9, 19));
-  return 0;
+  return bench::FinishUpdateProbabilityBench(&report, params,
+                                             cost::ProcModel::kModel2);
 }

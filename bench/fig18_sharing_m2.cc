@@ -5,21 +5,12 @@
 // pays for the α-memory refresh overhead.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig18_sharing_m2", argc, argv);
   cost::Params params;
   bench::PrintHeader("Figure 18", "Update Cache cost vs SF, model 2 (3-way)",
                      params);
-  bench::PrintSweep("SF", cost::SweepSharingFactor(
-                              params, cost::ProcModel::kModel2, 21));
-  const double crossover =
-      cost::SharingCrossover(params, cost::ProcModel::kModel2);
-  if (crossover < 0) {
-    std::cout << "RVM never reaches AVM's cost in [0, 1]\n";
-  } else {
-    std::cout << "AVM/RVM crossover at SF = "
-              << procsim::TablePrinter::FormatDouble(crossover, 3)
-              << " (paper: ~0.47)\n";
-  }
-  return 0;
+  return bench::FinishSharingFactorBench(&report, params,
+                                         cost::ProcModel::kModel2);
 }

@@ -3,11 +3,15 @@
 // (the default SF = 0.5 is past the model-2 crossover).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("fig19_regions_m2", argc, argv);
   cost::Params params;
   bench::PrintHeader("Figure 19", "winner regions, f x P, model 2", params);
-  bench::PrintWinnerRegions(cost::ComputeWinnerRegions(
-      params, cost::ProcModel::kModel2, 1e-5, 0.05, 13, 0.02, 0.95, 16));
-  return 0;
+  const cost::WinnerRegionGrid grid = cost::ComputeWinnerRegions(
+      params, cost::ProcModel::kModel2, 1e-5, 0.05, report.StepCount(13, 5),
+      0.02, 0.95, report.StepCount(16, 5));
+  bench::PrintWinnerRegions(grid);
+  report.AddWinnerGrid("winner_regions", grid);
+  return report.Write() ? 0 : 1;
 }

@@ -13,8 +13,9 @@
 #include "bench/bench_common.h"
 #include "sim/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("sim_vs_analytic", argc, argv);
 
   // Scaled-down configuration: keeps object sizes and page counts
   // proportionate (f scaled up so P1 objects still span multiple pages)
@@ -26,6 +27,10 @@ int main() {
   params.f = 0.005;  // 100-tuple P1 objects, like the paper's default
   params.q = 60;
   params.l = 25;
+  if (report.quick()) {
+    params.N = 4000;
+    params.q = 12;
+  }
 
   bench::PrintHeader("Cross-validation S1",
                      "simulated vs analytic ms/query, both models (scaled N)",
@@ -45,9 +50,18 @@ int main() {
       {"model", "P", "strategy", "analytic", "simulated", "sim/ana"});
   int rank_agreements = 0;
   int rank_points = 0;
+  // Each simulated update transaction must modify exactly l tuples; the
+  // workload-layer counters let the bench prove it (the paper's k*l term).
+  const obs::Counter* tuples_updated =
+      obs::GlobalMetrics().FindCounter("sim.workload.tuples_updated");
+  const obs::Counter* update_txns =
+      obs::GlobalMetrics().FindCounter("sim.workload.update_transactions");
+  const std::vector<double> p_values =
+      report.quick() ? std::vector<double>{0.3, 0.7}
+                     : std::vector<double>{0.1, 0.3, 0.5, 0.7};
   for (cost::ProcModel proc_model :
        {cost::ProcModel::kModel1, cost::ProcModel::kModel2}) {
-  for (double p : {0.1, 0.3, 0.5, 0.7}) {
+  for (double p : p_values) {
     cost::Params point = params;
     point.SetUpdateProbability(p);
     cost::AnalyticModel model(point, proc_model);
@@ -65,10 +79,29 @@ int main() {
       options.params = point;
       options.model = proc_model;
       options.seed = 1234;
+      const uint64_t tuples_before =
+          tuples_updated == nullptr ? 0 : tuples_updated->value();
+      const uint64_t txns_before =
+          update_txns == nullptr ? 0 : update_txns->value();
       Result<sim::SimulationResult> run =
           sim::Simulator::Run(strategy, options);
       if (!run.ok()) {
         std::cerr << "simulation failed: " << run.status().ToString() << "\n";
+        return 1;
+      }
+      // Metric-level cross-check: the run's update transactions must have
+      // mutated exactly k*l tuples (l per transaction, the analytic term).
+      if (tuples_updated == nullptr || update_txns == nullptr) {
+        std::cerr << "sim.workload counters are not registered\n";
+        return 1;
+      }
+      const uint64_t txn_delta = update_txns->value() - txns_before;
+      const uint64_t tuple_delta = tuples_updated->value() - tuples_before;
+      if (txn_delta != run.ValueOrDie().update_transactions ||
+          tuple_delta != txn_delta * static_cast<uint64_t>(point.l)) {
+        std::cerr << "update accounting mismatch: " << txn_delta
+                  << " transactions, " << tuple_delta << " tuples, l = "
+                  << point.l << "\n";
         return 1;
       }
       const double simulated = run.ValueOrDie().avg_ms_per_query;
@@ -97,5 +130,7 @@ int main() {
   std::cout << "\nwinner-family agreement (AR vs CI vs UpdateCache), "
                "simulated vs analytic: "
             << rank_agreements << "/" << rank_points << " sweep points\n";
-  return 0;
+  report.AddScalar("rank_agreements", rank_agreements);
+  report.AddScalar("rank_points", rank_points);
+  return report.Write() ? 0 : 1;
 }

@@ -7,8 +7,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("tbl_cost_components", argc, argv);
   cost::Params params;
   bench::PrintHeader("§4 component tables",
                      "cost-formula components at default parameters",
@@ -65,5 +66,13 @@ int main() {
          &cost::CostBreakdown::proc_size_pages);
   ci_row("TOTAL per access", &cost::CostBreakdown::total);
   ci.Print(std::cout);
-  return 0;
+  report.AddScalar("m1_avm_total", b[0].total);
+  report.AddScalar("m1_rvm_total", b[1].total);
+  report.AddScalar("m2_avm_total", b[2].total);
+  report.AddScalar("m2_rvm_total", b[3].total);
+  report.AddScalar("m1_ci_total", c1.total);
+  report.AddScalar("m2_ci_total", c2.total);
+  report.AddScalar("m1_ci_invalid_probability", c1.invalid_probability);
+  report.AddScalar("m2_ci_invalid_probability", c2.invalid_probability);
+  return report.Write() ? 0 : 1;
 }

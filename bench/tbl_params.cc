@@ -3,11 +3,13 @@
 // suite documents exactly what every other binary runs with.
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "cost/params.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("tbl_params", argc, argv);
   cost::Params p;
   std::cout << "=== Figure 2: procedure query cost parameters and default "
                "values ===\n\n";
@@ -44,5 +46,14 @@ int main() {
   table.Print(std::cout);
   std::cout << "\naccess methods: R1 B-tree primary on C_f's attribute; "
                "R2/R3 hashed primary on the join attributes.\n";
-  return 0;
+  report.AddScalar("N", p.N);
+  report.AddScalar("b", p.b());
+  report.AddScalar("P", p.UpdateProbability());
+  report.AddScalar("f", p.f);
+  report.AddScalar("SF", p.SF);
+  report.AddScalar("C1", p.C1);
+  report.AddScalar("C2", p.C2);
+  report.AddScalar("C3", p.C3);
+  report.AddScalar("H1", p.H1());
+  return report.Write() ? 0 : 1;
 }

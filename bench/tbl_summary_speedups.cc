@@ -6,8 +6,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procsim;
+  bench::BenchReport report("tbl_summary_speedups", argc, argv);
   cost::Params base;
   base.SetUpdateProbability(0.1);
 
@@ -32,8 +33,12 @@ int main() {
                   TablePrinter::FormatDouble(uc, 1),
                   TablePrinter::FormatDouble(ar / ci, 2),
                   TablePrinter::FormatDouble(ar / uc, 2)});
+    std::ostringstream f_tag;
+    f_tag << "f_" << f;
+    report.AddScalar(f_tag.str() + "_ar_over_ci", ar / ci);
+    report.AddScalar(f_tag.str() + "_ar_over_uc", ar / uc);
   }
   table.Print(std::cout);
   std::cout << "\npaper (f=0.0001): AR/CI ~= 5, AR/UC ~= 7\n";
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "audit/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proc/cache_invalidate.h"
 #include "proc/strategy.h"
 #include "proc/update_cache_rvm.h"
@@ -13,6 +15,14 @@
 #include "util/logging.h"
 
 namespace procsim::concurrent {
+namespace {
+
+obs::Counter* const g_accesses =
+    obs::GlobalMetrics().RegisterCounter("concurrent.engine.accesses");
+obs::Counter* const g_mutations =
+    obs::GlobalMetrics().RegisterCounter("concurrent.engine.mutations");
+
+}  // namespace
 
 Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
   auto engine = std::unique_ptr<Engine>(new Engine());
@@ -36,6 +46,8 @@ std::size_t Engine::procedure_count() const { return db_->procedures.size(); }
 Result<std::string> Engine::Access(uint64_t access_id) {
   const auto id =
       static_cast<proc::ProcId>(access_id % db_->procedures.size());
+  g_accesses->Add();
+  obs::TraceSpan span("concurrent.engine.access", "concurrent");
   std::shared_lock<RankedSharedMutex> db_guard(db_latch_);
   // The slot stripe serializes concurrent refreshes of the same cache slot
   // (e.g. two sessions both finding CacheInvalidate's entry invalid).
@@ -66,6 +78,8 @@ Result<std::string> Engine::Access(uint64_t access_id) {
 Status Engine::Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix) {
   PROCSIM_CHECK(op.value != 0)
       << "engine mutations must be op-seeded (value != 0)";
+  g_mutations->Add();
+  obs::TraceSpan span("concurrent.engine.mutate", "concurrent");
   std::lock_guard<RankedSharedMutex> db_guard(db_latch_);
   Result<sim::MutationResult> mutation =
       sim::ApplyMutationOp(db_.get(), op, mix, /*inline_rng=*/nullptr);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::concurrent {
@@ -18,6 +19,11 @@ struct HeldLatch {
 /// holds four), so linear scans are cheap enough to keep the checker on in
 /// every build type.
 thread_local std::vector<HeldLatch> t_held;
+
+obs::Counter* const g_acquisitions =
+    obs::GlobalMetrics().RegisterCounter("concurrent.latch.acquisitions");
+obs::Counter* const g_contended =
+    obs::GlobalMetrics().RegisterCounter("concurrent.latch.contended");
 
 }  // namespace
 
@@ -45,7 +51,10 @@ void NoteAcquire(LatchRank rank, const char* name) {
     }
   }
   t_held.push_back(HeldLatch{rank, name});
+  g_acquisitions->Add();
 }
+
+void NoteContended() { g_contended->Add(); }
 
 void NoteRelease(LatchRank rank) {
   for (std::size_t i = t_held.size(); i > 0; --i) {

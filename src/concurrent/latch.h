@@ -58,12 +58,18 @@ LatchViolationHandler SetLatchViolationHandlerForTesting(
 
 namespace internal {
 
-/// Records an acquisition by the calling thread, checking rank order.
+/// Records an acquisition by the calling thread, checking rank order.  Also
+/// bumps the `concurrent.latch.acquisitions` metric.
 void NoteAcquire(LatchRank rank, const char* name);
 
 /// Records a release by the calling thread (latches may be released in any
 /// order; the most recent acquisition of `rank` is retired).
 void NoteRelease(LatchRank rank);
+
+/// Records that an acquisition found the latch held and had to wait —
+/// the `concurrent.latch.contended` metric the engine's contention
+/// observability rests on.
+void NoteContended();
 
 /// Number of latches the calling thread currently holds.
 std::size_t HeldCount();
@@ -80,7 +86,10 @@ class RankedMutex {
 
   void lock() {
     internal::NoteAcquire(rank_, name_);
-    mutex_.lock();
+    if (!mutex_.try_lock()) {
+      internal::NoteContended();
+      mutex_.lock();
+    }
   }
   bool try_lock() {
     if (!mutex_.try_lock()) return false;
@@ -112,7 +121,10 @@ class RankedSharedMutex {
 
   void lock() {
     internal::NoteAcquire(rank_, name_);
-    mutex_.lock();
+    if (!mutex_.try_lock()) {
+      internal::NoteContended();
+      mutex_.lock();
+    }
   }
   bool try_lock() {
     if (!mutex_.try_lock()) return false;
@@ -126,7 +138,10 @@ class RankedSharedMutex {
 
   void lock_shared() {
     internal::NoteAcquire(rank_, name_);
-    mutex_.lock_shared();
+    if (!mutex_.try_lock_shared()) {
+      internal::NoteContended();
+      mutex_.lock_shared();
+    }
   }
   bool try_lock_shared() {
     if (!mutex_.try_lock_shared()) return false;

@@ -3,12 +3,29 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace procsim::ivm {
 
+namespace {
+obs::Counter* const g_inserts =
+    obs::GlobalMetrics().RegisterCounter("ivm.delta.inserts");
+obs::Counter* const g_deletes =
+    obs::GlobalMetrics().RegisterCounter("ivm.delta.deletes");
+// An insert and a delete of the same tuple cancelling in the pending set —
+// the work net-delta maintenance avoids ever sending downstream.
+obs::Counter* const g_annihilations =
+    obs::GlobalMetrics().RegisterCounter("ivm.delta.annihilations");
+}  // namespace
+
 void DeltaSet::Bump(const rel::Tuple& tuple, long delta) {
+  (delta > 0 ? g_inserts : g_deletes)->Add();
   auto [it, inserted] = counts_.try_emplace(tuple, 0);
   it->second += delta;
-  if (it->second == 0) counts_.erase(it);
+  if (it->second == 0) {
+    counts_.erase(it);
+    if (!inserted) g_annihilations->Add();
+  }
 }
 
 bool DeltaSet::empty() const { return counts_.empty(); }

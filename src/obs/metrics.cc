@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+
+namespace procsim::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  // Bounds must strictly increase for the bucket scan to be well-defined.
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      // Degenerate registration is a programming error; collapse to a
+      // single overflow bucket rather than crashing an instrumented path.
+      bounds_.clear();
+      buckets_ = std::vector<std::atomic<uint64_t>>(1);
+      return;
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  std::size_t bucket = bounds_.size();  // overflow unless a bound catches it
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AddSum(value);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(buckets_.size());
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    snapshot.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultCostBuckets() {
+  return {1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000};
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(
+    const std::string& name, const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->TakeSnapshot();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace {
+
+void WriteDouble(std::ostream& out, double value) {
+  // Round-trip precision so goldens survive re-parsing.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << value;
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  const MetricsSnapshot snapshot = TakeSnapshot();
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
+      if (i > 0) out << ", ";
+      WriteDouble(out, histogram.bounds[i]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << histogram.counts[i];
+    }
+    out << "], \"count\": " << histogram.count << ", \"sum\": ";
+    WriteDouble(out, histogram.sum);
+    out << "}";
+    first = false;
+  }
+  out << "\n  }\n}";
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace procsim::obs

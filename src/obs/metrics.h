@@ -1,0 +1,139 @@
+#ifndef PROCSIM_OBS_METRICS_H_
+#define PROCSIM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace procsim::obs {
+
+/// \brief A monotonic counter.  Incrementing is one relaxed atomic add, so
+/// instrumented hot paths (page reads, token propagation, latch
+/// acquisitions) pay a handful of cycles; reads never block writers.
+///
+/// Counters are owned by a MetricsRegistry and pre-registered at static-init
+/// or construction time — the hot path holds a raw pointer and never touches
+/// the registry's lock.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A fixed-bucket histogram: bucket i counts observations with
+/// value <= bounds[i]; one implicit overflow bucket catches the rest.
+/// Observing is a linear scan over a handful of bounds plus two relaxed
+/// atomic adds (bucket + sum) — no allocation, no lock.
+///
+/// Bounds are fixed at registration so concurrent Observe()/Snapshot()
+/// need no coordination beyond the per-bucket atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;   ///< upper bound per bucket (overflow last)
+    std::vector<uint64_t> counts; ///< bounds.size() + 1 entries
+    uint64_t count = 0;           ///< total observations
+    double sum = 0;               ///< sum of observed values
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  // CAS loop instead of atomic<double>::fetch_add (mirrors CostMeter): some
+  // supported toolchains still lack the member.
+  void AddSum(double value) {
+    double current = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Default bucket bounds for simulated-cost histograms (ms of 1987 device
+/// time): log-spaced to cover one CPU screen (1 ms) up to the most
+/// expensive whole-object recomputation the paper's figures reach.
+std::vector<double> DefaultCostBuckets();
+
+/// One registry-wide snapshot: counter values and histogram states keyed by
+/// metric name.  Taken at quiesce points (bench end, test assertions).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
+/// \brief The process-wide metric namespace.
+///
+/// Naming scheme (see DESIGN.md §8): `subsystem.component.event`, all
+/// lower-case, e.g. `storage.buffer_cache.hits`,
+/// `proc.cache_invalidate.false_invalidations`, `rete.and.derived_tokens`.
+///
+/// Registration is idempotent (same name returns the same metric) and
+/// serialized by an internal mutex; instrumented code registers once — at
+/// namespace-scope static init or in a constructor — and then only touches
+/// the returned pointer.  Pointers are stable for the registry's lifetime.
+///
+/// The registry's own mutex is deliberately NOT a ranked latch: it is a
+/// leaf acquired only during registration and snapshotting, never on a hot
+/// path and never while calling back into instrumented code.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first call.
+  Counter* RegisterCounter(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it with `bounds` on first
+  /// call (later calls ignore `bounds` — fixed-bucket means fixed).
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::vector<double>& bounds);
+
+  /// Looks up an existing counter; nullptr if never registered.
+  const Counter* FindCounter(const std::string& name) const;
+
+  MetricsSnapshot TakeSnapshot() const;
+
+  /// Zeroes every counter and histogram (registrations survive).  Benches
+  /// call this between phases so a snapshot covers one phase.
+  void ResetAll();
+
+  /// Writes the snapshot as a JSON object:
+  /// {"counters": {name: value, ...},
+  ///  "histograms": {name: {"bounds": [...], "counts": [...],
+  ///                        "count": n, "sum": s}, ...}}
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Stable addresses across registrations: nodes are heap-allocated.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry every subsystem instruments into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace procsim::obs
+
+#endif  // PROCSIM_OBS_METRICS_H_

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <functional>
+#include <thread>
+
+namespace procsim::obs {
+
+namespace {
+
+uint64_t ThreadTrackId() {
+  // A stable small-ish id per thread; hashing the std::thread::id keeps the
+  // recorder independent of platform thread-handle layouts.
+  thread_local const uint64_t id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff;
+  return id;
+}
+
+void EscapeInto(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::Enable() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  events_.clear();
+  origin_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::RecordSpan(const std::string& name,
+                               const std::string& category, uint64_t ts_us,
+                               uint64_t dur_us, const std::string& arg) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> guard(mutex_);
+  events_.push_back(Event{name, category, arg, ts_us, dur_us,
+                          ThreadTrackId()});
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  events_.clear();
+}
+
+void TraceRecorder::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& event = events_[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"name\": \"";
+    EscapeInto(out, event.name);
+    out << "\", \"cat\": \"";
+    EscapeInto(out, event.category);
+    out << "\", \"ph\": \"X\", \"ts\": " << event.ts_us
+        << ", \"dur\": " << event.dur_us << ", \"pid\": 1, \"tid\": "
+        << event.tid;
+    if (!event.arg.empty()) {
+      out << ", \"args\": {\"detail\": \"";
+      EscapeInto(out, event.arg);
+      out << "\"}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+}  // namespace procsim::obs

@@ -1,0 +1,104 @@
+#ifndef PROCSIM_OBS_TRACE_H_
+#define PROCSIM_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace procsim::obs {
+
+/// \brief Records execution spans in Chrome trace format (the JSON schema
+/// chrome://tracing and Perfetto load), so an engine run can be inspected
+/// as a timeline: one track per thread, one complete ("ph":"X") event per
+/// span.
+///
+/// Disabled by default: the only cost on an un-traced hot path is one
+/// relaxed atomic load per span site.  When enabled, span begin/end capture
+/// a steady-clock timestamp and append one event under a plain leaf mutex
+/// (never held while calling instrumented code, so it cannot interact with
+/// the ranked-latch hierarchy).
+///
+/// Span names follow the metric naming scheme (`subsystem.event`); the
+/// optional `arg` string lands in the event's "args" object.
+class TraceRecorder {
+ public:
+  struct Event {
+    std::string name;
+    std::string category;
+    std::string arg;       ///< free-form detail ("" = omitted)
+    uint64_t ts_us = 0;    ///< span start, microseconds since Enable()
+    uint64_t dur_us = 0;   ///< span duration, microseconds
+    uint64_t tid = 0;      ///< stable per-thread track id
+  };
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Starts recording (clears previously recorded events and re-anchors
+  /// the timestamp origin).
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one complete span; no-op while disabled.
+  void RecordSpan(const std::string& name, const std::string& category,
+                  uint64_t ts_us, uint64_t dur_us, const std::string& arg);
+
+  /// Microseconds since Enable() (0 if never enabled).
+  uint64_t NowMicros() const;
+
+  std::size_t event_count() const;
+  void Clear();
+
+  /// Writes {"traceEvents": [...]} — loadable by chrome://tracing/Perfetto.
+  void WriteJson(std::ostream& out) const;
+
+  /// The process-wide recorder instrumented code reports to.
+  static TraceRecorder& Global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point origin_{};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// RAII span: captures the start time at construction and records the span
+/// at destruction.  Cheap no-op when the recorder is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category, std::string arg = "")
+      : recorder_(TraceRecorder::Global()),
+        active_(recorder_.enabled()),
+        name_(name),
+        category_(category),
+        arg_(std::move(arg)),
+        start_us_(active_ ? recorder_.NowMicros() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (!active_) return;
+    const uint64_t end_us = recorder_.NowMicros();
+    recorder_.RecordSpan(name_, category_, start_us_,
+                         end_us > start_us_ ? end_us - start_us_ : 0, arg_);
+  }
+
+ private:
+  TraceRecorder& recorder_;
+  bool active_;
+  const char* name_;
+  const char* category_;
+  std::string arg_;
+  uint64_t start_us_;
+};
+
+}  // namespace procsim::obs
+
+#endif  // PROCSIM_OBS_TRACE_H_

@@ -1,11 +1,23 @@
 #include "proc/always_recompute.h"
 
+#include "obs/metrics.h"
+
 namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_accesses =
+    obs::GlobalMetrics().RegisterCounter("proc.always_recompute.accesses");
+obs::Counter* const g_recomputes =
+    obs::GlobalMetrics().RegisterCounter("proc.always_recompute.recomputes");
+
+}  // namespace
 
 Result<std::vector<rel::Tuple>> AlwaysRecomputeStrategy::Access(ProcId id) {
   if (id >= procedures_.size()) {
     return Status::NotFound("no procedure with id " + std::to_string(id));
   }
+  g_accesses->Add();
+  g_recomputes->Add();
   return executor_->Execute(procedures_[id].query);
 }
 

@@ -1,8 +1,43 @@
 #include "proc/cache_invalidate.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_accesses =
+    obs::GlobalMetrics().RegisterCounter("proc.cache_invalidate.accesses");
+obs::Counter* const g_invalid_accesses = obs::GlobalMetrics().RegisterCounter(
+    "proc.cache_invalidate.invalid_accesses");
+obs::Counter* const g_recomputes =
+    obs::GlobalMetrics().RegisterCounter("proc.cache_invalidate.recomputes");
+obs::Counter* const g_invalidations = obs::GlobalMetrics().RegisterCounter(
+    "proc.cache_invalidate.invalidations");
+obs::Counter* const g_true_invalidations =
+    obs::GlobalMetrics().RegisterCounter(
+        "proc.cache_invalidate.true_invalidations");
+obs::Counter* const g_false_invalidations =
+    obs::GlobalMetrics().RegisterCounter(
+        "proc.cache_invalidate.false_invalidations");
+
+/// Order-insensitive fingerprint of a result multiset, for classifying a
+/// refresh as a true invalidation (result changed) or a false one (the
+/// i-lock fired but the procedure's value is unchanged — the paper's
+/// over-locking cost).
+std::vector<std::string> Fingerprint(const std::vector<rel::Tuple>& tuples) {
+  std::vector<std::string> keys;
+  keys.reserve(tuples.size());
+  for (const rel::Tuple& tuple : tuples) keys.push_back(tuple.ToString());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
 
 CacheInvalidateStrategy::CacheInvalidateStrategy(
     rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
@@ -30,6 +65,7 @@ Result<std::vector<rel::Tuple>> CacheInvalidateStrategy::Recompute(ProcId id) {
   Result<std::vector<rel::Tuple>> value =
       executor_->Execute(procedure.query, &trace);
   if (!value.ok()) return value.status();
+  g_recomputes->Add();
   PROCSIM_RETURN_IF_ERROR(entries_[id].cache->Rebuild(value.ValueOrDie()));
   PROCSIM_RETURN_IF_ERROR(validity_->MarkValid(id));
 
@@ -63,11 +99,26 @@ Result<std::vector<rel::Tuple>> CacheInvalidateStrategy::Access(ProcId id) {
     return Status::NotFound("no procedure with id " + std::to_string(id));
   }
   access_count_.fetch_add(1, std::memory_order_relaxed);
+  g_accesses->Add();
   if (validity_->IsValid(id)) {
     return entries_[id].cache->ReadAll();
   }
   invalid_access_count_.fetch_add(1, std::memory_order_relaxed);
-  return Recompute(id);
+  g_invalid_accesses->Add();
+  // Classify the refresh: if the recomputed value matches the stale cache,
+  // the invalidation was false (the i-lock interval over-approximated the
+  // procedure's true read set).
+  std::vector<std::string> before =
+      Fingerprint(entries_[id].cache->SnapshotForTesting());
+  Result<std::vector<rel::Tuple>> value = Recompute(id);
+  if (value.ok()) {
+    if (Fingerprint(value.ValueOrDie()) == before) {
+      g_false_invalidations->Add();
+    } else {
+      g_true_invalidations->Add();
+    }
+  }
+  return value;
 }
 
 void CacheInvalidateStrategy::HandleWrite(const std::string& relation,
@@ -77,6 +128,7 @@ void CacheInvalidateStrategy::HandleWrite(const std::string& relation,
     Status st = validity_->MarkInvalid(id);
     PROCSIM_CHECK(st.ok()) << st.ToString();
     invalidation_count_.fetch_add(1, std::memory_order_relaxed);
+    g_invalidations->Add();
     meter_->ChargeFixed(invalidation_cost_ms_);
   }
 }

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_locks_set =
+    obs::GlobalMetrics().RegisterCounter("proc.ilock.locks_set");
+obs::Counter* const g_broken_found =
+    obs::GlobalMetrics().RegisterCounter("proc.ilock.broken_found");
+
+}  // namespace
 
 using Guard = std::lock_guard<concurrent::RankedMutex>;
 
@@ -12,6 +22,7 @@ void ILockTable::AddIntervalLock(ProcId owner, const std::string& relation,
   Shard& shard = ShardFor(relation);
   Guard guard(shard.latch);
   shard.locks_by_relation[relation].push_back(Lock{owner, column, lo, hi});
+  g_locks_set->Add();
 }
 
 void ILockTable::ClearLocks(ProcId owner) {
@@ -44,6 +55,7 @@ std::vector<ProcId> ILockTable::FindBroken(const std::string& relation,
       broken.push_back(lock.owner);
     }
   }
+  if (!broken.empty()) g_broken_found->Add(broken.size());
   return broken;
 }
 

@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_records =
+    obs::GlobalMetrics().RegisterCounter("proc.invalidation_log.records");
+obs::Counter* const g_truncations =
+    obs::GlobalMetrics().RegisterCounter("proc.invalidation_log.truncations");
+obs::Counter* const g_checkpoints =
+    obs::GlobalMetrics().RegisterCounter("proc.invalidation_log.checkpoints");
+
+}  // namespace
 
 using Guard = std::lock_guard<concurrent::RankedMutex>;
 
@@ -25,6 +36,7 @@ Status InvalidationLog::Append(Record::Kind kind, ProcId id) {
                                    std::to_string(id));
   }
   records_.push_back(Record{next_lsn_++, kind, id});
+  g_records->Add();
   return Status::OK();
 }
 
@@ -58,6 +70,7 @@ InvalidationLog::Checkpoint InvalidationLog::TakeCheckpoint() const {
   Checkpoint checkpoint;
   checkpoint.lsn = next_lsn_ - 1;
   checkpoint.valid = valid_;
+  g_checkpoints->Add();
   return checkpoint;
 }
 
@@ -69,6 +82,7 @@ void InvalidationLog::TruncateThrough(const Checkpoint& checkpoint) {
                        return record.lsn <= checkpoint.lsn;
                      }),
       records_.end());
+  g_truncations->Add();
 }
 
 Result<std::vector<bool>> InvalidationLog::Recover(

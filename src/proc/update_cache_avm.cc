@@ -1,8 +1,19 @@
 #include "proc/update_cache_avm.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_accesses =
+    obs::GlobalMetrics().RegisterCounter("proc.update_cache_avm.accesses");
+obs::Counter* const g_delta_tuples = obs::GlobalMetrics().RegisterCounter(
+    "proc.update_cache_avm.delta_tuples_applied");
+obs::Counter* const g_refreshes = obs::GlobalMetrics().RegisterCounter(
+    "proc.update_cache_avm.cache_refreshes");
+
+}  // namespace
 
 Status UpdateCacheAvmStrategy::Prepare() {
   storage::MeteringGuard guard(catalog_->disk());
@@ -30,6 +41,7 @@ Result<std::vector<rel::Tuple>> UpdateCacheAvmStrategy::Access(ProcId id) {
   if (id >= entries_.size()) {
     return Status::NotFound("no procedure with id " + std::to_string(id));
   }
+  g_accesses->Add();
   return entries_[id].maintainer->Read();
 }
 
@@ -70,8 +82,10 @@ Status UpdateCacheAvmStrategy::OnTransactionEnd() {
   PROCSIM_RETURN_IF_ERROR(deferred_error_);
   for (Entry& entry : entries_) {
     if (entry.pending.empty()) continue;
+    g_delta_tuples->Add(entry.pending.TotalNetSize());
     PROCSIM_RETURN_IF_ERROR(entry.maintainer->ApplyBaseDelta(entry.pending));
     entry.pending.Clear();
+    g_refreshes->Add();
   }
   return Status::OK();
 }

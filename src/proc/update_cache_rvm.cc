@@ -1,8 +1,15 @@
 #include "proc/update_cache_rvm.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_accesses =
+    obs::GlobalMetrics().RegisterCounter("proc.update_cache_rvm.accesses");
+
+}  // namespace
 
 UpdateCacheRvmStrategy::UpdateCacheRvmStrategy(
     rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
@@ -29,6 +36,7 @@ Result<std::vector<rel::Tuple>> UpdateCacheRvmStrategy::Access(ProcId id) {
   if (id >= result_memories_.size()) {
     return Status::NotFound("no procedure with id " + std::to_string(id));
   }
+  g_accesses->Add();
   return result_memories_[id]->ReadAll();
 }
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::rete {
@@ -20,6 +21,9 @@ namespace {
 std::size_t HashString(const std::string& s) {
   return std::hash<std::string>{}(s);
 }
+
+obs::Counter* const g_tokens_submitted =
+    obs::GlobalMetrics().RegisterCounter("rete.network.tokens_submitted");
 
 std::size_t SelectionSignature(const std::string& relation, bool has_interval,
                                std::size_t key_column, int64_t lo, int64_t hi,
@@ -344,6 +348,7 @@ std::string ReteNetwork::ToDot() const {
 
 Status ReteNetwork::Submit(const std::string& relation, const Token& token) {
   std::lock_guard<concurrent::RankedMutex> guard(submit_latch_);
+  g_tokens_submitted->Add();
   auto it = root_index_.find(relation);
   if (it != root_index_.end()) {
     for (SelectionEntry* entry : it->second) {

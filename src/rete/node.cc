@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::rete {
+namespace {
+
+obs::Counter* const g_tconst_tokens =
+    obs::GlobalMetrics().RegisterCounter("rete.tconst.tokens");
+obs::Counter* const g_tconst_passed =
+    obs::GlobalMetrics().RegisterCounter("rete.tconst.passed");
+obs::Counter* const g_memory_inserts =
+    obs::GlobalMetrics().RegisterCounter("rete.memory.inserts");
+obs::Counter* const g_memory_removes =
+    obs::GlobalMetrics().RegisterCounter("rete.memory.removes");
+obs::Counter* const g_and_probes =
+    obs::GlobalMetrics().RegisterCounter("rete.and.probes");
+obs::Counter* const g_and_derived =
+    obs::GlobalMetrics().RegisterCounter("rete.and.derived_tokens");
+obs::Histogram* const g_memory_size = obs::GlobalMetrics().RegisterHistogram(
+    "rete.memory.size_tuples", {1, 4, 16, 64, 256, 1024, 4096, 16384});
+
+}  // namespace
 
 using rel::Tuple;
 
@@ -24,6 +43,7 @@ Status TConstNode::Activate(const Token& token) {
   // index; re-verify plus residual terms, charging C1 per test performed
   // (at least one — the paper's per-broken-lock screen).
   std::size_t screens = 1;
+  g_tconst_tokens->Add();
   const int64_t key = token.tuple.value(key_column_).AsInt64();
   if (key < lo_ || key > hi_) {
     meter_->ChargeScreen(screens);
@@ -32,6 +52,7 @@ Status TConstNode::Activate(const Token& token) {
   const bool matched = residual_.Matches(token.tuple, &screens);
   meter_->ChargeScreen(std::max<std::size_t>(1, screens));
   if (!matched) return Status::OK();
+  g_tconst_passed->Add();
   return Propagate(token);
 }
 
@@ -65,9 +86,12 @@ Status MemoryNode::Activate(const Token& token) {
     std::lock_guard<concurrent::RankedMutex> guard(latch_);
     if (token.is_insert()) {
       PROCSIM_RETURN_IF_ERROR(store_.Insert(token.tuple));
+      g_memory_inserts->Add();
     } else {
       PROCSIM_RETURN_IF_ERROR(store_.Remove(token.tuple));
+      g_memory_removes->Add();
     }
+    g_memory_size->Observe(static_cast<double>(store_.size()));
   }
   return Propagate(token);
 }
@@ -100,6 +124,7 @@ Status AndNode::ActivateFromSide(bool from_left, const Token& token) {
   // Probe the opposite memory for joining tuples.  For the equi-joins the
   // procedure models use, the memory's probe index narrows candidates to
   // exact matches; non-eq operators fall back to scanning the memory.
+  g_and_probes->Add();
   MemoryNode* opposite = from_left ? right_ : left_;
   const std::size_t own_column = from_left ? left_column_ : right_column_;
   const std::size_t opp_column = from_left ? right_column_ : left_column_;
@@ -123,6 +148,7 @@ Status AndNode::ActivateFromSide(bool from_left, const Token& token) {
                           right_tuple.value(right_column_))) {
       continue;
     }
+    g_and_derived->Add();
     PROCSIM_RETURN_IF_ERROR(
         Propagate(token.Derive(Tuple::Concat(left_tuple, right_tuple))));
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proc/always_recompute.h"
 #include "proc/cache_invalidate.h"
 #include "proc/hybrid.h"
@@ -11,6 +13,16 @@
 #include "util/logging.h"
 
 namespace procsim::sim {
+namespace {
+
+obs::Counter* const g_runs =
+    obs::GlobalMetrics().RegisterCounter("sim.simulator.runs");
+obs::Histogram* const g_access_cost = obs::GlobalMetrics().RegisterHistogram(
+    "sim.access.cost_ms", obs::DefaultCostBuckets());
+obs::Histogram* const g_update_cost = obs::GlobalMetrics().RegisterHistogram(
+    "sim.update.cost_ms", obs::DefaultCostBuckets());
+
+}  // namespace
 
 using cost::Strategy;
 
@@ -113,9 +125,12 @@ Result<SimulationResult> Simulator::RunWithFactory(
                              options.params.Z);
 
   db->meter.Reset();
+  g_runs->Add();
   SimulationResult result;
   for (const WorkloadOp& op : schedule) {
     if (op.kind == WorkloadOp::Kind::kUpdate) {
+      obs::TraceSpan span("sim.update", "sim");
+      const double before_ms = db->meter.total_ms();
       Result<MutationResult> mutation =
           ApplyMutationOp(db.get(), op, mix, &rng);
       if (!mutation.ok()) return mutation.status();
@@ -125,11 +140,15 @@ Result<SimulationResult> Simulator::RunWithFactory(
       }
       PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
       ++result.update_transactions;
+      g_update_cost->Observe(db->meter.total_ms() - before_ms);
     } else {
+      obs::TraceSpan span("sim.access", "sim");
+      const double before_ms = db->meter.total_ms();
       const std::size_t proc_id = locality.NextReference(&rng);
       Result<std::vector<rel::Tuple>> value = strategy->Access(proc_id);
       if (!value.ok()) return value.status();
       ++result.queries;
+      g_access_cost->Observe(db->meter.total_ms() - before_ms);
       if (options.verify_results) {
         storage::MeteringGuard guard(db->disk.get());
         Result<std::vector<rel::Tuple>> expected =

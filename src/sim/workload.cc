@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::sim {
@@ -25,6 +26,15 @@ Conjunction IntervalConjunction(std::size_t column, int64_t lo, int64_t hi) {
       PredicateTerm{column, rel::CompareOp::kLe, Value(hi)},
   });
 }
+
+obs::Counter* const g_update_transactions =
+    obs::GlobalMetrics().RegisterCounter("sim.workload.update_transactions");
+obs::Counter* const g_tuples_updated =
+    obs::GlobalMetrics().RegisterCounter("sim.workload.tuples_updated");
+obs::Counter* const g_inserts =
+    obs::GlobalMetrics().RegisterCounter("sim.workload.inserts");
+obs::Counter* const g_deletes =
+    obs::GlobalMetrics().RegisterCounter("sim.workload.deletes");
 
 }  // namespace
 
@@ -215,6 +225,8 @@ Result<std::vector<std::pair<Tuple, Tuple>>> ApplyUpdateTransaction(
     PROCSIM_RETURN_IF_ERROR(r1.ValueOrDie()->UpdateInPlace(rid, new_tuple));
     changes.emplace_back(old_tuple.TakeValueOrDie(), std::move(new_tuple));
   }
+  g_update_transactions->Add();
+  g_tuples_updated->Add(changes.size());
   return changes;
 }
 
@@ -330,6 +342,7 @@ Result<MutationResult> ApplyMutationOp(Database* db, const WorkloadOp& op,
       }
       result.changes.emplace_back(std::nullopt, std::move(tuple));
       result.applied = true;
+      g_inserts->Add();
       break;
     }
     case WorkloadOp::Kind::kDelete: {
@@ -350,6 +363,7 @@ Result<MutationResult> ApplyMutationOp(Database* db, const WorkloadOp& op,
       db->r1_rids.pop_back();
       result.changes.emplace_back(std::move(old_tuple), std::nullopt);
       result.applied = true;
+      g_deletes->Add();
       break;
     }
   }

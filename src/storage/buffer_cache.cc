@@ -3,9 +3,20 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::storage {
+namespace {
+
+obs::Counter* const g_hits =
+    obs::GlobalMetrics().RegisterCounter("storage.buffer_cache.hits");
+obs::Counter* const g_misses =
+    obs::GlobalMetrics().RegisterCounter("storage.buffer_cache.misses");
+obs::Counter* const g_evictions =
+    obs::GlobalMetrics().RegisterCounter("storage.buffer_cache.evictions");
+
+}  // namespace
 
 using Guard = std::lock_guard<concurrent::RankedMutex>;
 
@@ -19,9 +30,11 @@ bool BufferCache::TouchLocked(uint32_t page_id) {
   if (it != frames_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second->lru_pos);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    g_hits->Add();
     return true;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  g_misses->Add();
   if (frames_.size() >= capacity_) {
     // Evict the least recently used unpinned frame.
     auto victim = lru_.end();
@@ -36,6 +49,7 @@ bool BufferCache::TouchLocked(uint32_t page_id) {
     dirty_.erase(*victim);
     frames_.erase(*victim);
     lru_.erase(victim);
+    g_evictions->Add();
   }
   lru_.push_front(page_id);
   auto frame = std::make_unique<Frame>();

@@ -2,10 +2,18 @@
 
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::storage {
 namespace {
+
+obs::Counter* const g_reads =
+    obs::GlobalMetrics().RegisterCounter("storage.disk.reads");
+obs::Counter* const g_writes =
+    obs::GlobalMetrics().RegisterCounter("storage.disk.writes");
+obs::Counter* const g_pages_allocated =
+    obs::GlobalMetrics().RegisterCounter("storage.disk.pages_allocated");
 
 /// Per-(thread, disk) accounting state: the open access scope's dedup sets
 /// and the MeteringGuard disable depth.  Keyed by disk so a thread juggling
@@ -71,6 +79,7 @@ PageId SimulatedDisk::AllocatePage() {
     pages_.push_back(std::make_unique<Page>(page_size_));
     page_id = static_cast<PageId>(pages_.size() - 1);
   }
+  g_pages_allocated->Add();
   ChargeWrite(page_id);
   return page_id;
 }
@@ -138,6 +147,7 @@ void SimulatedDisk::ChargeRead(PageId page_id) {
     if (!state.scope_reads.insert(page_id).second) return;  // already charged
   }
   if (cache_.has_value() && cache_->Touch(page_id)) return;  // resident
+  g_reads->Add();
   meter_->ChargeDiskRead();
 }
 
@@ -149,6 +159,7 @@ void SimulatedDisk::ChargeWrite(PageId page_id) {
   }
   // Write-through: always charged; the page becomes (stays) resident.
   if (cache_.has_value()) (void)cache_->Touch(page_id);
+  g_writes->Add();
   meter_->ChargeDiskWrite();
 }
 

@@ -1,0 +1,392 @@
+// Golden-figure gate: compares a freshly generated BENCH_<name>.json
+// snapshot against its committed golden.  Numeric leaves must agree within
+// a relative tolerance (default 2%); strings, booleans and structure must
+// match exactly.  The "metrics" subtree is ignored — operational counters
+// (cache hits, latch acquisitions) legitimately drift as internals evolve,
+// while the figure data they annotate must not.
+//
+//   bench_diff <golden.json> <candidate.json> [--tolerance 0.02]
+//
+// Exits 0 when the candidate matches, 1 on any drift (each divergent path
+// is reported), 2 on usage or parse errors.  A candidate produced with
+// --quick ("quick": true) is refused outright: quick mode shrinks the
+// sweeps, so comparing it against a full-mode golden would be meaningless.
+//
+// Deliberately self-contained (no third-party JSON library): the bench
+// reports are machine-written by BenchReport::Write, so this parser only
+// has to cover the JSON subset that code emits — objects, arrays, strings
+// without exotic escapes, doubles, bools and null.
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  // Ordered map: bench reports are written with deterministic key order,
+  // but comparison is by key, so ordering differences are not drift.
+  std::map<std::string, JsonValue> object_items;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    pos_ = 0;
+    if (!ParseValue(out, error)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& what) {
+    *error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Consume(char c, std::string* error) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(error, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseLiteral(const std::string& literal, std::string* error) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) {
+      return Fail(error, "expected '" + literal + "'");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (!Consume('"', error)) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail(error, "unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default:
+            return Fail(error, std::string("unsupported escape \\") + esc);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Fail(error, "unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail(error, "unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, error);
+    if (c == '[') return ParseArray(out, error);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value, error);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return ParseLiteral("true", error);
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return ParseLiteral("false", error);
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return ParseLiteral("null", error);
+    }
+    return ParseNumber(out, error);
+  }
+
+  bool ParseNumber(JsonValue* out, std::string* error) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail(error, "expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->number_value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail(error, "malformed number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out, std::string* error) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[', error)) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!ParseValue(&item, error)) return false;
+      out->array_items.push_back(std::move(item));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']', error);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, std::string* error) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{', error)) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      SkipWhitespace();
+      if (!ParseString(&key, error)) return false;
+      if (!Consume(':', error)) return false;
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->object_items[key] = std::move(value);
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}', error);
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const char* KindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+struct DiffContext {
+  double tolerance = 0.02;
+  int mismatches = 0;
+  void Report(const std::string& path, const std::string& what) {
+    ++mismatches;
+    std::cerr << "DRIFT " << (path.empty() ? "<root>" : path) << ": " << what
+              << "\n";
+  }
+};
+
+std::string FormatNumber(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+// Numeric closeness: relative tolerance against the larger magnitude, with
+// a small absolute floor so exact-zero goldens do not demand exact zeros.
+bool NumbersClose(double golden, double candidate, double tolerance) {
+  const double diff = std::fabs(golden - candidate);
+  const double scale = std::max(std::fabs(golden), std::fabs(candidate));
+  return diff <= std::max(tolerance * scale, 1e-9);
+}
+
+void DiffValues(const JsonValue& golden, const JsonValue& candidate,
+                const std::string& path, DiffContext* ctx) {
+  if (golden.kind != candidate.kind) {
+    ctx->Report(path, std::string("type changed from ") +
+                          KindName(golden.kind) + " to " +
+                          KindName(candidate.kind));
+    return;
+  }
+  switch (golden.kind) {
+    case JsonValue::Kind::kNull:
+      return;
+    case JsonValue::Kind::kBool:
+      if (golden.bool_value != candidate.bool_value) {
+        ctx->Report(path, "boolean flipped");
+      }
+      return;
+    case JsonValue::Kind::kNumber:
+      if (!NumbersClose(golden.number_value, candidate.number_value,
+                        ctx->tolerance)) {
+        ctx->Report(path, "expected " + FormatNumber(golden.number_value) +
+                              ", got " +
+                              FormatNumber(candidate.number_value) +
+                              " (tolerance " +
+                              FormatNumber(ctx->tolerance * 100) + "%)");
+      }
+      return;
+    case JsonValue::Kind::kString:
+      if (golden.string_value != candidate.string_value) {
+        ctx->Report(path, "expected \"" + golden.string_value + "\", got \"" +
+                              candidate.string_value + "\"");
+      }
+      return;
+    case JsonValue::Kind::kArray: {
+      if (golden.array_items.size() != candidate.array_items.size()) {
+        ctx->Report(path, "length changed from " +
+                              std::to_string(golden.array_items.size()) +
+                              " to " +
+                              std::to_string(candidate.array_items.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < golden.array_items.size(); ++i) {
+        DiffValues(golden.array_items[i], candidate.array_items[i],
+                   path + "[" + std::to_string(i) + "]", ctx);
+      }
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      for (const auto& [key, value] : golden.object_items) {
+        auto it = candidate.object_items.find(key);
+        if (it == candidate.object_items.end()) {
+          ctx->Report(path, "key \"" + key + "\" disappeared");
+          continue;
+        }
+        DiffValues(value, it->second, path.empty() ? key : path + "." + key,
+                   ctx);
+      }
+      for (const auto& [key, value] : candidate.object_items) {
+        (void)value;
+        if (golden.object_items.find(key) == golden.object_items.end()) {
+          ctx->Report(path, "unexpected new key \"" + key + "\"");
+        }
+      }
+      return;
+    }
+  }
+}
+
+bool LoadJson(const std::string& file, JsonValue* out) {
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "bench_diff: cannot open " << file << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::string error;
+  if (!Parser(text).Parse(out, &error)) {
+    std::cerr << "bench_diff: parse error in " << file << ": " << error
+              << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double tolerance = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_diff: --tolerance needs a value\n";
+        return 2;
+      }
+      tolerance = std::atof(argv[++i]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << "usage: bench_diff <golden.json> <candidate.json> "
+                 "[--tolerance 0.02]\n";
+    return 2;
+  }
+
+  JsonValue golden;
+  JsonValue candidate;
+  if (!LoadJson(positional[0], &golden) ||
+      !LoadJson(positional[1], &candidate)) {
+    return 2;
+  }
+
+  // A quick-mode snapshot has shrunken sweeps; comparing it to a full-mode
+  // golden would report structural drift that means nothing.
+  auto quick = candidate.object_items.find("quick");
+  if (quick != candidate.object_items.end() &&
+      quick->second.kind == JsonValue::Kind::kBool &&
+      quick->second.bool_value) {
+    std::cerr << "bench_diff: " << positional[1]
+              << " was produced with --quick; regenerate in full mode\n";
+    return 2;
+  }
+
+  // Operational metrics drift legitimately; only figure data is gated.
+  golden.object_items.erase("metrics");
+  candidate.object_items.erase("metrics");
+
+  DiffContext ctx;
+  ctx.tolerance = tolerance;
+  DiffValues(golden, candidate, "", &ctx);
+  if (ctx.mismatches > 0) {
+    std::cerr << "bench_diff: " << ctx.mismatches << " drift(s) between "
+              << positional[0] << " and " << positional[1] << "\n";
+    return 1;
+  }
+  std::cout << "bench_diff: " << positional[1] << " matches golden\n";
+  return 0;
+}

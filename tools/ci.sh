@@ -8,10 +8,15 @@
 #      Audit hooks re-validate whole structures after every mutation, so the
 #      full suite under audit would be quadratic on bulk loads; the focused
 #      list exercises every validator without that blowup.
-#   4. ThreadSanitizer build + the concurrent-engine tests (the latch-rank
-#      checker plus free-running multi-session stress; zero reports allowed)
-#   5. Static-analysis gate (tools/check.sh)
-#   6. Format gate (tools/format.sh --check; no-op without clang-format)
+#   4. ThreadSanitizer build + the concurrent-engine and observability
+#      tests (latch-rank checker, multi-session stress, metrics-registry
+#      hammering; zero reports allowed)
+#   5. Bench smoke: every figure/table/ablation binary in --quick mode
+#      (label `bench-smoke` in the relwithdebinfo preset)
+#   6. Golden-figure gate: full-mode analytic bench snapshots diffed
+#      against bench/goldens/ at 2% tolerance (tools/bench_json.sh)
+#   7. Static-analysis gate (tools/check.sh)
+#   8. Format gate (tools/format.sh --check; no-op without clang-format)
 set -eu -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,7 +34,15 @@ run_preset() {
 run_preset asan
 run_preset ubsan
 run_preset audit -R 'Audit|Validate|BTree|HeapFile|Page|BufferCache|Rete|TupleStore|ILock|Invalidation'
-run_preset tsan -R 'Concurrent|LatchRank'
+run_preset tsan -R 'Concurrent|LatchRank|Obs'
+
+echo "=== ci.sh: bench smoke (quick mode) ==="
+cmake --preset relwithdebinfo >/dev/null
+cmake --build --preset relwithdebinfo -j "${JOBS}"
+ctest --preset relwithdebinfo -L bench-smoke
+
+echo "=== ci.sh: golden-figure gate ==="
+bash tools/bench_json.sh build
 
 echo "=== ci.sh: static analysis ==="
 bash tools/check.sh build-asan
