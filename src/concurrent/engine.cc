@@ -1,8 +1,6 @@
 #include "concurrent/engine.h"
 
 #include <algorithm>
-#include <mutex>
-#include <shared_mutex>
 #include <utility>
 
 #include "audit/validate.h"
@@ -48,10 +46,10 @@ Result<std::string> Engine::Access(uint64_t access_id) {
       static_cast<proc::ProcId>(access_id % db_->procedures.size());
   g_accesses->Add();
   obs::TraceSpan span("concurrent.engine.access", "concurrent");
-  std::shared_lock<RankedSharedMutex> db_guard(db_latch_);
+  RankedSharedLockGuard db_guard(db_latch_);
   // The slot stripe serializes concurrent refreshes of the same cache slot
   // (e.g. two sessions both finding CacheInvalidate's entry invalid).
-  std::lock_guard<RankedMutex> slot_guard(slot_stripes_->For(id));
+  RankedLockGuard slot_guard(slot_stripes_->For(id));
 
   std::string expected;
   bool first = true;
@@ -80,7 +78,7 @@ Status Engine::Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix) {
       << "engine mutations must be op-seeded (value != 0)";
   g_mutations->Add();
   obs::TraceSpan span("concurrent.engine.mutate", "concurrent");
-  std::lock_guard<RankedSharedMutex> db_guard(db_latch_);
+  RankedLockGuard db_guard(db_latch_);
   Result<sim::MutationResult> mutation =
       sim::ApplyMutationOp(db_.get(), op, mix, /*inline_rng=*/nullptr);
   PROCSIM_RETURN_IF_ERROR(mutation.status());

@@ -11,6 +11,7 @@
 #include "sim/simulator.h"
 #include "sim/workload.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace procsim::concurrent {
 
@@ -61,19 +62,27 @@ class Engine {
 
   /// Single-threaded quiescent sweep: every strategy's answer for every
   /// procedure is compared against the from-scratch oracle, and the deep
-  /// structure validators run.  Call only when no session is in flight.
-  Status ValidateAtQuiesce();
+  /// structure validators run.  Call only when no session is in flight
+  /// (checked: aborts if the calling thread holds any latch; analysis
+  /// disabled by design for the same reason — quiescent-only access).
+  Status ValidateAtQuiesce() NO_THREAD_SAFETY_ANALYSIS;
 
-  std::size_t procedure_count() const;
-  sim::Database* database() { return db_.get(); }
+  /// Latch-free: the procedure set is fixed at Create() time.
+  std::size_t procedure_count() const NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Quiescent-only (setup/teardown escape hatch; analysis disabled by
+  /// design).
+  sim::Database* database() NO_THREAD_SAFETY_ANALYSIS { return db_.get(); }
 
  private:
   Engine() = default;
 
   mutable RankedSharedMutex db_latch_{LatchRank::kDatabase, "Engine::db"};
   std::unique_ptr<LatchStripes> slot_stripes_;
-  std::unique_ptr<sim::Database> db_;
-  sim::StrategySet strategies_;
+  // Shared for accesses (strategy caches synchronize below on the slot
+  // stripes and each structure's own latch), exclusive for mutations.
+  std::unique_ptr<sim::Database> db_ GUARDED_BY(db_latch_);
+  sim::StrategySet strategies_ GUARDED_BY(db_latch_);
 };
 
 }  // namespace procsim::concurrent

@@ -24,6 +24,35 @@ obs::Counter* const g_acquisitions =
     obs::GlobalMetrics().RegisterCounter("concurrent.latch.acquisitions");
 obs::Counter* const g_contended =
     obs::GlobalMetrics().RegisterCounter("concurrent.latch.contended");
+obs::Counter* const g_rank_near_miss =
+    obs::GlobalMetrics().RegisterCounter("concurrent.latch.rank_near_miss");
+
+/// Formats one out-of-order acquisition.  Same-rank re-entry gets its own
+/// wording: it is almost always a double-stripe hold on a LatchStripes set
+/// (two shards of one structure held together), which is a stripe-vs-stripe
+/// deadlock waiting for the mirror-image interleaving.
+std::string DescribeViolation(LatchRank rank, const char* name,
+                              const HeldLatch& held) {
+  if (held.rank == rank) {
+    return std::string("latch same-rank re-entry: acquiring '") + name +
+           "' while already holding '" + held.name + "' at equal rank " +
+           std::to_string(static_cast<int>(rank)) +
+           " (double-stripe hold?)";
+  }
+  return std::string("latch rank inversion: acquiring '") + name +
+         "' (rank " + std::to_string(static_cast<int>(rank)) +
+         ") while holding '" + held.name + "' (rank " +
+         std::to_string(static_cast<int>(held.rank)) + ")";
+}
+
+/// Returns the first held latch that makes acquiring `rank` illegal, or
+/// nullptr if the acquisition respects the order.
+const HeldLatch* FindBlocking(LatchRank rank) {
+  for (const HeldLatch& held : t_held) {
+    if (static_cast<int>(held.rank) >= static_cast<int>(rank)) return &held;
+  }
+  return nullptr;
+}
 
 }  // namespace
 
@@ -35,23 +64,29 @@ LatchViolationHandler SetLatchViolationHandlerForTesting(
 namespace internal {
 
 void NoteAcquire(LatchRank rank, const char* name) {
-  for (const HeldLatch& held : t_held) {
-    if (static_cast<int>(held.rank) >= static_cast<int>(rank)) {
-      std::string description =
-          std::string("latch rank inversion: acquiring '") + name + "' (rank " +
-          std::to_string(static_cast<int>(rank)) + ") while holding '" +
-          held.name + "' (rank " +
-          std::to_string(static_cast<int>(held.rank)) + ")";
-      LatchViolationHandler handler = g_violation_handler.load();
-      if (handler != nullptr) {
-        handler(description);
-        break;  // test mode: record and carry on
-      }
+  if (const HeldLatch* blocking = FindBlocking(rank)) {
+    const std::string description = DescribeViolation(rank, name, *blocking);
+    LatchViolationHandler handler = g_violation_handler.load();
+    if (handler != nullptr) {
+      handler(description);  // test mode: record and carry on
+    } else {
       PROCSIM_CHECK(false) << description;
     }
   }
   t_held.push_back(HeldLatch{rank, name});
   g_acquisitions->Add();
+}
+
+bool CheckWouldAcquire(LatchRank rank, const char* name) {
+  const HeldLatch* blocking = FindBlocking(rank);
+  if (blocking == nullptr) return true;
+  g_rank_near_miss->Add();
+  LatchViolationHandler handler = g_violation_handler.load();
+  if (handler != nullptr) {
+    handler("near miss (try_lock preflight): " +
+            DescribeViolation(rank, name, *blocking));
+  }
+  return false;
 }
 
 void NoteContended() { g_contended->Add(); }

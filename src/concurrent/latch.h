@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.h"
+#include "util/thread_annotations.h"
+
 namespace procsim::concurrent {
 
 /// \brief Global latch acquisition order for the multi-session engine.
@@ -33,6 +36,17 @@ namespace procsim::concurrent {
 ///   kBufferCache      buffer-cache frame/LRU latch
 ///
 /// Gaps between values leave room for future subsystems.
+///
+/// The order is enforced three ways (DESIGN.md §9 "Static concurrency
+/// safety" documents the conventions):
+///  - at run time, internal::NoteAcquire aborts on any out-of-order
+///    acquisition a test actually executes;
+///  - at compile time under Clang, the CAPABILITY/GUARDED_BY annotations
+///    below prove "which latch guards this field" per translation unit
+///    (-Wthread-safety, `thread-safety` CMake preset);
+///  - statically over the whole tree, tools/latch_lint extracts every
+///    guard-construction site into a latch-acquisition graph and checks
+///    each edge against this enum — including paths no test executes.
 enum class LatchRank : int {
   kSessionPool = 0,
   kDatabase = 10,
@@ -58,9 +72,19 @@ LatchViolationHandler SetLatchViolationHandlerForTesting(
 
 namespace internal {
 
-/// Records an acquisition by the calling thread, checking rank order.  Also
-/// bumps the `concurrent.latch.acquisitions` metric.
+/// Records an acquisition by the calling thread, checking rank order.  A
+/// same-rank acquisition (two stripes of one LatchStripes set held by the
+/// same thread) is reported distinctly from a downward inversion — it is
+/// the double-stripe hold the striped structures promise never happens.
+/// Also bumps the `concurrent.latch.acquisitions` metric.
 void NoteAcquire(LatchRank rank, const char* name);
+
+/// Non-aborting preflight for try_lock paths: returns true iff acquiring
+/// `rank` now would respect the order.  On a would-be inversion it counts
+/// the `concurrent.latch.rank_near_miss` metric and reports through the
+/// testing handler (if installed) but never aborts — a failed try_lock
+/// acquires nothing, so the hazard is latent, not live.
+bool CheckWouldAcquire(LatchRank rank, const char* name);
 
 /// Records a release by the calling thread (latches may be released in any
 /// order; the most recent acquisition of `rank` is retired).
@@ -77,26 +101,31 @@ std::size_t HeldCount();
 }  // namespace internal
 
 /// \brief A mutex that participates in the rank checker.  Satisfies
-/// *Lockable*, so std::lock_guard / std::unique_lock work as usual.
-class RankedMutex {
+/// *Lockable*, so std::lock_guard / std::unique_lock work as usual, but
+/// prefer RankedLockGuard: it carries the thread-safety annotations that
+/// libstdc++'s guards lack, and tools/latch_lint recognizes it.
+class CAPABILITY("ranked mutex") RankedMutex {
  public:
   RankedMutex(LatchRank rank, const char* name) : rank_(rank), name_(name) {}
   RankedMutex(const RankedMutex&) = delete;
   RankedMutex& operator=(const RankedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     internal::NoteAcquire(rank_, name_);
     if (!mutex_.try_lock()) {
       internal::NoteContended();
       mutex_.lock();
     }
   }
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
+    // Preflight before the attempt: a rank-inverting try_lock that fails
+    // must still be reported (as a near miss), or the hazard ships silent.
+    internal::CheckWouldAcquire(rank_, name_);
     if (!mutex_.try_lock()) return false;
     internal::NoteAcquire(rank_, name_);
     return true;
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mutex_.unlock();
     internal::NoteRelease(rank_);
   }
@@ -112,43 +141,45 @@ class RankedMutex {
 
 /// \brief A reader-writer latch with rank checking.  Shared and exclusive
 /// acquisitions occupy the same rank slot in the per-thread held stack.
-class RankedSharedMutex {
+class CAPABILITY("ranked shared mutex") RankedSharedMutex {
  public:
   RankedSharedMutex(LatchRank rank, const char* name)
       : rank_(rank), name_(name) {}
   RankedSharedMutex(const RankedSharedMutex&) = delete;
   RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     internal::NoteAcquire(rank_, name_);
     if (!mutex_.try_lock()) {
       internal::NoteContended();
       mutex_.lock();
     }
   }
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
+    internal::CheckWouldAcquire(rank_, name_);
     if (!mutex_.try_lock()) return false;
     internal::NoteAcquire(rank_, name_);
     return true;
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mutex_.unlock();
     internal::NoteRelease(rank_);
   }
 
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
     internal::NoteAcquire(rank_, name_);
     if (!mutex_.try_lock_shared()) {
       internal::NoteContended();
       mutex_.lock_shared();
     }
   }
-  bool try_lock_shared() {
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    internal::CheckWouldAcquire(rank_, name_);
     if (!mutex_.try_lock_shared()) return false;
     internal::NoteAcquire(rank_, name_);
     return true;
   }
-  void unlock_shared() {
+  void unlock_shared() RELEASE_SHARED() {
     mutex_.unlock_shared();
     internal::NoteRelease(rank_);
   }
@@ -159,12 +190,84 @@ class RankedSharedMutex {
   const char* name_;
 };
 
+/// \brief RAII exclusive guard over a ranked latch, visible to the
+/// thread-safety analysis (SCOPED_CAPABILITY) and to tools/latch_lint.
+/// Accepts either mutex flavor; the RankedSharedMutex overload takes the
+/// latch exclusively (the engine's writer path).
+class SCOPED_CAPABILITY RankedLockGuard {
+ public:
+  explicit RankedLockGuard(RankedMutex& mutex) ACQUIRE(mutex)
+      : mutex_(&mutex) {
+    mutex_->lock();
+  }
+  explicit RankedLockGuard(RankedSharedMutex& mutex) ACQUIRE(mutex)
+      : shared_mutex_(&mutex) {
+    shared_mutex_->lock();
+  }
+  ~RankedLockGuard() RELEASE() {
+    if (mutex_ != nullptr) {
+      mutex_->unlock();
+    } else {
+      shared_mutex_->unlock();
+    }
+  }
+
+  RankedLockGuard(const RankedLockGuard&) = delete;
+  RankedLockGuard& operator=(const RankedLockGuard&) = delete;
+
+ private:
+  RankedMutex* mutex_ = nullptr;
+  RankedSharedMutex* shared_mutex_ = nullptr;
+};
+
+/// RAII shared (reader) guard over a RankedSharedMutex.
+class SCOPED_CAPABILITY RankedSharedLockGuard {
+ public:
+  explicit RankedSharedLockGuard(RankedSharedMutex& mutex)
+      ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~RankedSharedLockGuard() RELEASE() { mutex_.unlock_shared(); }
+
+  RankedSharedLockGuard(const RankedSharedLockGuard&) = delete;
+  RankedSharedLockGuard& operator=(const RankedSharedLockGuard&) = delete;
+
+ private:
+  RankedSharedMutex& mutex_;
+};
+
+/// \brief An annotated unique-lock: like RankedLockGuard but exposing
+/// lock()/unlock(), so it satisfies *BasicLockable* and can park on a
+/// std::condition_variable_any (the session pool's turn hand-off).  The
+/// caller must leave it locked at destruction, as a condition wait does.
+class SCOPED_CAPABILITY RankedUniqueLock {
+ public:
+  explicit RankedUniqueLock(RankedMutex& mutex) ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~RankedUniqueLock() RELEASE() { mutex_.unlock(); }
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+
+  RankedUniqueLock(const RankedUniqueLock&) = delete;
+  RankedUniqueLock& operator=(const RankedUniqueLock&) = delete;
+
+ private:
+  RankedMutex& mutex_;
+};
+
 /// \brief A fixed set of same-rank stripe latches.  Callers hash to one
 /// stripe per operation and never hold two stripes at once (whole-structure
-/// sweeps lock stripes one at a time), so same-rank nesting cannot occur.
+/// sweeps lock stripes one at a time) — a claim internal::NoteAcquire now
+/// enforces: same-rank re-entry by one thread is reported as a violation.
 class LatchStripes {
  public:
   LatchStripes(LatchRank rank, const char* name, std::size_t stripes) {
+    PROCSIM_CHECK_GT(stripes, 0u) << "LatchStripes '" << name
+                                  << "' needs at least one stripe";
     stripes_.reserve(stripes);
     for (std::size_t i = 0; i < stripes; ++i) {
       stripes_.push_back(std::make_unique<RankedMutex>(rank, name));
@@ -173,7 +276,11 @@ class LatchStripes {
 
   std::size_t size() const { return stripes_.size(); }
   RankedMutex& For(std::size_t hash) { return *stripes_[hash % stripes_.size()]; }
-  RankedMutex& At(std::size_t index) { return *stripes_[index]; }
+  RankedMutex& At(std::size_t index) {
+    PROCSIM_CHECK_LT(index, stripes_.size())
+        << "stripe index out of range for '" << stripes_[0]->name() << "'";
+    return *stripes_[index];
+  }
 
  private:
   std::vector<std::unique_ptr<RankedMutex>> stripes_;

@@ -71,7 +71,7 @@ Result<SessionPool::RunResult> SessionPool::Run(const Options& options) {
     bool aborted = false;
 
     auto session_body = [&](std::size_t id) {
-      std::unique_lock<RankedMutex> lock(pool_mutex);
+      RankedUniqueLock lock(pool_mutex);
       for (;;) {
         turn_cv.wait(lock, [&] {
           return aborted || next_turn >= turn_order.size() ||

@@ -58,7 +58,7 @@ std::vector<double> DefaultCostBuckets() {
 }
 
 Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -66,20 +66,20 @@ Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::RegisterHistogram(
     const std::string& name, const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
   return slot.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
@@ -91,7 +91,7 @@ MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();
 }

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace procsim::obs {
 
@@ -125,10 +126,12 @@ class MetricsRegistry {
   void WriteJson(std::ostream& out) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   // Stable addresses across registrations: nodes are heap-allocated.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry every subsystem instruments into.

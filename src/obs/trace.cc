@@ -36,7 +36,7 @@ void EscapeInto(std::ostream& out, const std::string& text) {
 }  // namespace
 
 void TraceRecorder::Enable() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   events_.clear();
   origin_ = std::chrono::steady_clock::now();
   enabled_.store(true, std::memory_order_relaxed);
@@ -50,7 +50,7 @@ void TraceRecorder::RecordSpan(const std::string& name,
                                const std::string& category, uint64_t ts_us,
                                uint64_t dur_us, const std::string& arg) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   events_.push_back(Event{name, category, arg, ts_us, dur_us,
                           ThreadTrackId()});
 }
@@ -63,17 +63,17 @@ uint64_t TraceRecorder::NowMicros() const {
 }
 
 std::size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   return events_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   events_.clear();
 }
 
 void TraceRecorder::WriteJson(std::ostream& out) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  util::MutexLock guard(mutex_);
   out << "{\"traceEvents\": [";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const Event& event = events_[i];

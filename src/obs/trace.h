@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace procsim::obs {
 
@@ -63,9 +64,12 @@ class TraceRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
+  // Written under mutex_ by Enable(), read latch-free by NowMicros() while
+  // enabled; spans racing an Enable() re-anchor are tolerated (timestamps
+  // are diagnostic), so this stays deliberately unguarded.
   std::chrono::steady_clock::time_point origin_{};
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable util::Mutex mutex_;
+  std::vector<Event> events_ GUARDED_BY(mutex_);
 };
 
 /// RAII span: captures the start time at construction and records the span

@@ -11,6 +11,7 @@
 #include "concurrent/latch.h"
 #include "proc/procedure.h"
 #include "relational/tuple.h"
+#include "util/thread_annotations.h"
 
 namespace procsim::proc {
 
@@ -77,7 +78,8 @@ class ILockTable {
   struct Shard {
     concurrent::RankedMutex latch{concurrent::LatchRank::kILock,
                                   "ILockTable::shard"};
-    std::unordered_map<std::string, std::vector<Lock>> locks_by_relation;
+    std::unordered_map<std::string, std::vector<Lock>> locks_by_relation
+        GUARDED_BY(latch);
   };
 
   Shard& ShardFor(const std::string& relation) const {

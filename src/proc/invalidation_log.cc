@@ -18,7 +18,7 @@ obs::Counter* const g_checkpoints =
 
 }  // namespace
 
-using Guard = std::lock_guard<concurrent::RankedMutex>;
+using Guard = concurrent::RankedLockGuard;
 
 InvalidationLog::InvalidationLog(std::size_t procedure_count)
     : valid_(procedure_count, true) {}

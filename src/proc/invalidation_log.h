@@ -7,6 +7,7 @@
 #include "concurrent/latch.h"
 #include "proc/procedure.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace procsim::proc {
 
@@ -55,7 +56,11 @@ class InvalidationLog {
   InvalidationLog(const InvalidationLog&) = delete;
   InvalidationLog& operator=(const InvalidationLog&) = delete;
 
-  std::size_t procedure_count() const { return valid_.size(); }
+  /// Latch-free: the bitmap's *size* is fixed at construction; only its
+  /// bits are guarded.
+  std::size_t procedure_count() const NO_THREAD_SAFETY_ANALYSIS {
+    return valid_.size();
+  }
 
   bool IsValid(ProcId id) const;
 
@@ -85,10 +90,14 @@ class InvalidationLog {
   void Crash();
   Status ResetFrom(std::vector<bool> valid);
 
-  /// Quiescent-only accessors (no latch; see class comment).
-  const std::vector<Record>& records() const { return records_; }
-  uint64_t next_lsn() const { return next_lsn_; }
-  bool crashed() const { return crashed_; }
+  /// Quiescent-only accessors (no latch; see class comment).  The analysis
+  /// is disabled here by design: these read guarded state without the
+  /// latch, which is safe only at validator/recovery quiesce points.
+  const std::vector<Record>& records() const NO_THREAD_SAFETY_ANALYSIS {
+    return records_;
+  }
+  uint64_t next_lsn() const NO_THREAD_SAFETY_ANALYSIS { return next_lsn_; }
+  bool crashed() const NO_THREAD_SAFETY_ANALYSIS { return crashed_; }
 
   /// Verifies log-structure invariants: LSNs strictly increase and stay
   /// below next_lsn(), and every record names a procedure inside the
@@ -96,14 +105,14 @@ class InvalidationLog {
   Status CheckConsistency() const;
 
  private:
-  Status Append(Record::Kind kind, ProcId id);
+  Status Append(Record::Kind kind, ProcId id) REQUIRES(latch_);
 
   mutable concurrent::RankedMutex latch_{
       concurrent::LatchRank::kInvalidationLog, "InvalidationLog"};
-  std::vector<bool> valid_;
-  std::vector<Record> records_;
-  uint64_t next_lsn_ = 1;
-  bool crashed_ = false;
+  std::vector<bool> valid_ GUARDED_BY(latch_);
+  std::vector<Record> records_ GUARDED_BY(latch_);
+  uint64_t next_lsn_ GUARDED_BY(latch_) = 1;
+  bool crashed_ GUARDED_BY(latch_) = false;
 };
 
 }  // namespace procsim::proc

@@ -79,6 +79,9 @@ Result<MemoryNode*> ReteNetwork::WireJoin(MemoryNode* left, MemoryNode* right,
         right_column, left_tuple.value(left_column).AsInt64());
     if (!matches.ok()) return matches.status();
     for (const Tuple& right_tuple : matches.ValueOrDie()) {
+      // latch-lint: allow(kRete->kRete) because this Insert targets the
+      // β-memory's TupleStore, not a base Relation — no UpdateObserver fires,
+      // so Submit (and its kRete latch) is unreachable from here.
       PROCSIM_RETURN_IF_ERROR(beta->mutable_store()->Insert(
           Tuple::Concat(left_tuple, right_tuple)));
     }
@@ -126,6 +129,9 @@ Result<ReteNetwork::SelectionEntry*> ReteNetwork::GetOrCreateSelection(
   // callers disable metering for this static compilation phase).
   auto load = [&](storage::RecordId, const Tuple& tuple) {
     if (residual.Matches(tuple)) {
+      // latch-lint: allow(kRete->kRete) because this Insert targets the
+      // α-memory's TupleStore, not a base Relation — no UpdateObserver
+      // fires, so Submit (and its kRete latch) is unreachable from here.
       Status st = memory->mutable_store()->Insert(tuple);
       PROCSIM_CHECK(st.ok()) << st.ToString();
     }
@@ -230,6 +236,10 @@ Result<MemoryNode*> ReteNetwork::BuildJoinTail(const ProcedureQuery& query,
 }
 
 Result<MemoryNode*> ReteNetwork::AddProcedure(const ProcedureQuery& query) {
+  // Compilation mutates the node/dispatch structures, so it takes the same
+  // latch Submit holds — a build racing a token would otherwise corrupt
+  // the root index even though builds are normally pre-concurrency.
+  concurrent::RankedLockGuard latch_guard(submit_latch_);
   Result<rel::Relation*> base_rel = catalog_->GetRelation(query.base.relation);
   if (!base_rel.ok()) return base_rel.status();
   if (!base_rel.ValueOrDie()->btree_column().has_value()) {
@@ -301,6 +311,7 @@ Result<MemoryNode*> ReteNetwork::AddProcedureLeftDeep(
 }
 
 std::string ReteNetwork::ToDot() const {
+  concurrent::RankedLockGuard latch_guard(submit_latch_);
   std::ostringstream out;
   out << "digraph rete {\n  rankdir=TB;\n  node [fontsize=10];\n";
   out << "  root [shape=circle, label=\"root\"];\n";
@@ -347,7 +358,7 @@ std::string ReteNetwork::ToDot() const {
 }
 
 Status ReteNetwork::Submit(const std::string& relation, const Token& token) {
-  std::lock_guard<concurrent::RankedMutex> guard(submit_latch_);
+  concurrent::RankedLockGuard guard(submit_latch_);
   g_tokens_submitted->Add();
   auto it = root_index_.find(relation);
   if (it != root_index_.end()) {
@@ -393,6 +404,7 @@ std::string FirstDifference(const std::vector<std::string>& expected,
 }  // namespace
 
 Status ReteNetwork::ValidateState() const {
+  concurrent::RankedLockGuard latch_guard(submit_latch_);
   storage::MeteringGuard guard(catalog_->disk());
 
   // α-memories: each must equal a from-scratch recomputation of its

@@ -11,6 +11,7 @@
 #include "relational/query.h"
 #include "rete/node.h"
 #include "rete/token.h"
+#include "util/thread_annotations.h"
 
 namespace procsim::rete {
 
@@ -33,8 +34,11 @@ namespace procsim::rete {
 /// Thread safety: token submission takes a network-level kRete latch
 /// before walking the root index, so concurrent Submit calls serialize at
 /// the root; each memory then re-latches at kReteMemory (> kRete) during
-/// its own store mutation.  Network *construction* (AddProcedure) is not
-/// latched against submission — build the network before going concurrent.
+/// its own store mutation.  Network construction (AddProcedure) and the
+/// whole-network sweeps (ValidateState, ToDot) take the same latch, so the
+/// node/dispatch structures are GUARDED_BY(submit_latch_) throughout —
+/// though builds should still complete before going concurrent, since
+/// memory *population* runs un-metered and assumes quiescent relations.
 class ReteNetwork {
  public:
   /// How multi-join procedures are compiled (§8: a statically optimized
@@ -86,7 +90,10 @@ class ReteNetwork {
     return Submit(relation, Token{Token::Tag::kDelete, tuple});
   }
 
-  const Stats& stats() const { return stats_; }
+  /// Quiescent-only (analysis disabled by design: stats are written while
+  /// the network is built/validated under the latch; readers are benches
+  /// and tests after build).
+  const Stats& stats() const NO_THREAD_SAFETY_ANALYSIS { return stats_; }
 
   /// Deep semantic validation (un-metered): every α-memory must equal a
   /// from-scratch recomputation of its selection against the catalog, and
@@ -121,24 +128,28 @@ class ReteNetwork {
   /// the relation's current contents.
   Result<SelectionEntry*> GetOrCreateSelection(
       const std::string& relation, bool has_interval, std::size_t key_column,
-      int64_t lo, int64_t hi, const rel::Conjunction& residual);
+      int64_t lo, int64_t hi, const rel::Conjunction& residual)
+      REQUIRES(submit_latch_);
 
   /// Builds (with sharing) the right-deep join tail covering
   /// `query.joins[from..]`; the returned memory holds
   /// concat(R_from, ..., R_last) filtered by each stage's residual and
   /// joined on each inner stage's condition.
   Result<MemoryNode*> BuildJoinTail(const rel::ProcedureQuery& query,
-                                    std::size_t from);
+                                    std::size_t from)
+      REQUIRES(submit_latch_);
 
   /// Left-deep compilation of a whole procedure (JoinShape::kLeftDeep).
   Result<MemoryNode*> AddProcedureLeftDeep(const rel::ProcedureQuery& query,
-                                           MemoryNode* base_memory);
+                                           MemoryNode* base_memory)
+      REQUIRES(submit_latch_);
 
   /// Wires `left ⋈ right` into a fresh β-memory, recording stats/edges and
   /// populating the result from the current memory contents.
   Result<MemoryNode*> WireJoin(MemoryNode* left, MemoryNode* right,
                                std::size_t left_column,
-                               std::size_t right_column);
+                               std::size_t right_column)
+      REQUIRES(submit_latch_);
 
   /// Column offset of join stage `i`'s relation within the accumulated
   /// output tuple.
@@ -146,7 +157,7 @@ class ReteNetwork {
                                     std::size_t stage_index) const;
 
   template <typename NodeType, typename... Args>
-  NodeType* MakeNode(Args&&... args) {
+  NodeType* MakeNode(Args&&... args) REQUIRES(submit_latch_) {
     auto node = std::make_unique<NodeType>(std::forward<Args>(args)...);
     NodeType* raw = node.get();
     nodes_.push_back(std::move(node));
@@ -166,13 +177,16 @@ class ReteNetwork {
   CostMeter* meter_;
   std::size_t pad_to_bytes_;
   JoinShape shape_;
-  std::vector<Edge> edges_;
-  std::vector<std::unique_ptr<ReteNode>> nodes_;
-  std::vector<std::unique_ptr<SelectionEntry>> selections_;
-  std::unordered_map<std::string, std::vector<SelectionEntry*>> root_index_;
+  std::vector<Edge> edges_ GUARDED_BY(submit_latch_);
+  std::vector<std::unique_ptr<ReteNode>> nodes_ GUARDED_BY(submit_latch_);
+  std::vector<std::unique_ptr<SelectionEntry>> selections_
+      GUARDED_BY(submit_latch_);
+  std::unordered_map<std::string, std::vector<SelectionEntry*>> root_index_
+      GUARDED_BY(submit_latch_);
   // join-tail signature -> shared memory node
-  std::unordered_map<std::size_t, MemoryNode*> tails_by_signature_;
-  Stats stats_;
+  std::unordered_map<std::size_t, MemoryNode*> tails_by_signature_
+      GUARDED_BY(submit_latch_);
+  Stats stats_ GUARDED_BY(submit_latch_);
 };
 
 }  // namespace procsim::rete

@@ -79,11 +79,22 @@ MemoryNode::MemoryNode(storage::SimulatedDisk* disk, std::size_t pad_to_bytes,
                        bool is_beta)
     : store_(disk, pad_to_bytes), is_beta_(is_beta) {}
 
+Result<std::vector<Tuple>> MemoryNode::ReadAll() const {
+  concurrent::RankedLockGuard guard(latch_);
+  return store_.ReadAll();
+}
+
+Result<std::vector<Tuple>> MemoryNode::ProbeEqual(std::size_t column,
+                                                  int64_t key) const {
+  concurrent::RankedLockGuard guard(latch_);
+  return store_.ProbeEqual(column, key);
+}
+
 Status MemoryNode::Activate(const Token& token) {
   {
     // Latch only the store mutation; drop before propagating so no two
     // memory latches are ever held together (see class comment).
-    std::lock_guard<concurrent::RankedMutex> guard(latch_);
+    concurrent::RankedLockGuard guard(latch_);
     if (token.is_insert()) {
       PROCSIM_RETURN_IF_ERROR(store_.Insert(token.tuple));
       g_memory_inserts->Add();
@@ -130,7 +141,7 @@ Status AndNode::ActivateFromSide(bool from_left, const Token& token) {
   const std::size_t opp_column = from_left ? right_column_ : left_column_;
   std::vector<Tuple> candidates;
   if (op_ == rel::CompareOp::kEq) {
-    Result<std::vector<Tuple>> probed = opposite->store().ProbeEqual(
+    Result<std::vector<Tuple>> probed = opposite->ProbeEqual(
         opp_column, token.tuple.value(own_column).AsInt64());
     if (!probed.ok()) return probed.status();
     candidates = probed.TakeValueOrDie();

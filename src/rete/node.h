@@ -12,6 +12,7 @@
 #include "rete/token.h"
 #include "util/cost_meter.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace procsim::rete {
 
@@ -92,17 +93,30 @@ class MemoryNode : public ReteNode {
   std::string Describe() const override;
 
   bool is_beta() const { return is_beta_; }
-  const ivm::TupleStore& store() const { return store_; }
-  ivm::TupleStore* mutable_store() { return &store_; }
 
-  /// Reads the memory contents (one I/O per page) — used both by and-node
-  /// probes (ProbeEqual) and to answer procedure accesses (ReadAll).
-  Result<std::vector<rel::Tuple>> ReadAll() const { return store_.ReadAll(); }
+  /// Unguarded store access for network construction and quiescent
+  /// validation (analysis disabled by design: build precedes concurrency,
+  /// and validators run with no token in flight — see network.h).
+  const ivm::TupleStore& store() const NO_THREAD_SAFETY_ANALYSIS {
+    return store_;
+  }
+  ivm::TupleStore* mutable_store() NO_THREAD_SAFETY_ANALYSIS {
+    return &store_;
+  }
+
+  /// Reads the memory contents (one I/O per page) under the memory latch —
+  /// answers procedure accesses and non-equi and-node probes.
+  Result<std::vector<rel::Tuple>> ReadAll() const;
+
+  /// Latched equality probe on `column` — the and-node's join lookup while
+  /// a token from the opposite side is in flight.
+  Result<std::vector<rel::Tuple>> ProbeEqual(std::size_t column,
+                                             int64_t key) const;
 
  private:
   mutable concurrent::RankedMutex latch_{
       concurrent::LatchRank::kReteMemory, "MemoryNode"};
-  ivm::TupleStore store_;
+  ivm::TupleStore store_ GUARDED_BY(latch_);
   bool is_beta_;
 };
 

@@ -18,7 +18,7 @@ obs::Counter* const g_evictions =
 
 }  // namespace
 
-using Guard = std::lock_guard<concurrent::RankedMutex>;
+using Guard = concurrent::RankedLockGuard;
 
 BufferCache::BufferCache(std::size_t capacity_pages)
     : capacity_(capacity_pages) {

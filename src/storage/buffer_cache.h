@@ -10,6 +10,7 @@
 
 #include "concurrent/latch.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace procsim::storage {
 
@@ -97,18 +98,19 @@ class BufferCache {
   };
 
   /// Moves `page_id` to the MRU position, inserting it (with eviction) on a
-  /// miss.  Returns true on a hit.  Caller holds `latch_`.
-  bool TouchLocked(uint32_t page_id);
+  /// miss.  Returns true on a hit.
+  bool TouchLocked(uint32_t page_id) REQUIRES(latch_);
 
-  Status CheckConsistencyLocked() const;
+  Status CheckConsistencyLocked() const REQUIRES(latch_);
 
   std::size_t capacity_;
   mutable concurrent::RankedMutex latch_{
       concurrent::LatchRank::kBufferCache, "BufferCache"};
   // Most recently used at the front.
-  std::list<uint32_t> lru_;
-  std::unordered_map<uint32_t, std::unique_ptr<Frame>> frames_;
-  std::unordered_set<uint32_t> dirty_;
+  std::list<uint32_t> lru_ GUARDED_BY(latch_);
+  std::unordered_map<uint32_t, std::unique_ptr<Frame>> frames_
+      GUARDED_BY(latch_);
+  std::unordered_set<uint32_t> dirty_ GUARDED_BY(latch_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> total_pins_{0};

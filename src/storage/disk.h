@@ -11,6 +11,7 @@
 #include "storage/page.h"
 #include "util/cost_meter.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace procsim::storage {
 
@@ -99,7 +100,9 @@ class SimulatedDisk {
   bool metering_enabled_ = true;
   mutable concurrent::RankedMutex page_table_latch_{
       concurrent::LatchRank::kPageTable, "SimulatedDisk::page_table"};
-  std::vector<std::unique_ptr<Page>> pages_;
+  // The directory (which pages exist) is latched; page *contents* are
+  // ordered by the engine's database latch (see class comment).
+  std::vector<std::unique_ptr<Page>> pages_ GUARDED_BY(page_table_latch_);
   std::optional<BufferCache> cache_;
 };
 

@@ -1,0 +1,135 @@
+#ifndef PROCSIM_UTIL_THREAD_ANNOTATIONS_H_
+#define PROCSIM_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// \file
+/// Clang Thread Safety Analysis annotations (DESIGN.md §9).
+///
+/// Under Clang with -Wthread-safety these macros let the compiler prove,
+/// per translation unit, that every access to an annotated field happens
+/// with the right capability (latch) held: GUARDED_BY names the latch a
+/// field needs, REQUIRES states a function's latch precondition, and
+/// ACQUIRE/RELEASE/SCOPED_CAPABILITY teach the analysis our RAII guard
+/// types.  The macros expand to nothing on GCC and MSVC, so the annotated
+/// tree builds everywhere; only the Clang `thread-safety` CMake preset
+/// turns the proofs into hard errors (-Werror=thread-safety).
+///
+/// The complementary *ordering* invariant — in what order latches may
+/// nest — is outside Clang's model; tools/latch_lint checks it statically
+/// against the LatchRank partial order (see concurrent/latch.h).
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PROCSIM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PROCSIM_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lockable resource).  The string argument
+/// names the capability kind in diagnostics ("mutex", "shared mutex").
+#define CAPABILITY(x) PROCSIM_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (our guard types).
+#define SCOPED_CAPABILITY PROCSIM_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reads require the capability held (shared suffices), writes require it
+/// held exclusively.
+#define GUARDED_BY(x) PROCSIM_THREAD_ANNOTATION__(guarded_by(x))
+
+/// As GUARDED_BY, but for the data *pointed to* by a pointer member.
+#define PT_GUARDED_BY(x) PROCSIM_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities must be held exclusively
+/// on entry (and are still held on exit).
+#define REQUIRES(...) \
+  PROCSIM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities must be held at least
+/// shared on entry.
+#define REQUIRES_SHARED(...) \
+  PROCSIM_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities exclusively (they must
+/// not be held on entry, and are held on exit).
+#define ACQUIRE(...) \
+  PROCSIM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities in shared mode.
+#define ACQUIRE_SHARED(...) \
+  PROCSIM_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (exclusive or shared).
+#define RELEASE(...) \
+  PROCSIM_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The function releases capabilities held in shared mode.
+#define RELEASE_SHARED(...) \
+  PROCSIM_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value that signals success.
+#define TRY_ACQUIRE(...) \
+  PROCSIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-mode try-acquisition.
+#define TRY_ACQUIRE_SHARED(...) \
+  PROCSIM_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held
+/// (catches self-deadlock on non-reentrant latches).
+#define EXCLUDES(...) PROCSIM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) PROCSIM_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function.  Every use in
+/// this codebase must carry a comment explaining why the access is safe
+/// (almost always: quiescent-only accessor, documented in the class
+/// comment; or single-threaded construction before publication).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PROCSIM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace procsim::util {
+
+/// \brief A plain leaf mutex annotated as a capability.
+///
+/// For locks *outside* the ranked-latch hierarchy (obs registry/trace
+/// buffers: leaves acquired only at registration/snapshot time, never
+/// while holding engine latches — see obs/metrics.h).  Ranked latches
+/// must use concurrent::RankedMutex instead so both the runtime checker
+/// and tools/latch_lint see them.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII guard for util::Mutex, visible to the analysis (libstdc++'s
+/// std::lock_guard carries no annotations, so it would not be).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace procsim::util
+
+#endif  // PROCSIM_UTIL_THREAD_ANNOTATIONS_H_

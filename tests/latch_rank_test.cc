@@ -3,6 +3,7 @@
 // makes the latch hierarchy deadlock-free.
 #include "concurrent/latch.h"
 
+#include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -10,6 +11,8 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "obs/metrics.h"
 
 namespace procsim::concurrent {
 namespace {
@@ -87,7 +90,128 @@ TEST_F(LatchRankTest, SameRankNestingIsDetected) {
     std::lock_guard<RankedMutex> first(stripes.At(0));
     std::lock_guard<RankedMutex> second(stripes.At(1));
   }
-  EXPECT_EQ(Violations().size(), 1u);
+  ASSERT_EQ(Violations().size(), 1u);
+  // The report must call out the double-stripe hold distinctly from a
+  // downward inversion — equal ranks are a striping bug, not a layering
+  // bug, and the fix differs.
+  EXPECT_NE(Violations()[0].find("same-rank re-entry"), std::string::npos);
+}
+
+TEST_F(LatchRankTest, AnnotatedGuardsParticipateInRankChecking) {
+  // The SCOPED_CAPABILITY guards route through the same runtime checker as
+  // bare lock()/unlock() calls.
+  RankedSharedMutex db(LatchRank::kDatabase, "db");
+  RankedMutex cache(LatchRank::kBufferCache, "cache");
+  {
+    RankedSharedLockGuard db_guard(db);
+    RankedLockGuard cache_guard(cache);
+    EXPECT_EQ(internal::HeldCount(), 2u);
+  }
+  EXPECT_EQ(internal::HeldCount(), 0u);
+  {
+    RankedLockGuard exclusive_db(db);  // writer path over the shared mutex
+    EXPECT_EQ(internal::HeldCount(), 1u);
+  }
+  EXPECT_TRUE(Violations().empty());
+}
+
+TEST_F(LatchRankTest, FailedTryLockInversionIsReportedAsNearMiss) {
+  // The checker hole this closes: a rank-inverting try_lock that happens to
+  // FAIL acquires nothing, so NoteAcquire never runs — before the
+  // CheckWouldAcquire preflight, the hazard shipped silent.
+  const obs::Counter* near_miss =
+      obs::GlobalMetrics().FindCounter("concurrent.latch.rank_near_miss");
+  ASSERT_NE(near_miss, nullptr);
+  const uint64_t before = near_miss->value();
+
+  RankedMutex cache(LatchRank::kBufferCache, "cache");
+  RankedMutex ilock(LatchRank::kILock, "ilock");
+
+  // Another thread holds `ilock` so our rank-inverting try_lock fails.
+  std::mutex sync;
+  std::condition_variable cv;
+  bool held = false;
+  bool release = false;
+  std::thread holder([&] {
+    ilock.lock();
+    {
+      std::lock_guard<std::mutex> lock(sync);
+      held = true;
+      cv.notify_all();
+    }
+    std::unique_lock<std::mutex> lock(sync);
+    cv.wait(lock, [&] { return release; });
+    ilock.unlock();
+  });
+  {
+    std::unique_lock<std::mutex> lock(sync);
+    cv.wait(lock, [&] { return held; });
+  }
+
+  {
+    std::lock_guard<RankedMutex> cache_guard(cache);
+    EXPECT_FALSE(ilock.try_lock());  // fails AND is rank-inverting
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync);
+    release = true;
+    cv.notify_all();
+  }
+  holder.join();
+
+  EXPECT_EQ(near_miss->value(), before + 1);
+  ASSERT_EQ(Violations().size(), 1u);
+  EXPECT_NE(Violations()[0].find("near miss"), std::string::npos);
+  EXPECT_NE(Violations()[0].find("ilock"), std::string::npos);
+}
+
+TEST_F(LatchRankTest, SucceedingTryLockInversionReportsNearMissAndViolation) {
+  const obs::Counter* near_miss =
+      obs::GlobalMetrics().FindCounter("concurrent.latch.rank_near_miss");
+  ASSERT_NE(near_miss, nullptr);
+  const uint64_t before = near_miss->value();
+
+  RankedMutex cache(LatchRank::kBufferCache, "cache");
+  RankedMutex ilock(LatchRank::kILock, "ilock");
+  {
+    std::lock_guard<RankedMutex> cache_guard(cache);
+    ASSERT_TRUE(ilock.try_lock());  // succeeds; still a rank inversion
+    ilock.unlock();
+  }
+  EXPECT_EQ(near_miss->value(), before + 1);
+  // Preflight near miss plus the NoteAcquire violation for the actual
+  // acquisition.
+  ASSERT_EQ(Violations().size(), 2u);
+  EXPECT_NE(Violations()[0].find("near miss"), std::string::npos);
+  EXPECT_EQ(Violations()[1].find("near miss"), std::string::npos);
+}
+
+TEST_F(LatchRankTest, TryLockSharedPreflightsTheRankOrder) {
+  const obs::Counter* near_miss =
+      obs::GlobalMetrics().FindCounter("concurrent.latch.rank_near_miss");
+  ASSERT_NE(near_miss, nullptr);
+  const uint64_t before = near_miss->value();
+
+  RankedMutex cache(LatchRank::kBufferCache, "cache");
+  RankedSharedMutex db(LatchRank::kDatabase, "db");
+  {
+    std::lock_guard<RankedMutex> cache_guard(cache);
+    ASSERT_TRUE(db.try_lock_shared());
+    db.unlock_shared();
+  }
+  EXPECT_EQ(near_miss->value(), before + 1);
+}
+
+TEST_F(LatchRankTest, StripeBoundsAreChecked) {
+  LatchStripes stripes(LatchRank::kILock, "stripe", 4);
+  EXPECT_EQ(stripes.size(), 4u);
+  // For() hashes modulo the stripe count, so any hash is in range...
+  EXPECT_NO_FATAL_FAILURE(stripes.For(12345));
+  // ...but At() is a direct index and must reject out-of-range access
+  // instead of reading past the stripe vector.
+  EXPECT_DEATH(stripes.At(4), "out of range");
+  EXPECT_DEATH(LatchStripes(LatchRank::kILock, "empty", 0),
+               "at least one stripe");
 }
 
 TEST_F(LatchRankTest, HeldStackIsPerThread) {

@@ -1,0 +1,34 @@
+// NEGATIVE-COMPILE FIXTURE — this file must NOT compile under
+// `-Wthread-safety -Werror=thread-safety` (Clang).  tests/CMakeLists.txt
+// try_compile()s it with those flags and fails the configure if it
+// *succeeds*: that would mean the thread-safety gate stopped rejecting
+// unguarded access to GUARDED_BY state, i.e. the whole annotation layer
+// had silently gone inert.
+//
+// It is never added to any build target; only the expected-to-fail
+// try_compile sees it.
+#include "concurrent/latch.h"
+#include "util/thread_annotations.h"
+
+namespace procsim {
+
+class Unguarded {
+ public:
+  // BUG (deliberate): writes a guarded field without acquiring the
+  // capability.  Clang: error: writing variable 'value_' requires holding
+  // mutex 'latch_' exclusively [-Werror,-Wthread-safety-analysis]
+  void Increment() { ++value_; }
+
+ private:
+  mutable concurrent::RankedMutex latch_{
+      concurrent::LatchRank::kBufferCache, "Unguarded"};
+  int value_ GUARDED_BY(latch_) = 0;
+};
+
+}  // namespace procsim
+
+int main() {
+  procsim::Unguarded unguarded;
+  unguarded.Increment();
+  return 0;
+}

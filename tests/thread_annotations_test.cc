@@ -1,0 +1,143 @@
+// Proves the thread-safety annotation macros compile on every supported
+// toolchain (they expand to Clang attributes under Clang and to nothing
+// elsewhere) and that the annotated guard types actually synchronize.
+// Under the `thread-safety` preset (Clang, -Werror=thread-safety) this file
+// doubles as a positive fixture: every guarded access below is correctly
+// latched, so the analysis must accept it.  The negative fixture —
+// tests/negative_compile/thread_safety_fail.cc — proves the same build
+// rejects an unguarded write.
+#include "util/thread_annotations.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "concurrent/latch.h"
+
+namespace procsim {
+namespace {
+
+using concurrent::LatchRank;
+using concurrent::RankedLockGuard;
+using concurrent::RankedMutex;
+using concurrent::RankedSharedLockGuard;
+using concurrent::RankedSharedMutex;
+using concurrent::RankedUniqueLock;
+
+/// A miniature latched structure in the style of the engine's subsystems:
+/// one capability, fields guarded by it, a REQUIRES helper, and an
+/// annotation-free quiescent accessor.
+class AnnotatedCounter {
+ public:
+  void Increment() {
+    RankedLockGuard guard(latch_);
+    IncrementLocked();
+  }
+
+  int Snapshot() const {
+    RankedLockGuard guard(latch_);
+    return value_;
+  }
+
+  /// Quiescent-only accessor (analysis disabled by design, mirroring the
+  /// engine's validator escape hatches).
+  int UnsynchronizedValue() const NO_THREAD_SAFETY_ANALYSIS { return value_; }
+
+ private:
+  void IncrementLocked() REQUIRES(latch_) { ++value_; }
+
+  mutable RankedMutex latch_{LatchRank::kBufferCache, "AnnotatedCounter"};
+  int value_ GUARDED_BY(latch_) = 0;
+};
+
+/// Reader/writer flavor over the annotated shared mutex.
+class AnnotatedRegister {
+ public:
+  void Store(int value) {
+    RankedLockGuard guard(latch_);  // exclusive over the shared mutex
+    value_ = value;
+  }
+
+  int Load() const {
+    RankedSharedLockGuard guard(latch_);
+    return value_;
+  }
+
+ private:
+  mutable RankedSharedMutex latch_{LatchRank::kDatabase, "AnnotatedRegister"};
+  int value_ GUARDED_BY(latch_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, AnnotatedGuardsSynchronizeConcurrentWriters) {
+  AnnotatedCounter counter;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 1000;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter] {
+      for (int j = 0; j < kIncrements; ++j) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Snapshot(), kThreads * kIncrements);
+  EXPECT_EQ(counter.UnsynchronizedValue(), kThreads * kIncrements);
+}
+
+TEST(ThreadAnnotationsTest, SharedGuardAllowsConcurrentReaders) {
+  AnnotatedRegister reg;
+  reg.Store(42);
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&reg] {
+      for (int j = 0; j < 100; ++j) EXPECT_EQ(reg.Load(), 42);
+    });
+  }
+  for (std::thread& thread : readers) thread.join();
+}
+
+TEST(ThreadAnnotationsTest, UtilMutexLockGuardsPlainState) {
+  // The obs layer's annotated leaf mutex (no rank: never held while calling
+  // instrumented code).
+  struct Guarded {
+    util::Mutex mutex;
+    int value GUARDED_BY(mutex) = 0;
+  } state;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&state] {
+      for (int j = 0; j < 1000; ++j) {
+        util::MutexLock lock(state.mutex);
+        ++state.value;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  util::MutexLock lock(state.mutex);
+  EXPECT_EQ(state.value, 4000);
+}
+
+TEST(ThreadAnnotationsTest, RankedUniqueLockIsBasicLockable) {
+  // The session pool parks a RankedUniqueLock on a condition_variable_any;
+  // here we just exercise the manual lock()/unlock() cycle it relies on.
+  RankedMutex mutex(LatchRank::kSessionPool, "pool");
+  RankedUniqueLock lock(mutex);
+  lock.unlock();
+  lock.lock();
+  // Destructor unlocks the re-acquired latch.
+}
+
+TEST(ThreadAnnotationsTest, MacrosExpandToNothingWithoutClang) {
+#if defined(__clang__)
+  SUCCEED() << "Clang build: attributes are live and checked by the "
+               "thread-safety preset";
+#else
+  // The macros must leave no trace on other compilers — this file compiling
+  // at all is the assertion, but make the degradation explicit.
+  SUCCEED() << "non-Clang build: annotation macros compile to no-ops";
+#endif
+}
+
+}  // namespace
+}  // namespace procsim

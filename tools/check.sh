@@ -26,6 +26,29 @@ fi
 
 FAILED=0
 
+# Latch-rank lint: the static acquisition-graph analyzer must pass before
+# anything else — a rank inversion is a deadlock waiting for a schedule.
+LINT_BIN="${BUILD_DIR}/tools/latch_lint"
+if [ ! -x "${LINT_BIN}" ]; then
+  echo "check.sh: building latch_lint..." >&2
+  cmake --build "${BUILD_DIR}" --target latch_lint -j "$(nproc 2>/dev/null || echo 2)" >/dev/null || true
+fi
+if [ ! -x "${LINT_BIN}" ]; then
+  # No usable build tree (e.g. fresh container): the linter is deliberately
+  # dependency-free, so compile it directly.
+  LINT_BIN=$(mktemp -t latch_lint.XXXXXX)
+  if ! g++ -std=c++20 -O1 -Itools tools/latch_lint/lint.cc \
+       tools/latch_lint/main.cc -o "${LINT_BIN}"; then
+    echo "check.sh: could not build latch_lint" >&2
+    exit 1
+  fi
+fi
+echo "check.sh: running latch-rank lint over src/..."
+if ! "${LINT_BIN}" --root . --quiet; then
+  echo "check.sh: latch-rank lint FAILED (run ${LINT_BIN} --root . for the report)" >&2
+  FAILED=1
+fi
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "check.sh: running clang-tidy (config: .clang-tidy) over src/..."
   for src in ${SOURCES}; do

@@ -15,8 +15,14 @@
 #      (label `bench-smoke` in the relwithdebinfo preset)
 #   6. Golden-figure gate: full-mode analytic bench snapshots diffed
 #      against bench/goldens/ at 2% tolerance (tools/bench_json.sh)
-#   7. Static-analysis gate (tools/check.sh)
-#   8. Format gate (tools/format.sh --check; no-op without clang-format)
+#   7. Thread-safety gate: Clang build under -Werror=thread-safety (the
+#      `thread-safety` preset), including the expected-to-fail
+#      negative-compile fixture; skipped gracefully when clang++ is absent
+#   8. Latch-lint gate: the static latch-rank analyzer (tools/latch_lint)
+#      over src/ — every acquisition edge must respect the LatchRank order
+#      or carry a justified suppression
+#   9. Static-analysis gate (tools/check.sh)
+#  10. Format gate (tools/format.sh --check; no-op without clang-format)
 set -eu -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +49,21 @@ ctest --preset relwithdebinfo -L bench-smoke
 
 echo "=== ci.sh: golden-figure gate ==="
 bash tools/bench_json.sh build
+
+echo "=== ci.sh: thread-safety analysis ==="
+if command -v clang++ >/dev/null 2>&1; then
+  # Full tree under -Werror=thread-safety, plus the negative-compile fixture
+  # (tests/CMakeLists.txt aborts the configure if the fixture compiles).
+  run_preset thread-safety -R 'ThreadAnnotations|LatchRank'
+else
+  echo "ci.sh: clang++ not found; skipping thread-safety preset" >&2
+  echo "ci.sh: (the annotations compile to no-ops under this toolchain;" >&2
+  echo "ci.sh:  the latch-lint gate below still enforces the rank order)" >&2
+fi
+
+echo "=== ci.sh: latch-rank lint ==="
+cmake --build --preset relwithdebinfo -j "${JOBS}" --target latch_lint
+./build/tools/latch_lint --root .
 
 echo "=== ci.sh: static analysis ==="
 bash tools/check.sh build-asan

@@ -1,0 +1,86 @@
+#ifndef PROCSIM_TOOLS_LATCH_LINT_LINT_H_
+#define PROCSIM_TOOLS_LATCH_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+/// \file
+/// A lexical latch-rank analyzer: scans C++ sources for ranked-mutex
+/// declarations and guard-construction sites, builds a static
+/// latch-acquisition graph (direct nesting plus a transitive may-acquire
+/// closure over name-matched calls), and checks every edge against the
+/// LatchRank order — including paths no test executes.  Companion to the
+/// runtime checker in src/concurrent/latch.cc and the Clang thread-safety
+/// annotations (DESIGN.md §9); deliberately libclang-free so it builds and
+/// runs with any host toolchain.
+
+namespace procsim::lint {
+
+/// One rank from the LatchRank enum: name ("kDatabase") and numeric value.
+struct RankTable {
+  std::map<std::string, int> value_by_name;  ///< "kDatabase" -> 10
+  std::map<int, std::string> name_by_value;
+
+  bool empty() const { return value_by_name.empty(); }
+};
+
+/// Extracts the `enum class LatchRank` table from the contents of
+/// concurrent/latch.h.  Returns an empty table if the enum is missing.
+RankTable ParseRankTable(const std::string& latch_header_source);
+
+/// One source file handed to the analyzer.
+struct SourceFile {
+  std::string path;     ///< display path (diagnostics)
+  std::string content;  ///< full file contents
+};
+
+/// A latch-order violation: an acquisition at `to_*` while a latch of an
+/// equal or higher rank (`from_*`) is already held on the same path.
+struct Violation {
+  std::string to_file;
+  int to_line = 0;
+  std::string to_rank_name;
+  int to_rank = 0;
+  std::string from_file;
+  int from_line = 0;
+  std::string from_rank_name;
+  int from_rank = 0;
+  /// Empty for a direct lexical nesting; otherwise the call chain that
+  /// carries the held latch into the acquiring function, outermost first.
+  std::vector<std::string> call_chain;
+  std::string message;  ///< fully rendered one-line diagnostic
+};
+
+/// A `// latch-lint: allow(kA->kB) because ...` comment with no text after
+/// `because` — suppressions must carry a justification.
+struct BadSuppression {
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Violation> violations;
+  std::vector<BadSuppression> bad_suppressions;
+  std::size_t mutexes_found = 0;
+  std::size_t guard_sites_found = 0;
+  std::size_t functions_scanned = 0;
+  std::size_t edges_checked = 0;
+  std::size_t suppressed_edges = 0;
+
+  bool ok() const { return violations.empty() && bad_suppressions.empty(); }
+};
+
+/// Runs the analysis over `files` against `ranks`.  Pure function of its
+/// inputs: no filesystem access, so tests can feed planted fixtures.
+LintResult AnalyzeSources(const std::vector<SourceFile>& files,
+                          const RankTable& ranks);
+
+/// Renders a human-readable report (one line per finding plus a summary).
+std::string RenderReport(const LintResult& result);
+
+}  // namespace procsim::lint
+
+#endif  // PROCSIM_TOOLS_LATCH_LINT_LINT_H_

@@ -1,0 +1,124 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "latch_lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool IsSourcePath(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+int Usage() {
+  std::cerr
+      << "usage: latch_lint [--root DIR] [--quiet] [extra paths...]\n"
+      << "\n"
+      << "Static latch-rank analyzer: scans DIR/src (default: cwd) for\n"
+      << "ranked-mutex guard sites, builds the latch-acquisition graph and\n"
+      << "checks every edge against the LatchRank order declared in\n"
+      << "src/concurrent/latch.h.  Extra paths (files or directories) are\n"
+      << "scanned in addition to DIR/src.  Exit 0 = clean, 1 = violations\n"
+      << "or unjustified suppressions, 2 = usage/setup error.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool quiet = false;
+  std::vector<fs::path> extra;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      extra.emplace_back(arg);
+    }
+  }
+
+  const fs::path latch_header = root / "src" / "concurrent" / "latch.h";
+  std::string latch_source;
+  if (!ReadFile(latch_header, &latch_source)) {
+    std::cerr << "latch-lint: cannot read " << latch_header.string()
+              << " (pass --root to point at the repo root)\n";
+    return 2;
+  }
+  const procsim::lint::RankTable ranks =
+      procsim::lint::ParseRankTable(latch_source);
+  if (ranks.empty()) {
+    std::cerr << "latch-lint: no LatchRank enum found in "
+              << latch_header.string() << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> scan_roots = {root / "src"};
+  scan_roots.insert(scan_roots.end(), extra.begin(), extra.end());
+
+  std::vector<procsim::lint::SourceFile> files;
+  for (const fs::path& scan_root : scan_roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(scan_root, ec)) {
+      std::string content;
+      if (!ReadFile(scan_root, &content)) {
+        std::cerr << "latch-lint: cannot read " << scan_root.string() << "\n";
+        return 2;
+      }
+      files.push_back({scan_root.generic_string(), std::move(content)});
+      continue;
+    }
+    if (!fs::is_directory(scan_root, ec)) {
+      std::cerr << "latch-lint: no such file or directory: "
+                << scan_root.string() << "\n";
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    for (fs::recursive_directory_iterator it(scan_root, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (it->is_regular_file() && IsSourcePath(it->path())) {
+        paths.push_back(it->path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& path : paths) {
+      std::string content;
+      if (!ReadFile(path, &content)) {
+        std::cerr << "latch-lint: cannot read " << path.string() << "\n";
+        return 2;
+      }
+      files.push_back({path.generic_string(), std::move(content)});
+    }
+  }
+
+  const procsim::lint::LintResult result =
+      procsim::lint::AnalyzeSources(files, ranks);
+  if (!quiet || !result.ok()) {
+    std::cout << procsim::lint::RenderReport(result);
+  }
+  return result.ok() ? 0 : 1;
+}
