@@ -34,8 +34,8 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
   engine->strategies_ = strategies.TakeValueOrDie();
   const std::size_t stripes = std::max<std::size_t>(
       1, std::min(options.slot_stripes, engine->db_->procedures.size()));
-  engine->slot_stripes_ = std::make_unique<LatchStripes>(
-      LatchRank::kStrategySlot, "Engine::slot", stripes);
+  engine->slot_stripes_ = std::make_unique<util::LatchStripes>(
+      util::LatchRank::kStrategySlot, "Engine::slot", stripes);
   return engine;
 }
 
@@ -46,10 +46,10 @@ Result<std::string> Engine::Access(uint64_t access_id) {
       static_cast<proc::ProcId>(access_id % db_->procedures.size());
   g_accesses->Add();
   obs::TraceSpan span("concurrent.engine.access", "concurrent");
-  RankedSharedLockGuard db_guard(db_latch_);
+  util::RankedSharedLockGuard db_guard(db_latch_);
   // The slot stripe serializes concurrent refreshes of the same cache slot
   // (e.g. two sessions both finding CacheInvalidate's entry invalid).
-  RankedLockGuard slot_guard(slot_stripes_->For(id));
+  util::RankedLockGuard slot_guard(slot_stripes_->For(id));
 
   std::string expected;
   bool first = true;
@@ -78,7 +78,7 @@ Status Engine::Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix) {
       << "engine mutations must be op-seeded (value != 0)";
   g_mutations->Add();
   obs::TraceSpan span("concurrent.engine.mutate", "concurrent");
-  RankedLockGuard db_guard(db_latch_);
+  util::RankedLockGuard db_guard(db_latch_);
   Result<sim::MutationResult> mutation =
       sim::ApplyMutationOp(db_.get(), op, mix, /*inline_rng=*/nullptr);
   PROCSIM_RETURN_IF_ERROR(mutation.status());
@@ -97,7 +97,7 @@ Status Engine::Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix) {
 }
 
 Status Engine::ValidateAtQuiesce() {
-  PROCSIM_CHECK_EQ(internal::HeldCount(), 0u)
+  PROCSIM_CHECK_EQ(util::internal::HeldCount(), 0u)
       << "quiescent validation with latches held";
   for (proc::ProcId id = 0; id < db_->procedures.size(); ++id) {
     std::string expected;

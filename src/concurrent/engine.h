@@ -6,10 +6,10 @@
 #include <string>
 #include <vector>
 
-#include "concurrent/latch.h"
 #include "cost/params.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
+#include "util/latch.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -77,8 +77,9 @@ class Engine {
  private:
   Engine() = default;
 
-  mutable RankedSharedMutex db_latch_{LatchRank::kDatabase, "Engine::db"};
-  std::unique_ptr<LatchStripes> slot_stripes_;
+  mutable util::RankedSharedMutex db_latch_{util::LatchRank::kDatabase,
+                                            "Engine::db"};
+  std::unique_ptr<util::LatchStripes> slot_stripes_;
   // Shared for accesses (strategy caches synchronize below on the slot
   // stripes and each structure's own latch), exclusive for mutations.
   std::unique_ptr<sim::Database> db_ GUARDED_BY(db_latch_);

@@ -64,14 +64,14 @@ Result<SessionPool::RunResult> SessionPool::Run(const Options& options) {
       }
     }
 
-    RankedMutex pool_mutex(LatchRank::kSessionPool, "SessionPool");
+    util::RankedMutex pool_mutex(util::LatchRank::kSessionPool, "SessionPool");
     std::condition_variable_any turn_cv;
     std::size_t next_turn = 0;
     std::vector<std::size_t> cursor(options.sessions, 0);
     bool aborted = false;
 
     auto session_body = [&](std::size_t id) {
-      RankedUniqueLock lock(pool_mutex);
+      util::RankedUniqueLock lock(pool_mutex);
       for (;;) {
         turn_cv.wait(lock, [&] {
           return aborted || next_turn >= turn_order.size() ||

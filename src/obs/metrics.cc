@@ -4,7 +4,65 @@
 #include <iomanip>
 #include <limits>
 
+#include "util/latch.h"
+
 namespace procsim::obs {
+
+/// Canonical catalog of every metric name the tree registers.  The
+/// metrics-consistency pass of tools/procsim_lint treats this block as the
+/// declared namespace: a name referenced at an instrumentation site but
+/// missing here is reported as a typo; a name here that no instrumentation
+/// site references is reported as dead.  Keep the list sorted.
+// procsim-lint: metric-catalog-begin
+[[maybe_unused]] const char* const kMetricCatalog[] = {
+    "concurrent.engine.accesses",
+    "concurrent.engine.mutations",
+    "concurrent.latch.acquisitions",
+    "concurrent.latch.contended",
+    "concurrent.latch.rank_near_miss",
+    "ivm.delta.annihilations",
+    "ivm.delta.deletes",
+    "ivm.delta.inserts",
+    "proc.always_recompute.accesses",
+    "proc.always_recompute.recomputes",
+    "proc.cache_invalidate.accesses",
+    "proc.cache_invalidate.false_invalidations",
+    "proc.cache_invalidate.invalid_accesses",
+    "proc.cache_invalidate.invalidations",
+    "proc.cache_invalidate.recomputes",
+    "proc.cache_invalidate.true_invalidations",
+    "proc.ilock.broken_found",
+    "proc.ilock.locks_set",
+    "proc.invalidation_log.checkpoints",
+    "proc.invalidation_log.records",
+    "proc.invalidation_log.truncations",
+    "proc.update_cache_avm.accesses",
+    "proc.update_cache_avm.cache_refreshes",
+    "proc.update_cache_avm.delta_tuples_applied",
+    "proc.update_cache_rvm.accesses",
+    "rete.and.derived_tokens",
+    "rete.and.probes",
+    "rete.memory.inserts",
+    "rete.memory.removes",
+    "rete.memory.size_tuples",
+    "rete.network.tokens_submitted",
+    "rete.tconst.passed",
+    "rete.tconst.tokens",
+    "sim.access.cost_ms",
+    "sim.simulator.runs",
+    "sim.update.cost_ms",
+    "sim.workload.deletes",
+    "sim.workload.inserts",
+    "sim.workload.tuples_updated",
+    "sim.workload.update_transactions",
+    "storage.buffer_cache.evictions",
+    "storage.buffer_cache.hits",
+    "storage.buffer_cache.misses",
+    "storage.disk.pages_allocated",
+    "storage.disk.reads",
+    "storage.disk.writes",
+};
+// procsim-lint: metric-catalog-end
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
@@ -139,5 +197,31 @@ MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
+
+namespace {
+
+/// Binds the latch layer's counter cells to registered metrics.  The latch
+/// primitives live in util, below obs in the layer DAG, so they cannot
+/// register metrics themselves; this binder closes the loop at static init.
+/// It lives in this TU (not its own) so a static archive cannot dead-strip
+/// it: any binary that reads metrics references GlobalMetrics and therefore
+/// links metrics.o, which carries the binder along.
+struct LatchMetricBinder {
+  LatchMetricBinder() {
+    util::LatchMetricCells cells;
+    cells.acquisitions =
+        GlobalMetrics().RegisterCounter("concurrent.latch.acquisitions")
+            ->cell();
+    cells.contended =
+        GlobalMetrics().RegisterCounter("concurrent.latch.contended")->cell();
+    cells.rank_near_miss =
+        GlobalMetrics().RegisterCounter("concurrent.latch.rank_near_miss")
+            ->cell();
+    util::InstallLatchMetricCells(cells);
+  }
+};
+const LatchMetricBinder g_latch_metric_binder;
+
+}  // namespace
 
 }  // namespace procsim::obs

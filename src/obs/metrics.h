@@ -26,6 +26,10 @@ class Counter {
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
+  /// The raw cell, for layers below obs that count through an installed
+  /// pointer instead of registering (util::InstallLatchMetricCells).
+  std::atomic<uint64_t>* cell() { return &value_; }
+
  private:
   std::atomic<uint64_t> value_{0};
 };

@@ -67,6 +67,7 @@ class TraceRecorder {
   // Written under mutex_ by Enable(), read latch-free by NowMicros() while
   // enabled; spans racing an Enable() re-anchor are tolerated (timestamps
   // are diagnostic), so this stays deliberately unguarded.
+  // procsim-lint: allow(unguarded(origin_)) because racing reads only skew diagnostic timestamps; see the tolerance note above
   std::chrono::steady_clock::time_point origin_{};
   mutable util::Mutex mutex_;
   std::vector<Event> events_ GUARDED_BY(mutex_);

@@ -15,7 +15,7 @@ obs::Counter* const g_broken_found =
 
 }  // namespace
 
-using Guard = concurrent::RankedLockGuard;
+using Guard = util::RankedLockGuard;
 
 void ILockTable::AddIntervalLock(ProcId owner, const std::string& relation,
                                  std::size_t column, int64_t lo, int64_t hi) {

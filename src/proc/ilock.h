@@ -8,7 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "concurrent/latch.h"
+#include "util/latch.h"
 #include "proc/procedure.h"
 #include "relational/tuple.h"
 #include "util/thread_annotations.h"
@@ -76,7 +76,7 @@ class ILockTable {
   static constexpr std::size_t kShards = 8;
 
   struct Shard {
-    concurrent::RankedMutex latch{concurrent::LatchRank::kILock,
+    util::RankedMutex latch{util::LatchRank::kILock,
                                   "ILockTable::shard"};
     std::unordered_map<std::string, std::vector<Lock>> locks_by_relation
         GUARDED_BY(latch);

@@ -18,7 +18,7 @@ obs::Counter* const g_checkpoints =
 
 }  // namespace
 
-using Guard = concurrent::RankedLockGuard;
+using Guard = util::RankedLockGuard;
 
 InvalidationLog::InvalidationLog(std::size_t procedure_count)
     : valid_(procedure_count, true) {}

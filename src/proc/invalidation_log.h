@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "concurrent/latch.h"
+#include "util/latch.h"
 #include "proc/procedure.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -107,8 +107,8 @@ class InvalidationLog {
  private:
   Status Append(Record::Kind kind, ProcId id) REQUIRES(latch_);
 
-  mutable concurrent::RankedMutex latch_{
-      concurrent::LatchRank::kInvalidationLog, "InvalidationLog"};
+  mutable util::RankedMutex latch_{
+      util::LatchRank::kInvalidationLog, "InvalidationLog"};
   std::vector<bool> valid_ GUARDED_BY(latch_);
   std::vector<Record> records_ GUARDED_BY(latch_);
   uint64_t next_lsn_ GUARDED_BY(latch_) = 1;

@@ -239,7 +239,7 @@ Result<MemoryNode*> ReteNetwork::AddProcedure(const ProcedureQuery& query) {
   // Compilation mutates the node/dispatch structures, so it takes the same
   // latch Submit holds — a build racing a token would otherwise corrupt
   // the root index even though builds are normally pre-concurrency.
-  concurrent::RankedLockGuard latch_guard(submit_latch_);
+  util::RankedLockGuard latch_guard(submit_latch_);
   Result<rel::Relation*> base_rel = catalog_->GetRelation(query.base.relation);
   if (!base_rel.ok()) return base_rel.status();
   if (!base_rel.ValueOrDie()->btree_column().has_value()) {
@@ -311,7 +311,7 @@ Result<MemoryNode*> ReteNetwork::AddProcedureLeftDeep(
 }
 
 std::string ReteNetwork::ToDot() const {
-  concurrent::RankedLockGuard latch_guard(submit_latch_);
+  util::RankedLockGuard latch_guard(submit_latch_);
   std::ostringstream out;
   out << "digraph rete {\n  rankdir=TB;\n  node [fontsize=10];\n";
   out << "  root [shape=circle, label=\"root\"];\n";
@@ -358,7 +358,7 @@ std::string ReteNetwork::ToDot() const {
 }
 
 Status ReteNetwork::Submit(const std::string& relation, const Token& token) {
-  concurrent::RankedLockGuard guard(submit_latch_);
+  util::RankedLockGuard guard(submit_latch_);
   g_tokens_submitted->Add();
   auto it = root_index_.find(relation);
   if (it != root_index_.end()) {
@@ -404,7 +404,7 @@ std::string FirstDifference(const std::vector<std::string>& expected,
 }  // namespace
 
 Status ReteNetwork::ValidateState() const {
-  concurrent::RankedLockGuard latch_guard(submit_latch_);
+  util::RankedLockGuard latch_guard(submit_latch_);
   storage::MeteringGuard guard(catalog_->disk());
 
   // α-memories: each must equal a from-scratch recomputation of its

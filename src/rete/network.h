@@ -6,7 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "concurrent/latch.h"
+#include "util/latch.h"
 #include "relational/catalog.h"
 #include "relational/query.h"
 #include "rete/node.h"
@@ -171,12 +171,12 @@ class ReteNetwork {
     std::string label;  ///< "", "L" or "R" (and-node input side)
   };
 
-  mutable concurrent::RankedMutex submit_latch_{
-      concurrent::LatchRank::kRete, "ReteNetwork::submit"};
-  rel::Catalog* catalog_;
-  CostMeter* meter_;
-  std::size_t pad_to_bytes_;
-  JoinShape shape_;
+  mutable util::RankedMutex submit_latch_{
+      util::LatchRank::kRete, "ReteNetwork::submit"};
+  rel::Catalog* const catalog_;
+  CostMeter* const meter_;
+  const std::size_t pad_to_bytes_;
+  const JoinShape shape_;
   std::vector<Edge> edges_ GUARDED_BY(submit_latch_);
   std::vector<std::unique_ptr<ReteNode>> nodes_ GUARDED_BY(submit_latch_);
   std::vector<std::unique_ptr<SelectionEntry>> selections_

@@ -80,13 +80,13 @@ MemoryNode::MemoryNode(storage::SimulatedDisk* disk, std::size_t pad_to_bytes,
     : store_(disk, pad_to_bytes), is_beta_(is_beta) {}
 
 Result<std::vector<Tuple>> MemoryNode::ReadAll() const {
-  concurrent::RankedLockGuard guard(latch_);
+  util::RankedLockGuard guard(latch_);
   return store_.ReadAll();
 }
 
 Result<std::vector<Tuple>> MemoryNode::ProbeEqual(std::size_t column,
                                                   int64_t key) const {
-  concurrent::RankedLockGuard guard(latch_);
+  util::RankedLockGuard guard(latch_);
   return store_.ProbeEqual(column, key);
 }
 
@@ -94,7 +94,7 @@ Status MemoryNode::Activate(const Token& token) {
   {
     // Latch only the store mutation; drop before propagating so no two
     // memory latches are ever held together (see class comment).
-    concurrent::RankedLockGuard guard(latch_);
+    util::RankedLockGuard guard(latch_);
     if (token.is_insert()) {
       PROCSIM_RETURN_IF_ERROR(store_.Insert(token.tuple));
       g_memory_inserts->Add();

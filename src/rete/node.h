@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "concurrent/latch.h"
+#include "util/latch.h"
 #include "ivm/tuple_store.h"
 #include "relational/predicate.h"
 #include "rete/token.h"
@@ -114,10 +114,10 @@ class MemoryNode : public ReteNode {
                                              int64_t key) const;
 
  private:
-  mutable concurrent::RankedMutex latch_{
-      concurrent::LatchRank::kReteMemory, "MemoryNode"};
+  mutable util::RankedMutex latch_{
+      util::LatchRank::kReteMemory, "MemoryNode"};
   ivm::TupleStore store_ GUARDED_BY(latch_);
-  bool is_beta_;
+  const bool is_beta_;
 };
 
 /// \brief A two-input join node: `left.column op right.column`.

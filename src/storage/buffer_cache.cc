@@ -18,7 +18,7 @@ obs::Counter* const g_evictions =
 
 }  // namespace
 
-using Guard = concurrent::RankedLockGuard;
+using Guard = util::RankedLockGuard;
 
 BufferCache::BufferCache(std::size_t capacity_pages)
     : capacity_(capacity_pages) {

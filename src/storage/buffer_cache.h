@@ -8,7 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "concurrent/latch.h"
+#include "util/latch.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -103,9 +103,9 @@ class BufferCache {
 
   Status CheckConsistencyLocked() const REQUIRES(latch_);
 
-  std::size_t capacity_;
-  mutable concurrent::RankedMutex latch_{
-      concurrent::LatchRank::kBufferCache, "BufferCache"};
+  const std::size_t capacity_;
+  mutable util::RankedMutex latch_{
+      util::LatchRank::kBufferCache, "BufferCache"};
   // Most recently used at the front.
   std::list<uint32_t> lru_ GUARDED_BY(latch_);
   std::unordered_map<uint32_t, std::unique_ptr<Frame>> frames_

@@ -62,7 +62,7 @@ SimulatedDisk::~SimulatedDisk() {
 }
 
 std::size_t SimulatedDisk::page_count() const {
-  concurrent::RankedLockGuard guard(page_table_latch_);
+  util::RankedLockGuard guard(page_table_latch_);
   return pages_.size();
 }
 
@@ -75,7 +75,7 @@ bool SimulatedDisk::metering_enabled() const {
 PageId SimulatedDisk::AllocatePage() {
   PageId page_id;
   {
-    concurrent::RankedLockGuard guard(page_table_latch_);
+    util::RankedLockGuard guard(page_table_latch_);
     pages_.push_back(std::make_unique<Page>(page_size_));
     page_id = static_cast<PageId>(pages_.size() - 1);
   }
@@ -87,7 +87,7 @@ PageId SimulatedDisk::AllocatePage() {
 Result<Page*> SimulatedDisk::ReadPage(PageId page_id) {
   Page* page = nullptr;
   {
-    concurrent::RankedLockGuard guard(page_table_latch_);
+    util::RankedLockGuard guard(page_table_latch_);
     if (page_id < pages_.size()) page = pages_[page_id].get();
   }
   if (page == nullptr) {
@@ -100,7 +100,7 @@ Result<Page*> SimulatedDisk::ReadPage(PageId page_id) {
 
 Status SimulatedDisk::MarkDirty(PageId page_id) {
   {
-    concurrent::RankedLockGuard guard(page_table_latch_);
+    util::RankedLockGuard guard(page_table_latch_);
     if (page_id >= pages_.size()) {
       return Status::NotFound("page " + std::to_string(page_id) +
                               " does not exist");

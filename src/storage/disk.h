@@ -6,7 +6,7 @@
 #include <set>
 #include <vector>
 
-#include "concurrent/latch.h"
+#include "util/latch.h"
 #include "storage/buffer_cache.h"
 #include "storage/page.h"
 #include "util/cost_meter.h"
@@ -93,16 +93,18 @@ class SimulatedDisk {
   void ChargeRead(PageId page_id);
   void ChargeWrite(PageId page_id);
 
-  uint32_t page_size_;
-  CostMeter* meter_;
+  const uint32_t page_size_;
+  CostMeter* const meter_;
   // Written only while quiescent; concurrent sessions read it under the
   // engine's database latch, which provides the ordering.
+  // procsim-lint: allow(unguarded(metering_enabled_)) because writes are quiescent-only; reads are ordered by the engine database latch
   bool metering_enabled_ = true;
-  mutable concurrent::RankedMutex page_table_latch_{
-      concurrent::LatchRank::kPageTable, "SimulatedDisk::page_table"};
+  mutable util::RankedMutex page_table_latch_{
+      util::LatchRank::kPageTable, "SimulatedDisk::page_table"};
   // The directory (which pages exist) is latched; page *contents* are
   // ordered by the engine's database latch (see class comment).
   std::vector<std::unique_ptr<Page>> pages_ GUARDED_BY(page_table_latch_);
+  // procsim-lint: allow(unguarded(cache_)) because the optional is engaged/reset only while quiescent; the BufferCache inside has its own latch
   std::optional<BufferCache> cache_;
 };
 

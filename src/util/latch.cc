@@ -1,11 +1,10 @@
-#include "concurrent/latch.h"
+#include "util/latch.h"
 
 #include <atomic>
 
-#include "obs/metrics.h"
 #include "util/logging.h"
 
-namespace procsim::concurrent {
+namespace procsim::util {
 namespace {
 
 std::atomic<LatchViolationHandler> g_violation_handler{nullptr};
@@ -20,12 +19,14 @@ struct HeldLatch {
 /// every build type.
 thread_local std::vector<HeldLatch> t_held;
 
-obs::Counter* const g_acquisitions =
-    obs::GlobalMetrics().RegisterCounter("concurrent.latch.acquisitions");
-obs::Counter* const g_contended =
-    obs::GlobalMetrics().RegisterCounter("concurrent.latch.contended");
-obs::Counter* const g_rank_near_miss =
-    obs::GlobalMetrics().RegisterCounter("concurrent.latch.rank_near_miss");
+/// Counter cells installed by the obs layer (see LatchMetricCells in the
+/// header).  Null until InstallLatchMetricCells runs; bumps before that —
+/// or in binaries that never link obs — are dropped.
+LatchMetricCells g_cells;
+
+void Bump(std::atomic<std::uint64_t>* cell) {
+  if (cell != nullptr) cell->fetch_add(1, std::memory_order_relaxed);
+}
 
 /// Formats one out-of-order acquisition.  Same-rank re-entry gets its own
 /// wording: it is almost always a double-stripe hold on a LatchStripes set
@@ -56,6 +57,10 @@ const HeldLatch* FindBlocking(LatchRank rank) {
 
 }  // namespace
 
+void InstallLatchMetricCells(const LatchMetricCells& cells) {
+  g_cells = cells;
+}
+
 LatchViolationHandler SetLatchViolationHandlerForTesting(
     LatchViolationHandler handler) {
   return g_violation_handler.exchange(handler);
@@ -74,13 +79,13 @@ void NoteAcquire(LatchRank rank, const char* name) {
     }
   }
   t_held.push_back(HeldLatch{rank, name});
-  g_acquisitions->Add();
+  Bump(g_cells.acquisitions);
 }
 
 bool CheckWouldAcquire(LatchRank rank, const char* name) {
   const HeldLatch* blocking = FindBlocking(rank);
   if (blocking == nullptr) return true;
-  g_rank_near_miss->Add();
+  Bump(g_cells.rank_near_miss);
   LatchViolationHandler handler = g_violation_handler.load();
   if (handler != nullptr) {
     handler("near miss (try_lock preflight): " +
@@ -89,7 +94,7 @@ bool CheckWouldAcquire(LatchRank rank, const char* name) {
   return false;
 }
 
-void NoteContended() { g_contended->Add(); }
+void NoteContended() { Bump(g_cells.contended); }
 
 void NoteRelease(LatchRank rank) {
   for (std::size_t i = t_held.size(); i > 0; --i) {
@@ -105,4 +110,4 @@ void NoteRelease(LatchRank rank) {
 std::size_t HeldCount() { return t_held.size(); }
 
 }  // namespace internal
-}  // namespace procsim::concurrent
+}  // namespace procsim::util

@@ -1,7 +1,9 @@
-#ifndef PROCSIM_CONCURRENT_LATCH_H_
-#define PROCSIM_CONCURRENT_LATCH_H_
+#ifndef PROCSIM_UTIL_LATCH_H_
+#define PROCSIM_UTIL_LATCH_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -11,7 +13,7 @@
 #include "util/logging.h"
 #include "util/thread_annotations.h"
 
-namespace procsim::concurrent {
+namespace procsim::util {
 
 /// \brief Global latch acquisition order for the multi-session engine.
 ///
@@ -44,9 +46,10 @@ namespace procsim::concurrent {
 ///  - at compile time under Clang, the CAPABILITY/GUARDED_BY annotations
 ///    below prove "which latch guards this field" per translation unit
 ///    (-Wthread-safety, `thread-safety` CMake preset);
-///  - statically over the whole tree, tools/latch_lint extracts every
-///    guard-construction site into a latch-acquisition graph and checks
-///    each edge against this enum — including paths no test executes.
+///  - statically over the whole tree, the latch-rank pass of
+///    tools/procsim_lint extracts every guard-construction site into a
+///    latch-acquisition graph and checks each edge against this enum —
+///    including paths no test executes.
 enum class LatchRank : int {
   kSessionPool = 0,
   kDatabase = 10,
@@ -58,6 +61,25 @@ enum class LatchRank : int {
   kPageTable = 55,
   kBufferCache = 60,
 };
+
+/// \brief Instrumentation cells for the latch layer.
+///
+/// The latch primitives live in `util`, the bottom layer of the module DAG
+/// (tools/procsim_lint/layers.txt), so they cannot reach up into `obs` to
+/// register metrics.  Instead the obs layer installs raw counter cells at
+/// static-init time (see the binder in obs/metrics.cc), and the latch code
+/// bumps them through this indirection.  Until the cells are installed —
+/// or in a binary that never links obs — acquisitions simply go uncounted.
+struct LatchMetricCells {
+  std::atomic<std::uint64_t>* acquisitions = nullptr;
+  std::atomic<std::uint64_t>* contended = nullptr;
+  std::atomic<std::uint64_t>* rank_near_miss = nullptr;
+};
+
+/// Installs the cells (copied; pointed-to atomics must outlive all latch
+/// use).  Call once at static-init; not thread-safe against concurrent
+/// latch traffic.
+void InstallLatchMetricCells(const LatchMetricCells& cells);
 
 /// Called when a thread attempts an out-of-order acquisition.  The default
 /// handler aborts (a rank inversion is a structural deadlock hazard, not a
@@ -286,6 +308,6 @@ class LatchStripes {
   std::vector<std::unique_ptr<RankedMutex>> stripes_;
 };
 
-}  // namespace procsim::concurrent
+}  // namespace procsim::util
 
-#endif  // PROCSIM_CONCURRENT_LATCH_H_
+#endif  // PROCSIM_UTIL_LATCH_H_

@@ -17,7 +17,7 @@
 ///
 /// The complementary *ordering* invariant — in what order latches may
 /// nest — is outside Clang's model; tools/latch_lint checks it statically
-/// against the LatchRank partial order (see concurrent/latch.h).
+/// against the LatchRank partial order (see util/latch.h).
 
 #if defined(__clang__) && (!defined(SWIG))
 #define PROCSIM_THREAD_ANNOTATION__(x) __attribute__((x))
@@ -98,7 +98,7 @@ namespace procsim::util {
 /// For locks *outside* the ranked-latch hierarchy (obs registry/trace
 /// buffers: leaves acquired only at registration/snapshot time, never
 /// while holding engine latches — see obs/metrics.h).  Ranked latches
-/// must use concurrent::RankedMutex instead so both the runtime checker
+/// must use util::RankedMutex instead so both the runtime checker
 /// and tools/latch_lint see them.
 class CAPABILITY("mutex") Mutex {
  public:

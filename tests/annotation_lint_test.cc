@@ -1,0 +1,150 @@
+// Library-level tests for the procsim_lint annotation-coverage pass: a
+// class holding a latch must GUARDED_BY-annotate every mutable data member;
+// const members, references, atomics, the latch itself, and lock-free
+// classes are exempt, and the justified-suppression contract must hold.
+#include "procsim_lint/annotations.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace procsim::lint {
+namespace {
+
+TEST(AnnotationLintTest, FullyAnnotatedClassIsClean) {
+  const SourceFile file{"src/fake/clean.h", R"cc(
+class Clean {
+ public:
+  void Op();
+ private:
+  mutable util::RankedMutex latch_{util::LatchRank::kDatabase, "db"};
+  std::vector<int> rows_ GUARDED_BY(latch_);
+  std::unique_ptr<int> spare_ PT_GUARDED_BY(latch_);
+  std::atomic<uint64_t> hits_{0};
+  const std::size_t capacity_ = 8;
+  CostMeter* const meter_;
+  Logger& log_;
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.classes_with_locks, 1u);
+  EXPECT_GE(result.members_checked, 6u);
+}
+
+TEST(AnnotationLintTest, ClassWithoutALockIsIgnored) {
+  const SourceFile file{"src/fake/lockfree.h", R"cc(
+struct LockFree {
+  std::vector<int> rows_;
+  int count_ = 0;
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.classes_with_locks, 0u);
+}
+
+TEST(AnnotationLintTest, UnguardedMutableMemberIsFlagged) {
+  const SourceFile file{"src/fake/leaky.h", R"cc(
+class Leaky {
+ public:
+  void Op();
+ private:
+  mutable util::RankedMutex latch_{util::LatchRank::kDatabase, "db"};
+  std::vector<int> rows_ GUARDED_BY(latch_);
+  std::size_t cursor_ = 0;
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& finding = result.findings[0];
+  EXPECT_EQ(finding.pass, "annotations");
+  EXPECT_EQ(finding.key, "unguarded(cursor_)");
+  EXPECT_NE(finding.message.find("Leaky::cursor_"), std::string::npos);
+  EXPECT_EQ(finding.line, 8);
+}
+
+TEST(AnnotationLintTest, PlainMutexCountsAsALock) {
+  const SourceFile file{"src/fake/plain.h", R"cc(
+class Plain {
+ private:
+  mutable util::Mutex mutex_;
+  std::vector<int> events_;
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].key, "unguarded(events_)");
+}
+
+TEST(AnnotationLintTest, MemberFunctionsAreNotMembers) {
+  // A signature with REQUIRES() and a defaulted-argument method must not be
+  // mistaken for data members.
+  const SourceFile file{"src/fake/funcs.h", R"cc(
+class Funcs {
+ public:
+  bool TouchLocked(uint32_t page_id) REQUIRES(latch_);
+  void Record(std::string name = "x");
+ private:
+  mutable util::RankedMutex latch_{util::LatchRank::kDatabase, "db"};
+  int state_ GUARDED_BY(latch_);
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.members_checked, 2u);  // the latch and state_
+}
+
+TEST(AnnotationLintTest, JustifiedSuppressionSilencesTheMember) {
+  const SourceFile file{"src/fake/tolerated.h", R"cc(
+class Tolerated {
+ private:
+  mutable util::Mutex mutex_;
+  // procsim-lint: allow(unguarded(epoch_)) because fixture
+  long epoch_ = 0;
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  EXPECT_TRUE(result.ok()) << result.findings.size();
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(AnnotationLintTest, UnmatchedSuppressionIsReportedAsUnused) {
+  const SourceFile file{"src/fake/stale.h", R"cc(
+class Stale {
+ private:
+  mutable util::Mutex mutex_;
+  // procsim-lint: allow(unguarded(epoch_)) because stale
+  const long epoch_ = 0;
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("unused suppression"),
+            std::string::npos);
+}
+
+TEST(AnnotationLintTest, BareSuppressionIsAFinding) {
+  const SourceFile file{"src/fake/bare.h", R"cc(
+class Bare {
+ private:
+  mutable util::Mutex mutex_;
+  // procsim-lint: allow()
+  long epoch_ = 0;
+};
+)cc"};
+  const AnnotationResult result = AnalyzeAnnotations({file});
+  ASSERT_EQ(result.findings.size(), 2u);
+  bool saw_bare = false;
+  for (const Finding& finding : result.findings) {
+    if (finding.pass == "suppression") {
+      saw_bare = true;
+      EXPECT_NE(finding.message.find("bare allow()"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_bare);
+}
+
+}  // namespace
+}  // namespace procsim::lint

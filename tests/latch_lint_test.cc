@@ -278,6 +278,79 @@ void Mismatched::Op() {
   EXPECT_EQ(result.suppressed_edges, 0u);
 }
 
+TEST(LatchLintTest, SuppressionKeyToleratesInteriorWhitespace) {
+  // `allow( kBufferCache -> kInvalidationLog )` must match the same edge as
+  // the canonical spelling: keys are compared whitespace-normalized.
+  const SourceFile file{"src/fake/spacing.cc", R"cc(
+namespace procsim::fake {
+class Spacing {
+ public:
+  void Op();
+ private:
+  concurrent::RankedMutex log_{concurrent::LatchRank::kInvalidationLog, "l"};
+  concurrent::RankedMutex cache_{concurrent::LatchRank::kBufferCache, "c"};
+};
+void Spacing::Op() {
+  concurrent::RankedLockGuard cache_guard(cache_);
+  // latch-lint: allow( kBufferCache -> kInvalidationLog ) because fixture
+  concurrent::RankedLockGuard log_guard(log_);
+}
+}  // namespace procsim::fake
+)cc"};
+  const LintResult result = Analyze({file});
+  EXPECT_TRUE(result.ok()) << RenderReport(result);
+  EXPECT_EQ(result.suppressed_edges, 1u);
+}
+
+TEST(LatchLintTest, SuppressionTagMatchesCaseInsensitively) {
+  const SourceFile file{"src/fake/casing.cc", R"cc(
+namespace procsim::fake {
+class Casing {
+ public:
+  void Op();
+ private:
+  concurrent::RankedMutex log_{concurrent::LatchRank::kInvalidationLog, "l"};
+  concurrent::RankedMutex cache_{concurrent::LatchRank::kBufferCache, "c"};
+};
+void Casing::Op() {
+  concurrent::RankedLockGuard cache_guard(cache_);
+  // Latch-Lint: Allow(kBufferCache->kInvalidationLog) Because fixture
+  concurrent::RankedLockGuard log_guard(log_);
+}
+}  // namespace procsim::fake
+)cc"};
+  const LintResult result = Analyze({file});
+  EXPECT_TRUE(result.ok()) << RenderReport(result);
+  EXPECT_EQ(result.suppressed_edges, 1u);
+}
+
+TEST(LatchLintTest, UnmatchedSuppressionIsReportedAsUnused) {
+  // A well-formed suppression naming an edge the code never takes is stale
+  // noise: it must surface as an unused-suppression finding.
+  const SourceFile file{"src/fake/stale.cc", R"cc(
+namespace procsim::fake {
+class Stale {
+ public:
+  void Op();
+ private:
+  concurrent::RankedMutex db_{concurrent::LatchRank::kDatabase, "db"};
+  concurrent::RankedMutex cache_{concurrent::LatchRank::kBufferCache, "c"};
+};
+void Stale::Op() {
+  concurrent::RankedLockGuard db_guard(db_);
+  // latch-lint: allow(kBufferCache->kDatabase) because this edge is legal
+  concurrent::RankedLockGuard cache_guard(cache_);
+}
+}  // namespace procsim::fake
+)cc"};
+  const LintResult result = Analyze({file});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.violations.empty()) << RenderReport(result);
+  ASSERT_EQ(result.unused_suppressions.size(), 1u);
+  EXPECT_NE(result.unused_suppressions[0].message.find("unused suppression"),
+            std::string::npos);
+}
+
 TEST(LatchLintTest, ScopedGuardReleaseEndsTheEdge) {
   // The Rete memory pattern: the first guard's scope closes before the
   // second same-rank guard is taken, so there is no held edge.

@@ -1,7 +1,7 @@
 // The LatchRank checker must admit every legal acquisition pattern the
 // engine uses and catch planted inversions — the structural property that
 // makes the latch hierarchy deadlock-free.
-#include "concurrent/latch.h"
+#include "util/latch.h"
 
 #include <condition_variable>
 #include <mutex>
@@ -14,7 +14,7 @@
 
 #include "obs/metrics.h"
 
-namespace procsim::concurrent {
+namespace procsim::util {
 namespace {
 
 std::vector<std::string>& Violations() {
@@ -228,4 +228,4 @@ TEST_F(LatchRankTest, HeldStackIsPerThread) {
 }
 
 }  // namespace
-}  // namespace procsim::concurrent
+}  // namespace procsim::util

@@ -1,0 +1,142 @@
+// Library-level tests for the procsim_lint layering pass: the declared DAG
+// in layers.txt must parse (and be rejected when it is not a DAG), legal
+// include edges must stay silent, planted downward includes and dependency
+// cycles must be flagged with the include chain, and the justified-
+// suppression contract must hold.
+#include "procsim_lint/layering.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace procsim::lint {
+namespace {
+
+/// A three-layer stand-in for layers.txt: util < obs < storage.
+constexpr char kLayers[] = R"(
+# fixture DAG, bottom first
+util:
+obs: util
+storage: util obs
+)";
+
+LayerGraph Graph() {
+  std::vector<Finding> findings;
+  LayerGraph graph = ParseLayerGraph(kLayers, "layers.txt", &findings);
+  EXPECT_TRUE(findings.empty());
+  return graph;
+}
+
+TEST(LayeringLintTest, ParsesTheDeclaredDag) {
+  const LayerGraph graph = Graph();
+  ASSERT_EQ(graph.order.size(), 3u);
+  EXPECT_EQ(graph.order[0], "util");
+  EXPECT_TRUE(graph.declared("storage"));
+  EXPECT_FALSE(graph.declared("rete"));
+  EXPECT_EQ(graph.allowed.at("storage").count("obs"), 1u);
+  EXPECT_TRUE(graph.allowed.at("util").empty());
+}
+
+TEST(LayeringLintTest, MalformedLineIsAFinding) {
+  std::vector<Finding> findings;
+  ParseLayerGraph("util\nobs: util\n", "layers.txt", &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("malformed"), std::string::npos);
+}
+
+TEST(LayeringLintTest, DeclaredCycleIsAFinding) {
+  std::vector<Finding> findings;
+  ParseLayerGraph("a: b\nb: c\nc: a\n", "layers.txt", &findings);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("DAG"), std::string::npos);
+}
+
+TEST(LayeringLintTest, UpwardIncludesAreClean) {
+  const std::vector<SourceFile> files{
+      {"src/storage/disk.cc", R"cc(
+#include "storage/disk.h"
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+)cc"},
+      {"src/obs/metrics.cc", "#include \"util/logging.h\"\n"},
+  };
+  const LayeringResult result = AnalyzeLayering(files, Graph());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.files_scanned, 2u);
+  EXPECT_EQ(result.edges_checked, 3u);
+}
+
+TEST(LayeringLintTest, DownwardIncludeIsFlagged) {
+  const std::vector<SourceFile> files{
+      {"src/util/logging.cc", "#include \"obs/metrics.h\"\n"},
+  };
+  const LayeringResult result = AnalyzeLayering(files, Graph());
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& finding = result.findings[0];
+  EXPECT_EQ(finding.pass, "layering");
+  EXPECT_EQ(finding.key, "layering(util->obs)");
+  EXPECT_NE(finding.message.find("may not include"), std::string::npos);
+  EXPECT_NE(finding.message.find("obs/metrics.h"), std::string::npos);
+}
+
+TEST(LayeringLintTest, CycleIsReportedWithTheIncludeChain) {
+  // obs -> util is allowed, but a planted util -> obs include closes a
+  // cycle; the report must carry both edges' sites.
+  const std::vector<SourceFile> files{
+      {"src/obs/metrics.cc", "#include \"util/logging.h\"\n"},
+      {"src/util/logging.cc", "#include \"obs/metrics.h\"\n"},
+  };
+  const LayeringResult result = AnalyzeLayering(files, Graph());
+  ASSERT_FALSE(result.findings.empty());
+  bool saw_cycle = false;
+  for (const Finding& finding : result.findings) {
+    if (finding.message.find("dependency cycle") == std::string::npos) {
+      continue;
+    }
+    saw_cycle = true;
+    EXPECT_NE(finding.message.find("obs -> util -> obs"), std::string::npos)
+        << finding.message;
+    EXPECT_NE(finding.message.find("src/util/logging.cc"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(saw_cycle);
+}
+
+TEST(LayeringLintTest, CommentedOutIncludeDoesNotCount) {
+  const std::vector<SourceFile> files{
+      {"src/util/logging.cc", "// #include \"obs/metrics.h\"\n"},
+  };
+  const LayeringResult result = AnalyzeLayering(files, Graph());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.edges_checked, 0u);
+}
+
+TEST(LayeringLintTest, JustifiedSuppressionSilencesTheEdge) {
+  const std::vector<SourceFile> files{
+      {"src/util/logging.cc",
+       "// procsim-lint: allow(layering(util->obs)) because fixture\n"
+       "#include \"obs/metrics.h\"\n"},
+  };
+  const LayeringResult result = AnalyzeLayering(files, Graph());
+  EXPECT_TRUE(result.ok()) << result.findings.size();
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(LayeringLintTest, UnmatchedSuppressionIsReportedAsUnused) {
+  const std::vector<SourceFile> files{
+      {"src/obs/metrics.cc",
+       "// procsim-lint: allow(layering(obs->util)) because stale\n"
+       "#include \"util/logging.h\"\n"},
+  };
+  const LayeringResult result = AnalyzeLayering(files, Graph());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("unused suppression"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace procsim::lint

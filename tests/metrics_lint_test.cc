@@ -1,0 +1,129 @@
+// Library-level tests for the procsim_lint metrics-consistency pass: the
+// catalog in obs/metrics.cc is the source of truth — referenced-but-
+// uncataloged names (typos), cataloged-but-unreferenced names (dead
+// metrics), and convention violations must all be flagged, and the
+// justified-suppression contract must hold.
+#include "procsim_lint/metrics_pass.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace procsim::lint {
+namespace {
+
+/// A stand-in for src/obs/metrics.cc with a two-name catalog.
+SourceFile CatalogFile(const std::string& names) {
+  return {"src/obs/metrics.cc",
+          "// procsim-lint: metric-catalog-begin\n" + names +
+              "// procsim-lint: metric-catalog-end\n"};
+}
+
+TEST(MetricsLintTest, ConsistentNamesAreClean) {
+  const std::vector<SourceFile> files{
+      CatalogFile("\"storage.disk.reads\",\n\"storage.disk.writes\",\n"),
+      {"src/storage/disk.cc", R"cc(
+void F() {
+  GlobalMetrics().RegisterCounter("storage.disk.reads");
+  GlobalMetrics().RegisterCounter(
+      "storage.disk.writes");
+}
+)cc"},
+  };
+  const MetricsResult result = AnalyzeMetrics(files);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.catalog_names, 2u);
+  EXPECT_EQ(result.referenced_names, 2u);
+}
+
+TEST(MetricsLintTest, MissingCatalogIsAFinding) {
+  const std::vector<SourceFile> files{
+      {"src/storage/disk.cc",
+       "void F() { RegisterCounter(\"storage.disk.reads\"); }\n"},
+  };
+  const MetricsResult result = AnalyzeMetrics(files);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("no metric catalog"),
+            std::string::npos);
+}
+
+TEST(MetricsLintTest, TypoedReferenceIsFlagged) {
+  const std::vector<SourceFile> files{
+      CatalogFile("\"storage.disk.reads\",\n"),
+      {"src/storage/disk.cc", R"cc(
+void F() {
+  GlobalMetrics().RegisterCounter("storage.disk.reads");
+  GlobalMetrics().FindCounter("storage.disk.raeds");
+}
+)cc"},
+  };
+  const MetricsResult result = AnalyzeMetrics(files);
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& finding = result.findings[0];
+  EXPECT_EQ(finding.key, "metric(storage.disk.raeds)");
+  EXPECT_NE(finding.message.find("not in the catalog"), std::string::npos);
+  EXPECT_EQ(finding.file, "src/storage/disk.cc");
+  EXPECT_EQ(finding.line, 4);
+}
+
+TEST(MetricsLintTest, DeadCatalogEntryIsFlagged) {
+  const std::vector<SourceFile> files{
+      CatalogFile("\"storage.disk.reads\",\n\"storage.disk.writes\",\n"),
+      {"src/storage/disk.cc",
+       "void F() { RegisterCounter(\"storage.disk.reads\"); }\n"},
+  };
+  const MetricsResult result = AnalyzeMetrics(files);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].key, "metric(storage.disk.writes)");
+  EXPECT_NE(result.findings[0].message.find("dead metric"),
+            std::string::npos);
+}
+
+TEST(MetricsLintTest, ConventionViolationIsFlagged) {
+  // Two segments instead of three, and an uppercase segment.
+  const std::vector<SourceFile> files{
+      CatalogFile("\"storage.reads\",\n"),
+      {"src/storage/disk.cc",
+       "void F() { RegisterCounter(\"storage.reads\"); }\n"},
+  };
+  const MetricsResult result = AnalyzeMetrics(files);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("<area>.<noun>.<verb>"),
+            std::string::npos);
+}
+
+TEST(MetricsLintTest, JustifiedSuppressionSilencesTheFinding) {
+  const std::vector<SourceFile> files{
+      CatalogFile("\"storage.disk.reads\",\n"),
+      {"src/storage/disk.cc", R"cc(
+void F() {
+  RegisterCounter("storage.disk.reads");
+  // procsim-lint: allow(metric(bench.scratch.count)) because fixture
+  RegisterCounter("bench.scratch.count");
+}
+)cc"},
+  };
+  const MetricsResult result = AnalyzeMetrics(files);
+  EXPECT_TRUE(result.ok()) << result.findings.size();
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(MetricsLintTest, UnmatchedSuppressionIsReportedAsUnused) {
+  const std::vector<SourceFile> files{
+      CatalogFile("\"storage.disk.reads\",\n"),
+      {"src/storage/disk.cc", R"cc(
+void F() {
+  // procsim-lint: allow(metric(storage.disk.reads)) because stale
+  RegisterCounter("storage.disk.reads");
+}
+)cc"},
+  };
+  const MetricsResult result = AnalyzeMetrics(files);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("unused suppression"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace procsim::lint

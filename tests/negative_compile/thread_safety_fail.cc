@@ -7,7 +7,7 @@
 //
 // It is never added to any build target; only the expected-to-fail
 // try_compile sees it.
-#include "concurrent/latch.h"
+#include "util/latch.h"
 #include "util/thread_annotations.h"
 
 namespace procsim {
@@ -20,8 +20,8 @@ class Unguarded {
   void Increment() { ++value_; }
 
  private:
-  mutable concurrent::RankedMutex latch_{
-      concurrent::LatchRank::kBufferCache, "Unguarded"};
+  mutable util::RankedMutex latch_{
+      util::LatchRank::kBufferCache, "Unguarded"};
   int value_ GUARDED_BY(latch_) = 0;
 };
 

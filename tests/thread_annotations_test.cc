@@ -13,17 +13,17 @@
 
 #include <gtest/gtest.h>
 
-#include "concurrent/latch.h"
+#include "util/latch.h"
 
 namespace procsim {
 namespace {
 
-using concurrent::LatchRank;
-using concurrent::RankedLockGuard;
-using concurrent::RankedMutex;
-using concurrent::RankedSharedLockGuard;
-using concurrent::RankedSharedMutex;
-using concurrent::RankedUniqueLock;
+using util::LatchRank;
+using util::RankedLockGuard;
+using util::RankedMutex;
+using util::RankedSharedLockGuard;
+using util::RankedSharedMutex;
+using util::RankedUniqueLock;
 
 /// A miniature latched structure in the style of the engine's subsystems:
 /// one capability, fields guarded by it, a REQUIRES helper, and an

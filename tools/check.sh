@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Static-analysis gate.
 #
-# Preferred path: clang-tidy over every translation unit in src/, driven by
-# the compile-commands database of an existing build tree.  Fallback path
-# (for containers without LLVM tooling): g++ -fsyntax-only with the project's
-# strict warning set, which still catches header breakage and most of what
-# the -Werror build would reject.
+# Preferred path: clang-tidy over the translation units changed vs
+# origin/main (the merge target; a full sweep is pointless on every commit),
+# driven by the compile-commands database of an existing build tree.
+# Fallback path (for containers without LLVM tooling): g++ -fsyntax-only
+# with the project's strict warning set, which still catches header breakage
+# and most of what the -Werror build would reject.
 #
 # Usage: tools/check.sh [build-dir]   (default: build)
 set -u -o pipefail
@@ -26,32 +27,67 @@ fi
 
 FAILED=0
 
-# Latch-rank lint: the static acquisition-graph analyzer must pass before
-# anything else — a rank inversion is a deadlock waiting for a schedule.
-LINT_BIN="${BUILD_DIR}/tools/latch_lint"
+# procsim_lint: all four passes (latch-rank, layering, metrics consistency,
+# annotation coverage) must pass before anything else — a rank inversion is
+# a deadlock waiting for a schedule, and the other passes guard invariants
+# the compiler cannot see.
+LINT_BIN="${BUILD_DIR}/tools/procsim_lint"
 if [ ! -x "${LINT_BIN}" ]; then
-  echo "check.sh: building latch_lint..." >&2
-  cmake --build "${BUILD_DIR}" --target latch_lint -j "$(nproc 2>/dev/null || echo 2)" >/dev/null || true
+  echo "check.sh: building procsim_lint..." >&2
+  cmake --build "${BUILD_DIR}" --target procsim_lint -j "$(nproc 2>/dev/null || echo 2)" >/dev/null || true
 fi
 if [ ! -x "${LINT_BIN}" ]; then
   # No usable build tree (e.g. fresh container): the linter is deliberately
   # dependency-free, so compile it directly.
-  LINT_BIN=$(mktemp -t latch_lint.XXXXXX)
-  if ! g++ -std=c++20 -O1 -Itools tools/latch_lint/lint.cc \
-       tools/latch_lint/main.cc -o "${LINT_BIN}"; then
-    echo "check.sh: could not build latch_lint" >&2
+  LINT_BIN=$(mktemp -t procsim_lint.XXXXXX)
+  if ! g++ -std=c++20 -O1 -Itools \
+       tools/lint_core/core.cc \
+       tools/latch_lint/lint.cc \
+       tools/procsim_lint/annotations.cc \
+       tools/procsim_lint/layering.cc \
+       tools/procsim_lint/metrics_pass.cc \
+       tools/procsim_lint/main.cc -o "${LINT_BIN}"; then
+    echo "check.sh: could not build procsim_lint" >&2
     exit 1
   fi
 fi
-echo "check.sh: running latch-rank lint over src/..."
+echo "check.sh: running procsim_lint (all passes) over src/..."
 if ! "${LINT_BIN}" --root . --quiet; then
-  echo "check.sh: latch-rank lint FAILED (run ${LINT_BIN} --root . for the report)" >&2
+  echo "check.sh: procsim_lint FAILED (run ${LINT_BIN} --root . for the report)" >&2
   FAILED=1
 fi
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  echo "check.sh: running clang-tidy (config: .clang-tidy) over src/..."
-  for src in ${SOURCES}; do
+# clang-tidy is slow enough that the gate only looks at files changed vs the
+# merge target; pass CHECK_ALL=1 (or lose the origin/main ref) for the full
+# sweep.
+TIDY_SOURCES="${SOURCES}"
+if [ "${CHECK_ALL:-0}" != "1" ] && git rev-parse --verify -q origin/main >/dev/null 2>&1; then
+  CHANGED=$(git diff --name-only origin/main -- 'src/*.cc' 'src/*.h' | sort -u)
+  if [ -z "${CHANGED}" ]; then
+    echo "check.sh: no src/ changes vs origin/main; skipping clang-tidy"
+    TIDY_SOURCES=""
+  else
+    # Headers do not appear in the compile DB: widen to every TU that
+    # changed, plus every TU sharing a basename with a changed header.
+    TIDY_SOURCES=""
+    for f in ${CHANGED}; do
+      case "${f}" in
+        *.cc) [ -f "${f}" ] && TIDY_SOURCES="${TIDY_SOURCES} ${f}" ;;
+        *.h)  tu="${f%.h}.cc"; [ -f "${tu}" ] && TIDY_SOURCES="${TIDY_SOURCES} ${tu}" ;;
+      esac
+    done
+    TIDY_SOURCES=$(echo "${TIDY_SOURCES}" | tr ' ' '\n' | sort -u)
+  fi
+else
+  echo "check.sh: no origin/main ref (or CHECK_ALL=1); checking all of src/" >&2
+fi
+
+if [ -z "${TIDY_SOURCES}" ]; then
+  :
+elif command -v clang-tidy >/dev/null 2>&1; then
+  echo "check.sh: running clang-tidy (config: .clang-tidy) over:"
+  echo "${TIDY_SOURCES}" | sed 's/^/check.sh:   /'
+  for src in ${TIDY_SOURCES}; do
     if ! clang-tidy --quiet -p "${BUILD_DIR}" "${src}"; then
       FAILED=1
     fi
@@ -61,7 +97,7 @@ else
   # Mirror the include setup recorded in the compile-commands DB.
   GTEST_INC=""
   if [ -d /usr/include/gtest ]; then GTEST_INC="-I/usr/include"; fi
-  for src in ${SOURCES}; do
+  for src in ${TIDY_SOURCES}; do
     if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
          -Isrc ${GTEST_INC} "${src}"; then
       echo "check.sh: FAILED ${src}" >&2

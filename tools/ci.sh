@@ -18,9 +18,10 @@
 #   7. Thread-safety gate: Clang build under -Werror=thread-safety (the
 #      `thread-safety` preset), including the expected-to-fail
 #      negative-compile fixture; skipped gracefully when clang++ is absent
-#   8. Latch-lint gate: the static latch-rank analyzer (tools/latch_lint)
-#      over src/ — every acquisition edge must respect the LatchRank order
-#      or carry a justified suppression
+#   8. procsim_lint gate: all four static-analysis passes (latch-rank,
+#      layering DAG, metrics consistency, annotation coverage) over src/ —
+#      the --json report must be byte-identical to the empty-findings
+#      golden (tools/procsim_lint/goldens/clean.json)
 #   9. Static-analysis gate (tools/check.sh)
 #  10. Format gate (tools/format.sh --check; no-op without clang-format)
 set -eu -o pipefail
@@ -58,12 +59,17 @@ if command -v clang++ >/dev/null 2>&1; then
 else
   echo "ci.sh: clang++ not found; skipping thread-safety preset" >&2
   echo "ci.sh: (the annotations compile to no-ops under this toolchain;" >&2
-  echo "ci.sh:  the latch-lint gate below still enforces the rank order)" >&2
+  echo "ci.sh:  the procsim_lint gate below still enforces the rank order)" >&2
 fi
 
-echo "=== ci.sh: latch-rank lint ==="
-cmake --build --preset relwithdebinfo -j "${JOBS}" --target latch_lint
-./build/tools/latch_lint --root .
+echo "=== ci.sh: procsim_lint (latch-rank, layering, metrics, annotations) ==="
+cmake --build --preset relwithdebinfo -j "${JOBS}" --target procsim_lint
+./build/tools/procsim_lint --root . --json > build/procsim_lint.json || true
+diff -u tools/procsim_lint/goldens/clean.json build/procsim_lint.json || {
+  echo "ci.sh: procsim_lint findings (full report follows)" >&2
+  ./build/tools/procsim_lint --root . >&2 || true
+  exit 1
+}
 
 echo "=== ci.sh: static analysis ==="
 bash tools/check.sh build-asan

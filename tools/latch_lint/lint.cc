@@ -9,106 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "lint_core/core.h"
+
 namespace procsim::lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Text utilities
-// ---------------------------------------------------------------------------
-
-/// Blanks comments and string/char literals (preserving newlines and byte
-/// offsets) so the code regexes never match inside them.
-std::string StripCommentsAndStrings(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string::size_type start = 0;
-  while (start <= text.size()) {
-    const auto end = text.find('\n', start);
-    if (end == std::string::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, end - start));
-    start = end + 1;
-  }
-  return lines;
-}
-
-std::string Trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
 
 /// "src/storage/buffer_cache.cc" -> "buffer_cache": header/impl pairs share
 /// one mutex namespace.
@@ -132,6 +36,12 @@ const std::set<std::string>& ControlKeywords() {
       "if", "for", "while", "switch", "catch", "return", "sizeof",
       "static_assert", "decltype", "alignof", "new", "delete", "throw"};
   return kKeywords;
+}
+
+/// True for the key shape this pass owns: `kFrom->kTo`.
+bool IsLatchKey(const std::string& key) {
+  static const std::regex kShape(R"(^k\w+->k\w+$)");
+  return std::regex_match(key, kShape);
 }
 
 // ---------------------------------------------------------------------------
@@ -212,15 +122,8 @@ struct FunctionOccurrence {
   std::vector<Event> events;
 };
 
-struct Suppression {
-  std::string from;  ///< "kBufferCache"
-  std::string to;
-};
-
 struct FileScan {
   std::vector<FunctionOccurrence> functions;
-  /// line -> suppressions in force for findings reported on that line.
-  std::map<int, std::vector<Suppression>> suppressions;
   std::size_t guard_sites = 0;
 };
 
@@ -352,54 +255,12 @@ std::regex BuildGuardRegex(const std::vector<std::string>& aliases) {
                     R"()\s*(?:<[^;>]*>)?\s+(\w+)\s*([({]))");
 }
 
-void CollectSuppressions(const std::vector<std::string>& raw_lines,
-                         const std::vector<std::string>& clean_lines,
-                         const std::string& path, FileScan* scan,
-                         std::vector<BadSuppression>* bad) {
-  static const std::regex kAllow(
-      R"(latch-lint:\s*allow\s*\(\s*(k\w+)\s*->\s*(k\w+)\s*\)\s*(.*))");
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    std::smatch match;
-    if (!std::regex_search(raw_lines[i], match, kAllow)) continue;
-    const int line = static_cast<int>(i + 1);
-    const std::string tail = Trim(match[3].str());
-    std::string justification;
-    if (tail.rfind("because", 0) == 0) {
-      justification = Trim(tail.substr(7));
-    }
-    if (justification.empty()) {
-      BadSuppression finding;
-      finding.file = path;
-      finding.line = line;
-      finding.message =
-          path + ":" + std::to_string(line) +
-          ": latch-lint: suppression without a justification — write " +
-          "`// latch-lint: allow(" + match[1].str() + "->" + match[2].str() +
-          ") because <reason>`";
-      bad->push_back(finding);
-      continue;
-    }
-    // A suppression covers findings on its own line and every line down to
-    // (and including) the next code line — the comment sits above the
-    // statement it excuses, possibly wrapped over several comment lines.
-    const Suppression suppression{match[1].str(), match[2].str()};
-    scan->suppressions[line].push_back(suppression);
-    for (std::size_t j = i + 1; j < clean_lines.size() && j < i + 10; ++j) {
-      scan->suppressions[static_cast<int>(j + 1)].push_back(suppression);
-      if (!Trim(clean_lines[j]).empty()) break;  // reached the statement
-    }
-  }
-}
-
 /// Scans one file: function occurrences with ordered acquire/call/scope
-/// events, plus suppression comments.
+/// events.  (Suppressions are collected corpus-wide by SuppressionSet.)
 FileScan ScanFile(const SourceFile& file, const std::string& clean,
-                  const RankTable& ranks, const MutexTable& mutexes,
-                  std::vector<BadSuppression>* bad) {
+                  const MutexTable& mutexes) {
   FileScan scan;
-  const std::vector<std::string> raw_lines = SplitLines(file.content);
   const std::vector<std::string> lines = SplitLines(clean);
-  CollectSuppressions(raw_lines, lines, file.path, &scan, bad);
 
   const std::string unit = UnitKey(file.path);
   const std::regex guard_regex = BuildGuardRegex(CollectGuardAliases(clean));
@@ -596,7 +457,6 @@ FileScan ScanFile(const SourceFile& file, const std::string& clean,
       }
     }
   }
-  (void)ranks;
   return scan;
 }
 
@@ -610,9 +470,9 @@ struct AcqInfo {
   std::string file;
   int line = 0;
   std::vector<std::string> chain;  ///< outermost call first
-  /// (file, line) of each chain link, for suppression lookup: a
-  /// `latch-lint: allow(...)` comment on any link of the chain silences
-  /// edges carried through it.
+  /// (file, line) of each chain link, for suppression lookup: an
+  /// `allow(kA->kB)` comment on any link of the chain silences edges
+  /// carried through it.
   std::vector<std::pair<std::string, int>> chain_sites;
 };
 
@@ -685,21 +545,7 @@ std::string RankLabel(const RankTable& ranks, int rank) {
   return name + "=" + std::to_string(rank);
 }
 
-using SuppressionIndex = std::map<std::string, const FileScan*>;
-
-bool IsSuppressed(const SuppressionIndex& index, const std::string& file,
-                  int line, const std::string& from, const std::string& to) {
-  auto scan = index.find(file);
-  if (scan == index.end()) return false;
-  auto it = scan->second->suppressions.find(line);
-  if (it == scan->second->suppressions.end()) return false;
-  for (const Suppression& suppression : it->second) {
-    if (suppression.from == from && suppression.to == to) return true;
-  }
-  return false;
-}
-
-void CheckFunction(const SourceFile& file, const SuppressionIndex& index,
+void CheckFunction(const SourceFile& file, SuppressionSet* suppressions,
                    const FunctionOccurrence& function,
                    const MayAcquireMap& may_acquire, const RankTable& ranks,
                    LintResult* result, std::set<std::string>* seen) {
@@ -716,12 +562,13 @@ void CheckFunction(const SourceFile& file, const SuppressionIndex& index,
     const std::string to_name = ranks.name_by_value.count(to_rank) != 0
                                     ? ranks.name_by_value.at(to_rank)
                                     : "?";
-    if (IsSuppressed(index, file.path, to_line, from_name, to_name)) {
+    const std::string key = from_name + "->" + to_name;
+    if (suppressions->Match(file.path, to_line, key)) {
       ++result->suppressed_edges;
       return;
     }
     for (const auto& [site_file, site_line] : sites) {
-      if (IsSuppressed(index, site_file, site_line, from_name, to_name)) {
+      if (suppressions->Match(site_file, site_line, key)) {
         ++result->suppressed_edges;
         return;
       }
@@ -737,7 +584,7 @@ void CheckFunction(const SourceFile& file, const SuppressionIndex& index,
     violation.from_rank_name = from_name;
     violation.call_chain = chain;
     std::ostringstream message;
-    message << file.path << ":" << to_line << ": latch-lint: acquires '"
+    message << file.path << ":" << to_line << ": latch-rank: acquires '"
             << to_mutex << "' (" << RankLabel(ranks, to_rank)
             << ") while holding '" << from_mutex << "' ("
             << RankLabel(ranks, from_rank) << ") acquired at " << from_file
@@ -843,6 +690,8 @@ LintResult AnalyzeSources(const std::vector<SourceFile>& files,
   LintResult result;
   if (ranks.empty()) return result;
 
+  SuppressionSet suppressions(files);
+
   MutexTable mutexes;
   std::vector<std::string> cleans;
   cleans.reserve(files.size());
@@ -855,24 +704,17 @@ LintResult AnalyzeSources(const std::vector<SourceFile>& files,
   std::vector<std::pair<const SourceFile*, FileScan>> scans;
   scans.reserve(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
-    scans.emplace_back(&files[i], ScanFile(files[i], cleans[i], ranks,
-                                           mutexes,
-                                           &result.bad_suppressions));
+    scans.emplace_back(&files[i], ScanFile(files[i], cleans[i], mutexes));
     result.guard_sites_found += scans.back().second.guard_sites;
     result.functions_scanned += scans.back().second.functions.size();
   }
 
   const MayAcquireMap may_acquire = ComputeMayAcquire(scans, ranks);
 
-  SuppressionIndex suppression_index;
-  for (const auto& [file, scan] : scans) {
-    suppression_index[file->path] = &scan;
-  }
-
   std::set<std::string> seen;
   for (const auto& [file, scan] : scans) {
     for (const FunctionOccurrence& function : scan.functions) {
-      CheckFunction(*file, suppression_index, function, may_acquire, ranks,
+      CheckFunction(*file, &suppressions, function, may_acquire, ranks,
                     &result, &seen);
     }
   }
@@ -881,7 +723,41 @@ LintResult AnalyzeSources(const std::vector<SourceFile>& files,
               return std::tie(a.to_file, a.to_line, a.message) <
                      std::tie(b.to_file, b.to_line, b.message);
             });
+
+  for (const Finding& finding : suppressions.malformed()) {
+    BadSuppression bad;
+    bad.file = finding.file;
+    bad.line = finding.line;
+    bad.message = finding.message;
+    result.bad_suppressions.push_back(std::move(bad));
+  }
+  result.unused_suppressions =
+      suppressions.UnusedFindings("latch-rank", IsLatchKey);
   return result;
+}
+
+std::vector<Finding> ToFindings(const LintResult& result) {
+  std::vector<Finding> findings;
+  for (const Violation& violation : result.violations) {
+    Finding finding;
+    finding.pass = "latch-rank";
+    finding.file = violation.to_file;
+    finding.line = violation.to_line;
+    finding.key = violation.from_rank_name + "->" + violation.to_rank_name;
+    finding.message = violation.message;
+    findings.push_back(std::move(finding));
+  }
+  for (const BadSuppression& bad : result.bad_suppressions) {
+    Finding finding;
+    finding.pass = "suppression";
+    finding.file = bad.file;
+    finding.line = bad.line;
+    finding.message = bad.message;
+    findings.push_back(std::move(finding));
+  }
+  findings.insert(findings.end(), result.unused_suppressions.begin(),
+                  result.unused_suppressions.end());
+  return findings;
 }
 
 std::string RenderReport(const LintResult& result) {
@@ -892,12 +768,16 @@ std::string RenderReport(const LintResult& result) {
   for (const BadSuppression& finding : result.bad_suppressions) {
     out << finding.message << "\n";
   }
-  out << "latch-lint: " << result.mutexes_found << " ranked mutexes, "
+  for (const Finding& finding : result.unused_suppressions) {
+    out << finding.message << "\n";
+  }
+  out << "latch-rank: " << result.mutexes_found << " ranked mutexes, "
       << result.guard_sites_found << " guard sites, "
       << result.functions_scanned << " functions, " << result.edges_checked
       << " edges checked, " << result.suppressed_edges << " suppressed, "
       << result.violations.size() << " violations, "
-      << result.bad_suppressions.size() << " bad suppressions\n";
+      << result.bad_suppressions.size() << " bad suppressions, "
+      << result.unused_suppressions.size() << " unused suppressions\n";
   return out.str();
 }
 

@@ -6,15 +6,17 @@
 #include <string>
 #include <vector>
 
+#include "lint_core/core.h"
+
 /// \file
-/// A lexical latch-rank analyzer: scans C++ sources for ranked-mutex
-/// declarations and guard-construction sites, builds a static
-/// latch-acquisition graph (direct nesting plus a transitive may-acquire
-/// closure over name-matched calls), and checks every edge against the
-/// LatchRank order — including paths no test executes.  Companion to the
-/// runtime checker in src/concurrent/latch.cc and the Clang thread-safety
-/// annotations (DESIGN.md §9); deliberately libclang-free so it builds and
-/// runs with any host toolchain.
+/// The latch-rank pass (pass #1 of tools/procsim_lint): scans C++ sources
+/// for ranked-mutex declarations and guard-construction sites, builds a
+/// static latch-acquisition graph (direct nesting plus a transitive
+/// may-acquire closure over name-matched calls), and checks every edge
+/// against the LatchRank order — including paths no test executes.
+/// Companion to the runtime checker in src/util/latch.cc and the Clang
+/// thread-safety annotations (DESIGN.md §9).  Built on lint_core (text
+/// stripping, suppression engine, findings).
 
 namespace procsim::lint {
 
@@ -27,14 +29,8 @@ struct RankTable {
 };
 
 /// Extracts the `enum class LatchRank` table from the contents of
-/// concurrent/latch.h.  Returns an empty table if the enum is missing.
+/// util/latch.h.  Returns an empty table if the enum is missing.
 RankTable ParseRankTable(const std::string& latch_header_source);
-
-/// One source file handed to the analyzer.
-struct SourceFile {
-  std::string path;     ///< display path (diagnostics)
-  std::string content;  ///< full file contents
-};
 
 /// A latch-order violation: an acquisition at `to_*` while a latch of an
 /// equal or higher rank (`from_*`) is already held on the same path.
@@ -53,8 +49,8 @@ struct Violation {
   std::string message;  ///< fully rendered one-line diagnostic
 };
 
-/// A `// latch-lint: allow(kA->kB) because ...` comment with no text after
-/// `because` — suppressions must carry a justification.
+/// A malformed suppression comment — a bare `allow()` or one with no text
+/// after `because`: suppressions must name a finding and justify it.
 struct BadSuppression {
   std::string file;
   int line = 0;
@@ -64,19 +60,29 @@ struct BadSuppression {
 struct LintResult {
   std::vector<Violation> violations;
   std::vector<BadSuppression> bad_suppressions;
+  /// Latch-rank suppressions (`allow(kA->kB)`) that matched no finding:
+  /// stale keys rot into false confidence, so they are findings too.
+  std::vector<Finding> unused_suppressions;
   std::size_t mutexes_found = 0;
   std::size_t guard_sites_found = 0;
   std::size_t functions_scanned = 0;
   std::size_t edges_checked = 0;
   std::size_t suppressed_edges = 0;
 
-  bool ok() const { return violations.empty() && bad_suppressions.empty(); }
+  bool ok() const {
+    return violations.empty() && bad_suppressions.empty() &&
+           unused_suppressions.empty();
+  }
 };
 
 /// Runs the analysis over `files` against `ranks`.  Pure function of its
 /// inputs: no filesystem access, so tests can feed planted fixtures.
 LintResult AnalyzeSources(const std::vector<SourceFile>& files,
                           const RankTable& ranks);
+
+/// Flattens a LintResult into generic findings for the procsim_lint driver
+/// (pass name "latch-rank").
+std::vector<Finding> ToFindings(const LintResult& result);
 
 /// Renders a human-readable report (one line per finding plus a summary).
 std::string RenderReport(const LintResult& result);

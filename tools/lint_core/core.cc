@@ -1,0 +1,278 @@
+#include "lint_core/core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+namespace procsim::lint {
+
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string NormalizeKey(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+SuppressionSet::SuppressionSet(const std::vector<SourceFile>& files) {
+  // Tag and `because` match case-insensitively (satellite: sloppy-case
+  // comments must still suppress); the key keeps its case — rank names and
+  // metric names are case-sensitive identifiers.
+  // The key may itself contain one parenthesized group — `unguarded(m_)`,
+  // `layering(a->b)`, `metric(n)` — so allow one level of nesting.
+  static const std::regex kAllow(
+      R"((?:latch-lint|procsim-lint)\s*:\s*allow\s*\(((?:[^()]|\([^()]*\))*)\)\s*(.*))",
+      std::regex_constants::icase);
+  static const std::regex kBecause(R"(^because\b\s*(.*))",
+                                   std::regex_constants::icase);
+  for (const SourceFile& file : files) {
+    const std::vector<std::string> raw_lines = SplitLines(file.content);
+    const std::vector<std::string> clean_lines =
+        SplitLines(StripCommentsAndStrings(file.content));
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      std::smatch match;
+      if (!std::regex_search(raw_lines[i], match, kAllow)) continue;
+      const int line = static_cast<int>(i + 1);
+      const std::string key = NormalizeKey(match[1].str());
+      const std::string tail = Trim(match[2].str());
+      std::smatch because;
+      std::string reason;
+      if (std::regex_search(tail, because, kBecause)) {
+        reason = Trim(because[1].str());
+      }
+      if (key.empty() || reason.empty()) {
+        Finding finding;
+        finding.pass = "suppression";
+        finding.file = file.path;
+        finding.line = line;
+        finding.message =
+            file.path + ":" + std::to_string(line) +
+            ": suppression: " +
+            (key.empty() ? std::string("bare allow() names no finding")
+                         : std::string("no justification")) +
+            " — write `// procsim-lint: allow(<key>) because <reason>`";
+        malformed_.push_back(std::move(finding));
+        continue;
+      }
+      Suppression suppression;
+      suppression.file = file.path;
+      suppression.line = line;
+      suppression.key = key;
+      suppression.reason = reason;
+      // Covers the comment line plus every line down to (and including)
+      // the next code line, so the comment sits above the statement it
+      // excuses, possibly wrapped over several comment lines.
+      suppression.covered.push_back(line);
+      for (std::size_t j = i + 1; j < clean_lines.size() && j < i + 10; ++j) {
+        suppression.covered.push_back(static_cast<int>(j + 1));
+        if (!Trim(clean_lines[j]).empty()) break;  // reached the statement
+      }
+      by_file_[file.path].push_back(suppressions_.size());
+      suppressions_.push_back(std::move(suppression));
+    }
+  }
+}
+
+bool SuppressionSet::Match(const std::string& file, int line,
+                           const std::string& key) {
+  const std::string normalized = NormalizeKey(key);
+  auto it = by_file_.find(file);
+  if (it == by_file_.end()) return false;
+  bool matched = false;
+  for (std::size_t index : it->second) {
+    Suppression& suppression = suppressions_[index];
+    if (suppression.key != normalized) continue;
+    if (std::find(suppression.covered.begin(), suppression.covered.end(),
+                  line) == suppression.covered.end()) {
+      continue;
+    }
+    suppression.matched = true;
+    matched = true;  // keep marking: stacked duplicates are all "used"
+  }
+  return matched;
+}
+
+std::vector<Finding> SuppressionSet::UnusedFindings(
+    const std::string& pass,
+    const std::function<bool(const std::string&)>& owns_key) const {
+  std::vector<Finding> findings;
+  for (const Suppression& suppression : suppressions_) {
+    if (suppression.matched || !owns_key(suppression.key)) continue;
+    Finding finding;
+    finding.pass = pass;
+    finding.file = suppression.file;
+    finding.line = suppression.line;
+    finding.message = suppression.file + ":" +
+                      std::to_string(suppression.line) + ": " + pass +
+                      ": unused suppression `allow(" + suppression.key +
+                      ")` — it matched no finding; fix the key or delete it";
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderFindingsJson(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& finding = findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"pass\": \""
+        << JsonEscape(finding.pass) << "\", \"file\": \""
+        << JsonEscape(finding.file) << "\", \"line\": " << finding.line
+        << ", \"key\": \"" << JsonEscape(finding.key) << "\", \"message\": \""
+        << JsonEscape(finding.message) << "\"}";
+  }
+  if (!findings.empty()) out << "\n  ";
+  out << "],\n  \"count\": " << findings.size() << "\n}\n";
+  return out.str();
+}
+
+std::string RenderFindingsText(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& finding : findings) out << finding.message << "\n";
+  return out.str();
+}
+
+void SortAndDedupe(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.pass, a.message) <
+                     std::tie(b.file, b.line, b.pass, b.message);
+            });
+  findings->erase(
+      std::unique(findings->begin(), findings->end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.message == b.message;
+                  }),
+      findings->end());
+}
+
+}  // namespace procsim::lint

@@ -1,0 +1,125 @@
+#ifndef PROCSIM_TOOLS_LINT_CORE_CORE_H_
+#define PROCSIM_TOOLS_LINT_CORE_CORE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file
+/// The shared lexical core under every procsim_lint pass (DESIGN.md §10):
+/// comment/string stripping, line splitting, the `// procsim-lint:
+/// allow(<key>) because <reason>` suppression engine, and the Finding /
+/// report plumbing.  Deliberately libclang-free so the linters build and
+/// run with any host toolchain.
+///
+/// Passes are pure functions over SourceFile vectors — no filesystem access
+/// — so fixture tests can feed planted sources (tests/*_lint_test.cc).
+
+namespace procsim::lint {
+
+/// One source file handed to an analyzer.
+struct SourceFile {
+  std::string path;     ///< display path (diagnostics)
+  std::string content;  ///< full file contents
+};
+
+/// One diagnostic from any pass.  `key` is the suppression key that would
+/// silence it (empty when the finding is not suppressible, e.g. a malformed
+/// suppression comment).
+struct Finding {
+  std::string pass;     ///< "latch-rank", "layering", ...
+  std::string file;
+  int line = 0;
+  std::string key;
+  std::string message;  ///< fully rendered one-line diagnostic
+};
+
+// ---------------------------------------------------------------------------
+// Text utilities
+// ---------------------------------------------------------------------------
+
+/// Blanks comments and string/char literals (preserving newlines and byte
+/// offsets) so code regexes never match inside them.
+std::string StripCommentsAndStrings(const std::string& text);
+
+/// Splits on '\n'; a trailing newline yields a final empty line.
+std::vector<std::string> SplitLines(const std::string& text);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// Removes every whitespace character — the normal form for suppression
+/// keys, so `allow(kA -> kB)` and `allow(kA->kB)` are the same key.
+std::string NormalizeKey(const std::string& s);
+
+// ---------------------------------------------------------------------------
+// Suppression engine
+// ---------------------------------------------------------------------------
+
+/// A parsed `// procsim-lint: allow(<key>) because <reason>` comment (the
+/// legacy `latch-lint:` tag is accepted too; tags match case-insensitively).
+/// The suppression covers findings on its own line and every line down to
+/// (and including) the next non-blank code line, so the comment can sit
+/// above the statement it excuses.
+struct Suppression {
+  std::string file;
+  int line = 0;               ///< line of the comment
+  std::string key;            ///< normalized (whitespace-free)
+  std::string reason;
+  std::vector<int> covered;   ///< lines this suppression applies to
+  bool matched = false;       ///< set when a finding consumed it
+};
+
+/// All suppressions in a corpus plus the malformed ones: a bare `allow()`
+/// or a missing `because <reason>` is itself a finding — suppressions must
+/// say what they suppress and why.
+class SuppressionSet {
+ public:
+  /// Scans every file for suppression comments.
+  explicit SuppressionSet(const std::vector<SourceFile>& files);
+
+  /// True (and marks the suppression used) if a suppression with `key`
+  /// covers `file:line`.
+  bool Match(const std::string& file, int line, const std::string& key);
+
+  /// Malformed-suppression findings (reported under pass "suppression").
+  const std::vector<Finding>& malformed() const { return malformed_; }
+
+  /// Findings for suppressions whose key satisfies `owns_key` but that
+  /// never matched a finding.  Each pass owns a disjoint key shape
+  /// (`kA->kB`, `layering(...)`, `metric(...)`, `unguarded(...)`), so
+  /// unused-suppression reporting stays per-pass.
+  std::vector<Finding> UnusedFindings(
+      const std::string& pass,
+      const std::function<bool(const std::string&)>& owns_key) const;
+
+ private:
+  std::vector<Suppression> suppressions_;
+  std::map<std::string, std::vector<std::size_t>> by_file_;
+  std::vector<Finding> malformed_;
+};
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string JsonEscape(const std::string& s);
+
+/// Renders findings as one JSON object:
+/// {"findings": [{"pass": ..., "file": ..., "line": N, "key": ...,
+///   "message": ...}, ...], "count": N}
+/// Stable field order and newline placement so CI can diff against a
+/// golden (tools/procsim_lint/goldens/clean.json).
+std::string RenderFindingsJson(const std::vector<Finding>& findings);
+
+/// One line per finding (its message), sorted by file/line/message.
+std::string RenderFindingsText(const std::vector<Finding>& findings);
+
+/// Sorts by (file, line, pass, message) and drops exact duplicates —
+/// several passes can report the same malformed suppression comment.
+void SortAndDedupe(std::vector<Finding>* findings);
+
+}  // namespace procsim::lint
+
+#endif  // PROCSIM_TOOLS_LINT_CORE_CORE_H_

@@ -1,0 +1,312 @@
+#include "procsim_lint/annotations.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace procsim::lint {
+namespace {
+
+/// One `class`/`struct` body found in a file (nested classes get their own
+/// entry; the outer body's member walk skips the nested braces).
+struct ClassBody {
+  std::string name;
+  std::size_t open = 0;   ///< offset of '{'
+  std::size_t close = 0;  ///< offset of matching '}'
+};
+
+std::size_t MatchBrace(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::vector<ClassBody> FindClassBodies(const std::string& clean) {
+  std::vector<ClassBody> bodies;
+  // The name is the last identifier before a base clause / body — skips
+  // CAPABILITY("...") style attribute macros between keyword and name.
+  static const std::regex kClass(R"(\b(?:class|struct)\b([^;{}()]*)\{)");
+  for (auto it = std::sregex_iterator(clean.begin(), clean.end(), kClass);
+       it != std::sregex_iterator(); ++it) {
+    std::string head = (*it)[1].str();
+    const auto colon = head.find(':');
+    if (colon != std::string::npos) head = head.substr(0, colon);
+    static const std::regex kIdent(R"(\w+)");
+    std::string name;
+    for (auto id = std::sregex_iterator(head.begin(), head.end(), kIdent);
+         id != std::sregex_iterator(); ++id) {
+      name = id->str();
+    }
+    if (name.empty() || name == "final") continue;  // anonymous
+    ClassBody body;
+    body.name = name;
+    body.open = static_cast<std::size_t>(it->position(0)) +
+                it->length(0) - 1;
+    body.close = MatchBrace(clean, body.open);
+    if (body.close == std::string::npos) continue;
+    bodies.push_back(std::move(body));
+  }
+  return bodies;
+}
+
+int LineOf(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+bool HasToken(const std::string& text, const std::string& token) {
+  const std::regex pattern("\\b" + token + "\\b");
+  return std::regex_search(text, pattern);
+}
+
+/// Member declarations at depth 1 of a class body, with the offset of the
+/// terminating ';' for line numbers.  Function definitions (a braced block
+/// not followed by ';') are dropped; brace-initialized members keep their
+/// declarator text with the init removed.
+struct Member {
+  std::string text;
+  std::size_t begin_offset = 0;  ///< first non-space char of the declaration
+};
+
+std::vector<Member> SplitMembers(const std::string& clean,
+                                 const ClassBody& body) {
+  std::vector<Member> members;
+  std::string current;
+  std::size_t begin = 0;
+  auto note_char = [&](char c, std::size_t offset) {
+    if (Trim(current).empty() &&
+        !std::isspace(static_cast<unsigned char>(c))) {
+      begin = offset;
+    }
+    current.push_back(c);
+  };
+  for (std::size_t i = body.open + 1; i < body.close; ++i) {
+    const char c = clean[i];
+    if (c == '{') {
+      const std::size_t close = MatchBrace(clean, i);
+      if (close == std::string::npos || close >= body.close) break;
+      std::size_t next = close + 1;
+      while (next < body.close &&
+             std::isspace(static_cast<unsigned char>(clean[next]))) {
+        ++next;
+      }
+      if (next < body.close && clean[next] == ';') {
+        // Brace-initialized member (`T m_{...};`) or a nested type with a
+        // declarator; the init/body text itself is irrelevant.
+        i = close;
+        continue;
+      }
+      // Function body: discard the accumulated signature.
+      current.clear();
+      i = close;
+      continue;
+    }
+    if (c == ';') {
+      const std::string trimmed = Trim(current);
+      if (!trimmed.empty()) {
+        members.push_back(Member{trimmed, begin});
+      }
+      current.clear();
+      continue;
+    }
+    if (c == ':' && (i + 1 >= clean.size() || clean[i + 1] != ':') &&
+        (i == 0 || clean[i - 1] != ':')) {
+      const std::string trimmed = Trim(current);
+      if (trimmed == "public" || trimmed == "private" ||
+          trimmed == "protected") {
+        current.clear();
+        continue;
+      }
+    }
+    note_char(c, i);
+  }
+  return members;
+}
+
+/// Removes one macro-call `NAME(...)` occurrence list from `text`.
+std::string StripMacro(const std::string& text, const std::string& name) {
+  std::string out = text;
+  for (;;) {
+    const std::regex pattern("\\b" + name + "\\s*\\(");
+    std::smatch match;
+    if (!std::regex_search(out, match, pattern)) return out;
+    const std::size_t start = static_cast<std::size_t>(match.position(0));
+    std::size_t i = start + match.length(0) - 1;  // at '('
+    int depth = 0;
+    for (; i < out.size(); ++i) {
+      if (out[i] == '(') ++depth;
+      if (out[i] == ')' && --depth == 0) break;
+    }
+    if (i >= out.size()) return out;
+    out = out.substr(0, start) + " " + out.substr(i + 1);
+  }
+}
+
+/// Drops a trailing `= ...` default initializer and `[N]` array suffixes.
+std::string StripInitializer(const std::string& text) {
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '>') --depth;
+    if (c == '=' && depth == 0) {
+      const char prev = i > 0 ? text[i - 1] : '\0';
+      const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+      if (prev != '=' && prev != '!' && prev != '<' && prev != '>' &&
+          next != '=') {
+        return Trim(text.substr(0, i));
+      }
+    }
+  }
+  return Trim(text);
+}
+
+/// The declared member name: the last identifier, after annotations and
+/// initializers are stripped.
+std::string MemberName(const std::string& declarator) {
+  static const std::regex kIdent(R"(\w+)");
+  std::string name;
+  for (auto it =
+           std::sregex_iterator(declarator.begin(), declarator.end(), kIdent);
+       it != std::sregex_iterator(); ++it) {
+    name = it->str();
+  }
+  return name;
+}
+
+/// True if the declarator has a '(' outside angle brackets — a member
+/// function (annotation macros must be stripped first).
+bool LooksLikeFunction(const std::string& declarator) {
+  int angle = 0;
+  for (char c : declarator) {
+    if (c == '<') ++angle;
+    if (c == '>') --angle;
+    if (c == '(' && angle == 0) return true;
+  }
+  return false;
+}
+
+const std::regex& MutexTypeRegex() {
+  // util::Mutex matches as the bare token `Mutex`; MutexLock / std::mutex /
+  // shared_mutex deliberately do not.
+  static const std::regex kMutex(
+      R"(\b(?:RankedMutex|RankedSharedMutex|Mutex)\b)");
+  return kMutex;
+}
+
+bool IsLatchTyped(const std::string& text) {
+  static const std::regex kLatch(
+      R"(\b(?:RankedMutex|RankedSharedMutex|Mutex|LatchStripes)\b)");
+  return std::regex_search(text, kLatch);
+}
+
+bool FirstWordIs(const std::string& text, const std::string& word) {
+  static const std::regex kFirst(R"(^\s*(\w+))");
+  std::smatch match;
+  return std::regex_search(text, match, kFirst) && match[1].str() == word;
+}
+
+/// True for members that need no GUARDED_BY: const-qualified storage (the
+/// value can never change after construction) and references (rebinding is
+/// impossible; the referent is the owner's concern).
+bool IsImmutable(const std::string& declarator, const std::string& name) {
+  if (declarator.find('&') != std::string::npos) return true;
+  // `const T x_` (no pointer declarator: pointee constness is not member
+  // constness) or `T* const x_` / `T x_` with const directly before the
+  // name.
+  static const std::regex kConstBeforeName(R"(\bconst\s+\w+$)");
+  if (std::regex_search(declarator, kConstBeforeName)) return true;
+  if (FirstWordIs(declarator, "const") &&
+      declarator.find('*') == std::string::npos) {
+    return true;
+  }
+  (void)name;
+  return false;
+}
+
+}  // namespace
+
+AnnotationResult AnalyzeAnnotations(const std::vector<SourceFile>& files) {
+  AnnotationResult result;
+  SuppressionSet suppressions(files);
+
+  for (const SourceFile& file : files) {
+    const std::string clean = StripCommentsAndStrings(file.content);
+    for (const ClassBody& body : FindClassBodies(clean)) {
+      const std::vector<Member> members = SplitMembers(clean, body);
+      bool holds_mutex = false;
+      for (const Member& member : members) {
+        if (std::regex_search(member.text, MutexTypeRegex())) {
+          holds_mutex = true;
+          break;
+        }
+      }
+      if (!holds_mutex) continue;
+      ++result.classes_with_locks;
+
+      for (const Member& member : members) {
+        const std::string& text = member.text;
+        // Type declarations, aliases, friends, compile-time members, and
+        // enums carry no runtime state of their own.
+        if (FirstWordIs(text, "using") || FirstWordIs(text, "typedef") ||
+            FirstWordIs(text, "friend") || FirstWordIs(text, "static") ||
+            FirstWordIs(text, "constexpr") || FirstWordIs(text, "enum") ||
+            FirstWordIs(text, "class") || FirstWordIs(text, "struct") ||
+            FirstWordIs(text, "union") || FirstWordIs(text, "template")) {
+          continue;
+        }
+        const bool annotated = HasToken(text, "GUARDED_BY") ||
+                               HasToken(text, "PT_GUARDED_BY");
+        std::string stripped = StripMacro(text, "GUARDED_BY");
+        stripped = StripMacro(stripped, "PT_GUARDED_BY");
+        stripped = StripMacro(stripped, "ACQUIRED_AFTER");
+        stripped = StripMacro(stripped, "ACQUIRED_BEFORE");
+        stripped = StripInitializer(Trim(stripped));
+        if (stripped.empty() || LooksLikeFunction(stripped)) continue;
+        const std::string name = MemberName(stripped);
+        if (name.empty()) continue;
+        ++result.members_checked;
+        if (annotated) continue;
+        if (IsLatchTyped(stripped)) continue;  // the lock itself
+        if (HasToken(stripped, "atomic")) continue;  // self-synchronizing
+        if (IsImmutable(stripped, name)) continue;
+        const int line = LineOf(clean, member.begin_offset);
+        const std::string key = "unguarded(" + name + ")";
+        if (suppressions.Match(file.path, line, key)) {
+          ++result.suppressed;
+          continue;
+        }
+        Finding finding;
+        finding.pass = "annotations";
+        finding.file = file.path;
+        finding.line = line;
+        finding.key = key;
+        finding.message =
+            file.path + ":" + std::to_string(line) + ": annotations: '" +
+            body.name + "::" + name + "' is a mutable member of a " +
+            "lock-holding class but has no GUARDED_BY annotation — " +
+            "annotate it, make it const, or suppress with a reason";
+        result.findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  for (const Finding& finding : suppressions.malformed()) {
+    result.findings.push_back(finding);
+  }
+  auto owns_key = [](const std::string& key) {
+    return key.rfind("unguarded(", 0) == 0;
+  };
+  for (Finding& finding :
+       suppressions.UnusedFindings("annotations", owns_key)) {
+    result.findings.push_back(std::move(finding));
+  }
+  SortAndDedupe(&result.findings);
+  return result;
+}
+
+}  // namespace procsim::lint

@@ -1,0 +1,33 @@
+#ifndef PROCSIM_TOOLS_PROCSIM_LINT_ANNOTATIONS_H_
+#define PROCSIM_TOOLS_PROCSIM_LINT_ANNOTATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "lint_core/core.h"
+
+/// \file
+/// The annotation-coverage pass: for every class holding a RankedMutex /
+/// RankedSharedMutex / util::Mutex, report mutable (non-const) data members
+/// that lack a GUARDED_BY / PT_GUARDED_BY annotation.  Clang's -Wthread-
+/// safety only checks fields that already carry an annotation; this pass
+/// closes the gap by demanding the annotation exist.  Exempt: the latch
+/// members themselves, const members, references, std::atomic fields, and
+/// static/type declarations.  Suppression key: `unguarded(member_)`.
+
+namespace procsim::lint {
+
+struct AnnotationResult {
+  std::vector<Finding> findings;
+  std::size_t classes_with_locks = 0;
+  std::size_t members_checked = 0;
+  std::size_t suppressed = 0;
+
+  bool ok() const { return findings.empty(); }
+};
+
+AnnotationResult AnalyzeAnnotations(const std::vector<SourceFile>& files);
+
+}  // namespace procsim::lint
+
+#endif  // PROCSIM_TOOLS_PROCSIM_LINT_ANNOTATIONS_H_

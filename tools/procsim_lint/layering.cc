@@ -1,0 +1,225 @@
+#include "procsim_lint/layering.h"
+
+#include <algorithm>
+#include <functional>
+#include <regex>
+#include <sstream>
+
+namespace procsim::lint {
+namespace {
+
+/// "src/storage/buffer_cache.cc" -> "storage"; "" if not under src/.
+std::string ModuleOf(const std::string& path) {
+  static const std::regex kModule(R"((?:^|/)src/(\w+)/)");
+  std::smatch match;
+  if (!std::regex_search(path, match, kModule)) return "";
+  return match[1].str();
+}
+
+struct IncludeEdge {
+  std::string from;      ///< including module
+  std::string to;        ///< included module
+  std::string file;      ///< including file
+  int line = 0;
+  std::string target;    ///< included path as written
+};
+
+/// One representative include site per module->module edge, for cycle
+/// chains.
+using EdgeSites = std::map<std::pair<std::string, std::string>, IncludeEdge>;
+
+/// Depth-first cycle search over the module graph; reports each cycle once,
+/// rooted at its lexicographically smallest module.
+void FindCycles(const std::map<std::string, std::set<std::string>>& edges,
+                const EdgeSites& sites, std::vector<Finding>* findings) {
+  std::set<std::vector<std::string>> reported;
+  for (const auto& [root, unused] : edges) {
+    // DFS from `root`, only visiting modules >= root so each cycle is found
+    // from its smallest member exactly once.
+    std::vector<std::string> path{root};
+    std::set<std::string> on_path{root};
+    std::function<void(const std::string&)> visit =
+        [&](const std::string& module) {
+          auto it = edges.find(module);
+          if (it == edges.end()) return;
+          for (const std::string& next : it->second) {
+            if (next == root && path.size() > 1) {
+              std::vector<std::string> cycle = path;
+              cycle.push_back(root);
+              if (!reported.insert(cycle).second) continue;
+              std::ostringstream message;
+              const IncludeEdge& first =
+                  sites.at({cycle[0], cycle[1]});
+              message << first.file << ":" << first.line
+                      << ": layering: dependency cycle ";
+              for (std::size_t i = 0; i < cycle.size(); ++i) {
+                if (i > 0) message << " -> ";
+                message << cycle[i];
+              }
+              message << " [";
+              for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+                const IncludeEdge& edge = sites.at({cycle[i], cycle[i + 1]});
+                if (i > 0) message << "; ";
+                message << edge.from << " includes \"" << edge.target
+                        << "\" at " << edge.file << ":" << edge.line;
+              }
+              message << "]";
+              Finding finding;
+              finding.pass = "layering";
+              finding.file = first.file;
+              finding.line = first.line;
+              finding.key = "layering(" + cycle[0] + "->" + cycle[1] + ")";
+              finding.message = message.str();
+              findings->push_back(std::move(finding));
+              continue;
+            }
+            if (next < root || on_path.count(next) != 0) continue;
+            path.push_back(next);
+            on_path.insert(next);
+            visit(next);
+            on_path.erase(next);
+            path.pop_back();
+          }
+        };
+    visit(root);
+  }
+}
+
+}  // namespace
+
+LayerGraph ParseLayerGraph(const std::string& text, const std::string& path,
+                           std::vector<Finding>* findings) {
+  LayerGraph graph;
+  const std::vector<std::string> lines = SplitLines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      Finding finding;
+      finding.pass = "layering";
+      finding.file = path;
+      finding.line = static_cast<int>(i + 1);
+      finding.message = path + ":" + std::to_string(i + 1) +
+                        ": layering: malformed layers.txt line (want " +
+                        "`module: dep dep ...`)";
+      findings->push_back(std::move(finding));
+      continue;
+    }
+    const std::string module = Trim(line.substr(0, colon));
+    graph.order.push_back(module);
+    auto& deps = graph.allowed[module];
+    std::istringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.insert(dep);
+  }
+  // The declaration itself must be a DAG over declared modules: walk each
+  // module's declared deps transitively and flag a path back to itself.
+  for (const std::string& module : graph.order) {
+    std::set<std::string> seen;
+    std::vector<std::string> stack(graph.allowed[module].begin(),
+                                   graph.allowed[module].end());
+    while (!stack.empty()) {
+      const std::string current = stack.back();
+      stack.pop_back();
+      if (!seen.insert(current).second) continue;
+      if (current == module) {
+        Finding finding;
+        finding.pass = "layering";
+        finding.file = path;
+        finding.message = path + ": layering: declared dependencies of '" +
+                          module + "' reach back to itself — layers.txt " +
+                          "must declare a DAG";
+        findings->push_back(std::move(finding));
+        break;
+      }
+      auto it = graph.allowed.find(current);
+      if (it == graph.allowed.end()) continue;
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return graph;
+}
+
+LayeringResult AnalyzeLayering(const std::vector<SourceFile>& files,
+                               const LayerGraph& graph) {
+  LayeringResult result;
+  SuppressionSet suppressions(files);
+  static const std::regex kInclude(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+
+  std::map<std::string, std::set<std::string>> actual_edges;
+  EdgeSites sites;
+
+  for (const SourceFile& file : files) {
+    const std::string from = ModuleOf(file.path);
+    if (from.empty() || !graph.declared(from)) continue;
+    ++result.files_scanned;
+    // The include path is a string literal, which stripping blanks out —
+    // detect the directive on the clean line (so commented-out includes
+    // don't count) but read the path from the raw line.
+    const std::vector<std::string> raw_lines = SplitLines(file.content);
+    const std::vector<std::string> clean_lines =
+        SplitLines(StripCommentsAndStrings(file.content));
+    static const std::regex kDirective(R"(^\s*#\s*include\s*\")");
+    for (std::size_t i = 0;
+         i < raw_lines.size() && i < clean_lines.size(); ++i) {
+      if (!std::regex_search(clean_lines[i], kDirective)) continue;
+      std::smatch match;
+      if (!std::regex_search(raw_lines[i], match, kInclude)) continue;
+      const std::string target = match[1].str();
+      const auto slash = target.find('/');
+      if (slash == std::string::npos) continue;  // same-dir / non-module
+      const std::string to = target.substr(0, slash);
+      if (!graph.declared(to)) continue;  // gtest/..., bench/..., etc.
+      if (to == from) continue;
+      ++result.edges_checked;
+      const int line = static_cast<int>(i + 1);
+      IncludeEdge edge{from, to, file.path, line, target};
+      if (actual_edges[from].insert(to).second) {
+        sites[{from, to}] = edge;
+      }
+      const auto& allowed = graph.allowed.at(from);
+      if (allowed.count(to) != 0) continue;
+      const std::string key = "layering(" + from + "->" + to + ")";
+      if (suppressions.Match(file.path, line, key)) {
+        ++result.suppressed;
+        continue;
+      }
+      std::ostringstream message;
+      message << file.path << ":" << line << ": layering: module '" << from
+              << "' may not include \"" << target << "\" (module '" << to
+              << "'); declared deps:";
+      if (allowed.empty()) {
+        message << " (none)";
+      } else {
+        for (const std::string& dep : allowed) message << " " << dep;
+      }
+      Finding finding;
+      finding.pass = "layering";
+      finding.file = file.path;
+      finding.line = line;
+      finding.key = key;
+      finding.message = message.str();
+      result.findings.push_back(std::move(finding));
+    }
+  }
+
+  FindCycles(actual_edges, sites, &result.findings);
+
+  for (const Finding& finding : suppressions.malformed()) {
+    result.findings.push_back(finding);
+  }
+  auto owns_key = [](const std::string& key) {
+    return key.rfind("layering(", 0) == 0;
+  };
+  for (Finding& finding : suppressions.UnusedFindings("layering", owns_key)) {
+    result.findings.push_back(std::move(finding));
+  }
+  SortAndDedupe(&result.findings);
+  return result;
+}
+
+}  // namespace procsim::lint

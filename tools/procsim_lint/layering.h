@@ -1,0 +1,53 @@
+#ifndef PROCSIM_TOOLS_PROCSIM_LINT_LAYERING_H_
+#define PROCSIM_TOOLS_PROCSIM_LINT_LAYERING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_core/core.h"
+
+/// \file
+/// The layering pass: parses `#include "mod/..."` edges across the src/
+/// modules, checks every edge against the dependency DAG declared in
+/// tools/procsim_lint/layers.txt, and reports undeclared (downward or
+/// sideways) includes and dependency cycles with the full include chain.
+/// Suppression key: `layering(from->to)`.
+
+namespace procsim::lint {
+
+/// The declared module DAG: `module: dep dep ...` per line, `#` comments.
+/// Every module must be declared (a line with no deps declares a leaf).
+struct LayerGraph {
+  std::vector<std::string> order;  ///< declaration order (bottom first)
+  std::map<std::string, std::set<std::string>> allowed;
+
+  bool declared(const std::string& module) const {
+    return allowed.count(module) != 0;
+  }
+};
+
+/// Parses layers.txt.  Malformed lines and declared cycles (the declaration
+/// itself must be a DAG) are reported as findings against `path`.
+LayerGraph ParseLayerGraph(const std::string& text, const std::string& path,
+                           std::vector<Finding>* findings);
+
+struct LayeringResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t edges_checked = 0;
+  std::size_t suppressed = 0;
+
+  bool ok() const { return findings.empty(); }
+};
+
+/// Checks every include edge in `files` against `graph`.  Files outside
+/// `src/<declared module>/` are ignored; includes of undeclared top-level
+/// directories (e.g. <system> headers, "gtest/...") are ignored too.
+LayeringResult AnalyzeLayering(const std::vector<SourceFile>& files,
+                               const LayerGraph& graph);
+
+}  // namespace procsim::lint
+
+#endif  // PROCSIM_TOOLS_PROCSIM_LINT_LAYERING_H_

@@ -1,0 +1,249 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "latch_lint/lint.h"
+#include "lint_core/core.h"
+#include "procsim_lint/annotations.h"
+#include "procsim_lint/layering.h"
+#include "procsim_lint/metrics_pass.h"
+
+/// The procsim_lint driver: runs the latch-rank, layering, metrics, and
+/// annotations passes (DESIGN.md §10) over DIR/src and reports findings as
+/// text or JSON.  Exit 0 = clean, 1 = findings, 2 = usage/setup error.
+
+namespace {
+
+namespace fs = std::filesystem;
+using procsim::lint::Finding;
+using procsim::lint::SourceFile;
+
+struct PassInfo {
+  const char* name;
+  const char* description;
+};
+
+constexpr PassInfo kPasses[] = {
+    {"latch-rank",
+     "latch acquisition order vs the LatchRank enum (src/util/latch.h)"},
+    {"layering",
+     "#include edges vs the module DAG (tools/procsim_lint/layers.txt)"},
+    {"metrics",
+     "metric names at instrumentation sites vs the catalog "
+     "(src/obs/metrics.cc) and the <area>.<noun>.<verb> convention"},
+    {"annotations",
+     "GUARDED_BY coverage of mutable members in lock-holding classes"},
+};
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool IsSourcePath(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+int Usage() {
+  std::cerr
+      << "usage: procsim_lint [--root DIR] [--pass NAME]... [--json]\n"
+      << "                    [--quiet] [--list-passes]\n"
+      << "\n"
+      << "Multi-pass static analyzer over DIR/src (default: cwd).  All\n"
+      << "passes run unless --pass selects a subset.  Findings are\n"
+      << "suppressed by `// procsim-lint: allow(<key>) because <reason>`\n"
+      << "comments on or directly above the offending line; a bare\n"
+      << "allow(), a missing reason, or a suppression that matches no\n"
+      << "finding is itself a finding.  --json emits the machine-readable\n"
+      << "report CI diffs against an empty-findings golden.  Exit 0 =\n"
+      << "clean, 1 = findings, 2 = usage/setup error.\n";
+  return 2;
+}
+
+bool ValidPass(const std::string& name) {
+  for (const PassInfo& pass : kPasses) {
+    if (name == pass.name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool quiet = false;
+  bool json = false;
+  std::set<std::string> selected;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--pass") {
+      if (i + 1 >= argc) return Usage();
+      const std::string name = argv[++i];
+      if (!ValidPass(name)) {
+        std::cerr << "procsim-lint: unknown pass '" << name
+                  << "' (see --list-passes)\n";
+        return 2;
+      }
+      selected.insert(name);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-passes") {
+      for (const PassInfo& pass : kPasses) {
+        std::cout << pass.name << "\t" << pass.description << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      return Usage();
+    }
+  }
+  auto enabled = [&](const std::string& name) {
+    return selected.empty() || selected.count(name) != 0;
+  };
+
+  // --- Load the corpus ------------------------------------------------------
+  const fs::path src_root = root / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src_root, ec)) {
+    std::cerr << "procsim-lint: no src/ under " << root.string()
+              << " (pass --root to point at the repo root)\n";
+    return 2;
+  }
+  std::vector<fs::path> paths;
+  for (fs::recursive_directory_iterator it(src_root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (it->is_regular_file() && IsSourcePath(it->path())) {
+      paths.push_back(it->path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  for (const fs::path& path : paths) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      std::cerr << "procsim-lint: cannot read " << path.string() << "\n";
+      return 2;
+    }
+    files.push_back({path.generic_string(), std::move(content)});
+  }
+
+  std::vector<Finding> findings;
+  std::vector<std::string> summaries;
+
+  // --- Pass 1: latch-rank ---------------------------------------------------
+  if (enabled("latch-rank")) {
+    const fs::path latch_header = root / "src" / "util" / "latch.h";
+    std::string latch_source;
+    if (!ReadFile(latch_header, &latch_source)) {
+      std::cerr << "procsim-lint: cannot read " << latch_header.string()
+                << "\n";
+      return 2;
+    }
+    const procsim::lint::RankTable ranks =
+        procsim::lint::ParseRankTable(latch_source);
+    if (ranks.empty()) {
+      std::cerr << "procsim-lint: no LatchRank enum found in "
+                << latch_header.string() << "\n";
+      return 2;
+    }
+    const procsim::lint::LintResult result =
+        procsim::lint::AnalyzeSources(files, ranks);
+    std::vector<Finding> pass = procsim::lint::ToFindings(result);
+    findings.insert(findings.end(), pass.begin(), pass.end());
+    std::ostringstream summary;
+    summary << "latch-rank: " << result.mutexes_found << " mutexes, "
+            << result.guard_sites_found << " guard sites, "
+            << result.edges_checked << " edges, " << result.suppressed_edges
+            << " suppressed, " << pass.size() << " findings";
+    summaries.push_back(summary.str());
+  }
+
+  // --- Pass 2: layering -----------------------------------------------------
+  if (enabled("layering")) {
+    const fs::path layers_path = root / "tools" / "procsim_lint" /
+                                 "layers.txt";
+    std::string layers_source;
+    if (!ReadFile(layers_path, &layers_source)) {
+      std::cerr << "procsim-lint: cannot read " << layers_path.string()
+                << "\n";
+      return 2;
+    }
+    std::vector<Finding> graph_findings;
+    const procsim::lint::LayerGraph graph = procsim::lint::ParseLayerGraph(
+        layers_source, layers_path.generic_string(), &graph_findings);
+    findings.insert(findings.end(), graph_findings.begin(),
+                    graph_findings.end());
+    const procsim::lint::LayeringResult result =
+        procsim::lint::AnalyzeLayering(files, graph);
+    findings.insert(findings.end(), result.findings.begin(),
+                    result.findings.end());
+    std::ostringstream summary;
+    summary << "layering: " << result.files_scanned << " files, "
+            << result.edges_checked << " include edges, "
+            << result.suppressed << " suppressed, "
+            << result.findings.size() + graph_findings.size()
+            << " findings";
+    summaries.push_back(summary.str());
+  }
+
+  // --- Pass 3: metrics ------------------------------------------------------
+  if (enabled("metrics")) {
+    const procsim::lint::MetricsResult result =
+        procsim::lint::AnalyzeMetrics(files);
+    findings.insert(findings.end(), result.findings.begin(),
+                    result.findings.end());
+    std::ostringstream summary;
+    summary << "metrics: " << result.catalog_names << " cataloged, "
+            << result.referenced_names << " referenced, "
+            << result.suppressed << " suppressed, " << result.findings.size()
+            << " findings";
+    summaries.push_back(summary.str());
+  }
+
+  // --- Pass 4: annotations --------------------------------------------------
+  if (enabled("annotations")) {
+    const procsim::lint::AnnotationResult result =
+        procsim::lint::AnalyzeAnnotations(files);
+    findings.insert(findings.end(), result.findings.begin(),
+                    result.findings.end());
+    std::ostringstream summary;
+    summary << "annotations: " << result.classes_with_locks
+            << " lock-holding classes, " << result.members_checked
+            << " members, " << result.suppressed << " suppressed, "
+            << result.findings.size() << " findings";
+    summaries.push_back(summary.str());
+  }
+
+  procsim::lint::SortAndDedupe(&findings);
+
+  if (json) {
+    std::cout << procsim::lint::RenderFindingsJson(findings);
+  } else {
+    std::cout << procsim::lint::RenderFindingsText(findings);
+    if (!quiet || !findings.empty()) {
+      for (const std::string& summary : summaries) {
+        std::cout << "procsim-lint: " << summary << "\n";
+      }
+      std::cout << "procsim-lint: " << findings.size()
+                << " total findings\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

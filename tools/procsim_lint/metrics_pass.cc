@@ -1,0 +1,202 @@
+#include "procsim_lint/metrics_pass.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace procsim::lint {
+namespace {
+
+constexpr char kCatalogBegin[] = "procsim-lint: metric-catalog-begin";
+constexpr char kCatalogEnd[] = "procsim-lint: metric-catalog-end";
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// `<area>.<noun>.<verb>`: exactly three lowercase dot-separated segments.
+bool FollowsConvention(const std::string& name) {
+  static const std::regex kConvention(
+      R"(^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$)");
+  return std::regex_match(name, kConvention);
+}
+
+struct NameSite {
+  std::string file;
+  int line = 0;
+};
+
+}  // namespace
+
+MetricsResult AnalyzeMetrics(const std::vector<SourceFile>& files) {
+  MetricsResult result;
+  SuppressionSet suppressions(files);
+
+  // --- Catalog extraction -------------------------------------------------
+  std::map<std::string, NameSite> catalog;  // name -> declaration site
+  const SourceFile* catalog_file = nullptr;
+  int catalog_begin = 0;
+  int catalog_end = 0;
+  for (const SourceFile& file : files) {
+    if (!EndsWith(file.path, "obs/metrics.cc")) continue;
+    catalog_file = &file;
+    const std::vector<std::string> lines = SplitLines(file.content);
+    bool inside = false;
+    static const std::regex kName(R"(\"([^\"]+)\")");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const int line_no = static_cast<int>(i + 1);
+      if (lines[i].find(kCatalogBegin) != std::string::npos) {
+        inside = true;
+        catalog_begin = line_no;
+        continue;
+      }
+      if (lines[i].find(kCatalogEnd) != std::string::npos) {
+        catalog_end = line_no;
+        break;
+      }
+      if (!inside) continue;
+      std::smatch match;
+      std::string rest = lines[i];
+      while (std::regex_search(rest, match, kName)) {
+        catalog.emplace(match[1].str(), NameSite{file.path, line_no});
+        rest = match.suffix();
+      }
+    }
+    break;
+  }
+  result.catalog_names = catalog.size();
+  if (catalog_file == nullptr || catalog.empty()) {
+    Finding finding;
+    finding.pass = "metrics";
+    finding.file = catalog_file == nullptr ? "obs/metrics.cc"
+                                           : catalog_file->path;
+    finding.message =
+        finding.file + ": metrics: no metric catalog found (want names " +
+        "between `" + std::string(kCatalogBegin) + "` and `" +
+        std::string(kCatalogEnd) + "` markers)";
+    result.findings.push_back(std::move(finding));
+    return result;
+  }
+
+  // --- Instrumentation-site references ------------------------------------
+  // The registration string may sit on the line after the call, so match
+  // across the whole file content and recover the line from the offset.
+  std::map<std::string, std::vector<NameSite>> referenced;
+  static const std::regex kSite(
+      R"((?:RegisterCounter|RegisterHistogram|FindCounter)\s*\(\s*\"([^\"]+)\")");
+  for (const SourceFile& file : files) {
+    const bool is_catalog_file =
+        catalog_file != nullptr && file.path == catalog_file->path;
+    for (auto it = std::sregex_iterator(file.content.begin(),
+                                        file.content.end(), kSite);
+         it != std::sregex_iterator(); ++it) {
+      const int line =
+          1 + static_cast<int>(std::count(
+                  file.content.begin(),
+                  file.content.begin() + it->position(0), '\n'));
+      if (is_catalog_file && line >= catalog_begin && line <= catalog_end) {
+        continue;  // the catalog is a declaration, not a reference
+      }
+      referenced[(*it)[1].str()].push_back(NameSite{file.path, line});
+    }
+  }
+  result.referenced_names = referenced.size();
+
+  // --- Checks -------------------------------------------------------------
+  auto suppressed = [&](const std::string& name, const NameSite& site) {
+    return suppressions.Match(site.file, site.line, "metric(" + name + ")");
+  };
+
+  for (const auto& [name, sites] : referenced) {
+    if (catalog.count(name) == 0) {
+      bool all_suppressed = true;
+      for (const NameSite& site : sites) {
+        if (suppressed(name, site)) continue;
+        all_suppressed = false;
+        Finding finding;
+        finding.pass = "metrics";
+        finding.file = site.file;
+        finding.line = site.line;
+        finding.key = "metric(" + name + ")";
+        finding.message = site.file + ":" + std::to_string(site.line) +
+                          ": metrics: '" + name +
+                          "' is referenced but not in the catalog " +
+                          "(obs/metrics.cc) — typo, or add it";
+        result.findings.push_back(std::move(finding));
+      }
+      if (all_suppressed) ++result.suppressed;
+    }
+    if (!FollowsConvention(name) && catalog.count(name) == 0) {
+      // Convention reported at the reference only when uncataloged;
+      // cataloged names are checked once at the catalog site below.
+      for (const NameSite& site : sites) {
+        if (suppressed(name, site)) continue;
+        Finding finding;
+        finding.pass = "metrics";
+        finding.file = site.file;
+        finding.line = site.line;
+        finding.key = "metric(" + name + ")";
+        finding.message = site.file + ":" + std::to_string(site.line) +
+                          ": metrics: '" + name +
+                          "' violates the naming convention " +
+                          "`<area>.<noun>.<verb>` (three lowercase " +
+                          "dot-separated segments)";
+        result.findings.push_back(std::move(finding));
+        break;
+      }
+    }
+  }
+
+  for (const auto& [name, site] : catalog) {
+    if (referenced.count(name) == 0) {
+      if (suppressed(name, site)) {
+        ++result.suppressed;
+      } else {
+        Finding finding;
+        finding.pass = "metrics";
+        finding.file = site.file;
+        finding.line = site.line;
+        finding.key = "metric(" + name + ")";
+        finding.message = site.file + ":" + std::to_string(site.line) +
+                          ": metrics: '" + name +
+                          "' is in the catalog but never referenced at an " +
+                          "instrumentation site — dead metric, delete it";
+        result.findings.push_back(std::move(finding));
+      }
+    }
+    if (!FollowsConvention(name)) {
+      if (suppressed(name, site)) {
+        ++result.suppressed;
+        continue;
+      }
+      Finding finding;
+      finding.pass = "metrics";
+      finding.file = site.file;
+      finding.line = site.line;
+      finding.key = "metric(" + name + ")";
+      finding.message = site.file + ":" + std::to_string(site.line) +
+                        ": metrics: '" + name +
+                        "' violates the naming convention " +
+                        "`<area>.<noun>.<verb>` (three lowercase " +
+                        "dot-separated segments)";
+      result.findings.push_back(std::move(finding));
+    }
+  }
+
+  for (const Finding& finding : suppressions.malformed()) {
+    result.findings.push_back(finding);
+  }
+  auto owns_key = [](const std::string& key) {
+    return key.rfind("metric(", 0) == 0;
+  };
+  for (Finding& finding : suppressions.UnusedFindings("metrics", owns_key)) {
+    result.findings.push_back(std::move(finding));
+  }
+  SortAndDedupe(&result.findings);
+  return result;
+}
+
+}  // namespace procsim::lint

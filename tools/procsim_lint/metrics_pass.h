@@ -1,0 +1,36 @@
+#ifndef PROCSIM_TOOLS_PROCSIM_LINT_METRICS_PASS_H_
+#define PROCSIM_TOOLS_PROCSIM_LINT_METRICS_PASS_H_
+
+#include <string>
+#include <vector>
+
+#include "lint_core/core.h"
+
+/// \file
+/// The metrics-consistency pass: the catalog block in src/obs/metrics.cc
+/// (between `procsim-lint: metric-catalog-begin/end` markers) declares the
+/// tree's metric namespace; every name referenced at an instrumentation
+/// site (RegisterCounter / RegisterHistogram / FindCounter) must be in the
+/// catalog (else: typo), every catalog name must be referenced somewhere
+/// (else: dead), and every name must follow the `<area>.<noun>.<verb>`
+/// convention — three lowercase dot-separated segments.  Suppression key:
+/// `metric(name)`.
+
+namespace procsim::lint {
+
+struct MetricsResult {
+  std::vector<Finding> findings;
+  std::size_t catalog_names = 0;
+  std::size_t referenced_names = 0;
+  std::size_t suppressed = 0;
+
+  bool ok() const { return findings.empty(); }
+};
+
+/// Runs the pass over `files`.  The catalog is read from the file whose
+/// path ends in `obs/metrics.cc`; a missing catalog is itself a finding.
+MetricsResult AnalyzeMetrics(const std::vector<SourceFile>& files);
+
+}  // namespace procsim::lint
+
+#endif  // PROCSIM_TOOLS_PROCSIM_LINT_METRICS_PASS_H_
