@@ -62,7 +62,7 @@ Result<Harness> BuildHarness(const CrossCheckOptions& options) {
   if (!built.ok()) return built.status();
   harness.db = built.TakeValueOrDie();
   Result<sim::StrategySet> strategies = sim::MakeAllStrategies(
-      harness.db.get(), options.params, options.model);
+      harness.db.get(), options.params, options.model, options.engine);
   if (!strategies.ok()) return strategies.status();
   harness.strategies = strategies.TakeValueOrDie();
   return harness;
@@ -131,6 +131,8 @@ Status CompareBatch(Harness* harness, const CrossCheckOptions& options,
         harness->strategies.cache_invalidate->lock_table(), total));
     PROCSIM_RETURN_IF_ERROR(ValidateInvalidationLog(
         harness->strategies.cache_invalidate->validity_log()));
+    PROCSIM_RETURN_IF_ERROR(
+        ValidateCacheBudget(*harness->strategies.budget));
   }
   return Status::OK();
 }
@@ -235,6 +237,7 @@ Result<CrossCheckReport> RunOpStream(
     }
     PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
   }
+  report.cache_evictions = harness.strategies.budget->eviction_count();
   return report;
 }
 

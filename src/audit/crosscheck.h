@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cost/params.h"
+#include "proc/engine_config.h"
 #include "sim/workload.h"
 #include "util/status.h"
 
@@ -37,8 +38,14 @@ struct CrossCheckOptions {
   std::size_t compare_sample = 0;
 
   /// Also run the deep structure validators (catalog/indexes, Rete network,
-  /// i-locks, invalidation log) after every update batch.
+  /// i-locks, invalidation log, cache budget) after every update batch.
   bool validate_structures = true;
+
+  /// Shard count and cache budget the six strategies run under.  An
+  /// adversarially tiny budget forces constant eviction; the oracle's
+  /// byte-identity guarantee must hold regardless (eviction is not
+  /// invalidation — a recompute restores the exact value).
+  proc::EngineConfig engine;
 };
 
 /// What a clean run did.
@@ -51,6 +58,8 @@ struct CrossCheckReport {
   /// Individual (procedure, strategy) result comparisons performed; each
   /// compared byte-for-byte against the un-metered from-scratch oracle.
   std::size_t comparisons = 0;
+  /// Cache-budget evictions over the run (0 when the budget is unlimited).
+  std::uint64_t cache_evictions = 0;
 };
 
 /// \brief The cross-strategy differential oracle.

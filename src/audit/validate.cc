@@ -96,6 +96,40 @@ Status ValidateInvalidationLog(const proc::InvalidationLog& log) {
   return log.CheckConsistency();
 }
 
+Status ValidateCacheBudget(const proc::CacheBudget& budget) {
+  std::vector<std::size_t> live_bytes(budget.shard_count(), 0);
+  Status status = Status::OK();
+  budget.ForEachEntry([&](const proc::CacheBudget::EntryInfo& entry) {
+    if (!status.ok()) return;
+    if (!entry.live) {
+      if (entry.bytes != 0) {
+        status = Status::Internal(
+            "evicted cache entry \"" + entry.label + "\" still accounts " +
+            std::to_string(entry.bytes) + " bytes");
+      }
+      return;
+    }
+    live_bytes[entry.shard] += entry.bytes;
+  });
+  PROCSIM_RETURN_IF_ERROR(status);
+  for (std::size_t shard = 0; shard < budget.shard_count(); ++shard) {
+    const std::size_t accounted = budget.shard_accounted_bytes(shard);
+    if (accounted != live_bytes[shard]) {
+      return Status::Internal(
+          "cache budget accounting drift in shard " + std::to_string(shard) +
+          ": accounted " + std::to_string(accounted) +
+          " bytes, live entries sum to " + std::to_string(live_bytes[shard]));
+    }
+    if (!budget.unlimited() && accounted > budget.shard_budget_bytes()) {
+      return Status::Internal(
+          "cache budget shard " + std::to_string(shard) + " holds " +
+          std::to_string(accounted) + " bytes, over its slice of " +
+          std::to_string(budget.shard_budget_bytes()));
+    }
+  }
+  return Status::OK();
+}
+
 Status ValidateRelation(const rel::Relation& relation,
                         storage::SimulatedDisk* disk) {
   storage::MeteringGuard guard(disk);

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "ivm/tuple_store.h"
+#include "proc/cache_budget.h"
 #include "proc/ilock.h"
 #include "proc/invalidation_log.h"
 #include "relational/catalog.h"
@@ -56,6 +57,12 @@ Status ValidateILockTable(const proc::ILockTable& locks,
 
 /// Invalidation log: monotone LSNs and records that map to live procedures.
 Status ValidateInvalidationLog(const proc::InvalidationLog& log);
+
+/// Cache budget: per-shard accounted bytes must equal the sum over live
+/// entries of that shard, every dead (evicted) entry must account zero
+/// bytes, and no shard may exceed its byte budget.  Run at quiescent points
+/// only (entries resize during transactions).
+Status ValidateCacheBudget(const proc::CacheBudget& budget);
 
 /// Relation: heap contents, B-tree and hash index must agree — every stored
 /// tuple is indexed under its key and every index entry resolves to a live

@@ -19,6 +19,8 @@ obs::Counter* const g_accesses =
     obs::GlobalMetrics().RegisterCounter("concurrent.engine.accesses");
 obs::Counter* const g_mutations =
     obs::GlobalMetrics().RegisterCounter("concurrent.engine.mutations");
+obs::Histogram* const g_access_cost = obs::GlobalMetrics().RegisterHistogram(
+    "concurrent.engine.access_cost_ms", obs::DefaultCostBuckets());
 
 }  // namespace
 
@@ -29,11 +31,11 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
   if (!built.ok()) return built.status();
   engine->db_ = built.TakeValueOrDie();
   Result<sim::StrategySet> strategies = sim::MakeAllStrategies(
-      engine->db_.get(), options.params, options.model);
+      engine->db_.get(), options.params, options.model, options.config);
   if (!strategies.ok()) return strategies.status();
   engine->strategies_ = strategies.TakeValueOrDie();
   const std::size_t stripes = std::max<std::size_t>(
-      1, std::min(options.slot_stripes, engine->db_->procedures.size()));
+      1, std::min(options.config.shards, engine->db_->procedures.size()));
   engine->slot_stripes_ = std::make_unique<util::LatchStripes>(
       util::LatchRank::kStrategySlot, "Engine::slot", stripes);
   return engine;
@@ -51,6 +53,10 @@ Result<std::string> Engine::Access(uint64_t access_id) {
   // (e.g. two sessions both finding CacheInvalidate's entry invalid).
   util::RankedLockGuard slot_guard(slot_stripes_->For(id));
 
+  // Metered cost of this access across all six strategies (total_ms is an
+  // atomic, so concurrent sessions perturb each other's deltas only by
+  // their own charges — the histogram is exact in barrier-stepped mode).
+  const double before_ms = db_->meter.total_ms();
   std::string expected;
   bool first = true;
   for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
@@ -70,6 +76,7 @@ Result<std::string> Engine::Access(uint64_t access_id) {
                               " under concurrent access");
     }
   }
+  g_access_cost->Observe(db_->meter.total_ms() - before_ms);
   return expected;
 }
 
@@ -127,6 +134,8 @@ Status Engine::ValidateAtQuiesce() {
       strategies_.cache_invalidate->lock_table(), db_->procedures.size()));
   PROCSIM_RETURN_IF_ERROR(audit::ValidateInvalidationLog(
       strategies_.cache_invalidate->validity_log()));
+  PROCSIM_RETURN_IF_ERROR(
+      audit::ValidateCacheBudget(*strategies_.budget));
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cost/params.h"
+#include "proc/engine_config.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
 #include "util/latch.h"
@@ -43,8 +44,11 @@ class Engine {
     cost::Params params;
     cost::ProcModel model = cost::ProcModel::kModel1;
     uint64_t seed = 42;
-    /// Number of per-procedure slot stripes (capped by procedure count).
-    std::size_t slot_stripes = 16;
+    /// One sharding dimension for the whole engine: slot stripes (capped by
+    /// procedure count), i-lock shards and cache-budget shards all flow
+    /// from `config.shards`; `config.cache_budget_bytes` caps the cached
+    /// results (0 = unlimited).
+    proc::EngineConfig config;
   };
 
   /// Builds the database and all six strategies (single-threaded).
@@ -73,6 +77,12 @@ class Engine {
   /// Quiescent-only (setup/teardown escape hatch; analysis disabled by
   /// design).
   sim::Database* database() NO_THREAD_SAFETY_ANALYSIS { return db_.get(); }
+
+  /// The shared cache budget (quiescent-only, same escape hatch as
+  /// database()).
+  proc::CacheBudget* cache_budget() NO_THREAD_SAFETY_ANALYSIS {
+    return strategies_.budget.get();
+  }
 
  private:
   Engine() = default;

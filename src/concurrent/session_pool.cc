@@ -151,6 +151,9 @@ Result<SessionPool::RunResult> SessionPool::Run(const Options& options) {
   PROCSIM_RETURN_IF_ERROR(engine->ValidateAtQuiesce());
   result.accesses = accesses.load();
   result.mutations = mutations.load();
+  result.total_cost_ms = engine->database()->meter.total_ms();
+  result.budget_accounted_bytes = engine->cache_budget()->accounted_bytes();
+  result.budget_evictions = engine->cache_budget()->eviction_count();
   return result;
 }
 

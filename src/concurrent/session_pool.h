@@ -56,6 +56,11 @@ class SessionPool {
     std::vector<std::string> access_digests;
     std::size_t accesses = 0;
     std::size_t mutations = 0;
+    /// Metered cost of the whole run (all sessions, all strategies).
+    double total_cost_ms = 0;
+    /// Cache-budget state at quiesce: bytes held and evictions performed.
+    std::size_t budget_accounted_bytes = 0;
+    uint64_t budget_evictions = 0;
   };
 
   /// Builds the engine, runs all sessions to completion, joins, and

@@ -15,6 +15,11 @@ namespace procsim::obs {
 /// site references is reported as dead.  Keep the list sorted.
 // procsim-lint: metric-catalog-begin
 [[maybe_unused]] const char* const kMetricCatalog[] = {
+    "cache.entries.admitted",
+    "cache.entries.reloaded",
+    "cache.evictions.bytes",
+    "cache.evictions.count",
+    "concurrent.engine.access_cost_ms",
     "concurrent.engine.accesses",
     "concurrent.engine.mutations",
     "concurrent.latch.acquisitions",
@@ -48,6 +53,7 @@ namespace procsim::obs {
     "rete.network.tokens_submitted",
     "rete.tconst.passed",
     "rete.tconst.tokens",
+    "shard.ilock.lookups",
     "sim.access.cost_ms",
     "sim.simulator.runs",
     "sim.update.cost_ms",

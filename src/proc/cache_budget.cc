@@ -1,0 +1,167 @@
+#include "proc/cache_budget.h"
+
+#include <limits>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_admitted =
+    obs::GlobalMetrics().RegisterCounter("cache.entries.admitted");
+obs::Counter* const g_evictions =
+    obs::GlobalMetrics().RegisterCounter("cache.evictions.count");
+obs::Counter* const g_eviction_bytes =
+    obs::GlobalMetrics().RegisterCounter("cache.evictions.bytes");
+
+constexpr std::size_t kNoVictim = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+using Guard = util::RankedLockGuard;
+
+std::vector<std::unique_ptr<CacheBudget::Shard>> CacheBudget::MakeShards(
+    std::size_t count) {
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards.push_back(std::make_unique<Shard>());
+  }
+  return shards;
+}
+
+CacheBudget::CacheBudget(std::size_t budget_bytes, std::size_t shards)
+    : budget_bytes_(budget_bytes),
+      map_(shards),
+      shard_budget_(budget_bytes / map_.size()),
+      shards_(MakeShards(map_.size())) {}
+
+CacheBudget::EntryId CacheBudget::Register(const std::string& label) {
+  const EntryId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardForId(id);
+  const std::size_t slot = map_.SlotFor(id);
+  Guard guard(shard.budget_latch);
+  if (shard.entries.size() <= slot) shard.entries.resize(slot + 1);
+  Entry& entry = shard.entries[slot];
+  entry.label = label;
+  entry.bytes = 0;
+  entry.last_touch = ++shard.clock;
+  entry.live = std::make_unique<std::atomic<bool>>(true);
+  return id;
+}
+
+const std::atomic<bool>* CacheBudget::LiveFlag(EntryId id) const {
+  Shard& shard = ShardForId(id);
+  const std::size_t slot = map_.SlotFor(id);
+  Guard guard(shard.budget_latch);
+  PROCSIM_CHECK_LT(slot, shard.entries.size())
+      << "cache-budget entry " << id << " was never registered";
+  return shard.entries[slot].live.get();
+}
+
+void CacheBudget::OnAccess(EntryId id) {
+  Shard& shard = ShardForId(id);
+  const std::size_t slot = map_.SlotFor(id);
+  Guard guard(shard.budget_latch);
+  Entry& entry = shard.entries[slot];
+  if (!entry.live->load(std::memory_order_relaxed)) return;
+  entry.last_touch = ++shard.clock;
+}
+
+void CacheBudget::Admit(EntryId id, std::size_t bytes) {
+  Shard& shard = ShardForId(id);
+  const std::size_t slot = map_.SlotFor(id);
+  Guard guard(shard.budget_latch);
+  Entry& entry = shard.entries[slot];
+  if (entry.live->load(std::memory_order_relaxed)) {
+    shard.bytes -= entry.bytes;
+  }
+  entry.bytes = bytes;
+  entry.last_touch = ++shard.clock;
+  entry.live->store(true, std::memory_order_release);
+  shard.bytes += bytes;
+  g_admitted->Add();
+  EvictUntilFits(shard);
+}
+
+void CacheBudget::Resize(EntryId id, std::size_t bytes) {
+  Shard& shard = ShardForId(id);
+  const std::size_t slot = map_.SlotFor(id);
+  Guard guard(shard.budget_latch);
+  Entry& entry = shard.entries[slot];
+  if (!entry.live->load(std::memory_order_relaxed)) return;
+  shard.bytes = shard.bytes - entry.bytes + bytes;
+  entry.bytes = bytes;
+  EvictUntilFits(shard);
+}
+
+void CacheBudget::EvictUntilFits(Shard& shard) {
+  if (budget_bytes_ == 0) return;  // unlimited: account, never evict
+  while (shard.bytes > shard_budget_) {
+    // LRU victim: smallest last_touch among live entries; ties cannot occur
+    // (the clock is strictly increasing), so the scan is deterministic.
+    std::size_t victim = kNoVictim;
+    std::uint64_t oldest = 0;
+    for (std::size_t slot = 0; slot < shard.entries.size(); ++slot) {
+      const Entry& entry = shard.entries[slot];
+      if (entry.live == nullptr ||
+          !entry.live->load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (victim == kNoVictim || entry.last_touch < oldest) {
+        victim = slot;
+        oldest = entry.last_touch;
+      }
+    }
+    if (victim == kNoVictim) break;  // nothing left to evict
+    Entry& entry = shard.entries[victim];
+    entry.live->store(false, std::memory_order_release);
+    shard.bytes -= entry.bytes;
+    g_evictions->Add();
+    g_eviction_bytes->Add(entry.bytes);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entry.bytes = 0;
+  }
+}
+
+std::size_t CacheBudget::accounted_bytes() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    Guard guard(shard->budget_latch);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+std::size_t CacheBudget::shard_accounted_bytes(std::size_t shard_index) const {
+  Shard& shard = *shards_[map_.At(shard_index)];
+  Guard guard(shard.budget_latch);
+  return shard.bytes;
+}
+
+void CacheBudget::ForEachEntry(
+    const std::function<void(const EntryInfo&)>& fn) const {
+  for (std::size_t index = 0; index < shards_.size(); ++index) {
+    Shard& shard = *shards_[index];
+    Guard guard(shard.budget_latch);
+    for (const Entry& entry : shard.entries) {
+      if (entry.live == nullptr) continue;  // registration gap
+      EntryInfo info;
+      info.label = entry.label;
+      info.bytes = entry.bytes;
+      info.live = entry.live->load(std::memory_order_relaxed);
+      info.shard = index;
+      fn(info);
+    }
+  }
+}
+
+void CacheBudget::CorruptAccountingForTesting(std::size_t shard_index,
+                                              std::size_t delta) {
+  Shard& shard = *shards_[map_.At(shard_index)];
+  Guard guard(shard.budget_latch);
+  shard.bytes += delta;
+}
+
+}  // namespace procsim::proc

@@ -24,6 +24,8 @@ obs::Counter* const g_true_invalidations =
 obs::Counter* const g_false_invalidations =
     obs::GlobalMetrics().RegisterCounter(
         "proc.cache_invalidate.false_invalidations");
+obs::Counter* const g_cache_reloads =
+    obs::GlobalMetrics().RegisterCounter("cache.entries.reloaded");
 
 /// Order-insensitive fingerprint of a result multiset, for classifying a
 /// refresh as a true invalidation (result changed) or a false one (the
@@ -41,9 +43,11 @@ std::vector<std::string> Fingerprint(const std::vector<rel::Tuple>& tuples) {
 
 CacheInvalidateStrategy::CacheInvalidateStrategy(
     rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
-    std::size_t result_tuple_bytes, double invalidation_cost_ms)
-    : Strategy(catalog, executor, meter, result_tuple_bytes),
-      invalidation_cost_ms_(invalidation_cost_ms) {}
+    std::size_t result_tuple_bytes, double invalidation_cost_ms,
+    EngineConfig config, CacheBudget* budget)
+    : Strategy(catalog, executor, meter, result_tuple_bytes, config, budget),
+      invalidation_cost_ms_(invalidation_cost_ms),
+      locks_(config.shards) {}
 
 Status CacheInvalidateStrategy::Prepare() {
   storage::MeteringGuard guard(catalog_->disk());
@@ -51,8 +55,13 @@ Status CacheInvalidateStrategy::Prepare() {
   entries_.resize(procedures_.size());
   validity_.emplace(procedures_.size());
   for (const DatabaseProcedure& procedure : procedures_) {
-    entries_[procedure.id].cache = std::make_unique<ivm::TupleStore>(
-        catalog_->disk(), result_tuple_bytes_);
+    Entry& entry = entries_[procedure.id];
+    entry.cache = std::make_unique<ivm::TupleStore>(catalog_->disk(),
+                                                    result_tuple_bytes_);
+    if (budget_ != nullptr) {
+      entry.budget_id = budget_->Register(name() + "/" + procedure.name);
+      entry.live = budget_->LiveFlag(entry.budget_id);
+    }
     Result<std::vector<rel::Tuple>> value = Recompute(procedure.id);
     if (!value.ok()) return value.status();
   }
@@ -68,6 +77,10 @@ Result<std::vector<rel::Tuple>> CacheInvalidateStrategy::Recompute(ProcId id) {
   g_recomputes->Add();
   PROCSIM_RETURN_IF_ERROR(entries_[id].cache->Rebuild(value.ValueOrDie()));
   PROCSIM_RETURN_IF_ERROR(validity_->MarkValid(id));
+  if (budget_ != nullptr) {
+    budget_->Admit(entries_[id].budget_id,
+                   value.ValueOrDie().size() * result_tuple_bytes_);
+  }
 
   // Re-acquire i-locks on everything the recomputation read: the B-tree
   // interval of the base selection and every hash key probed.
@@ -101,7 +114,16 @@ Result<std::vector<rel::Tuple>> CacheInvalidateStrategy::Access(ProcId id) {
   access_count_.fetch_add(1, std::memory_order_relaxed);
   g_accesses->Add();
   if (validity_->IsValid(id)) {
-    return entries_[id].cache->ReadAll();
+    Entry& entry = entries_[id];
+    if (EntryLive(entry)) {
+      if (budget_ != nullptr) budget_->OnAccess(entry.budget_id);
+      return entry.cache->ReadAll();
+    }
+    // Valid but evicted by the budget: the cached pages are gone, so this
+    // access degrades to Always-Recompute and re-admits the fresh value.
+    eviction_reload_count_.fetch_add(1, std::memory_order_relaxed);
+    g_cache_reloads->Add();
+    return Recompute(id);
   }
   invalid_access_count_.fetch_add(1, std::memory_order_relaxed);
   g_invalid_accesses->Add();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ivm/tuple_store.h"
+#include "proc/cache_budget.h"
 #include "proc/ilock.h"
 #include "proc/invalidation_log.h"
 #include "proc/strategy.h"
@@ -34,7 +35,9 @@ class CacheInvalidateStrategy : public Strategy {
  public:
   CacheInvalidateStrategy(rel::Catalog* catalog, rel::Executor* executor,
                           CostMeter* meter, std::size_t result_tuple_bytes,
-                          double invalidation_cost_ms);
+                          double invalidation_cost_ms,
+                          EngineConfig config = {},
+                          CacheBudget* budget = nullptr);
 
   std::string name() const override { return "CacheInvalidate"; }
 
@@ -62,6 +65,12 @@ class CacheInvalidateStrategy : public Strategy {
     return invalid_access_count_.load(std::memory_order_relaxed);
   }
 
+  /// Accesses that found a VALID entry evicted by the cache budget and had
+  /// to recompute (the AR-like degradation under memory pressure).
+  std::size_t eviction_reload_count() const {
+    return eviction_reload_count_.load(std::memory_order_relaxed);
+  }
+
   const ILockTable& lock_table() const { return locks_; }
 
   /// The §3 recoverable validity store backing this strategy.  Valid after
@@ -80,7 +89,15 @@ class CacheInvalidateStrategy : public Strategy {
  private:
   struct Entry {
     std::unique_ptr<ivm::TupleStore> cache;
+    CacheBudget::EntryId budget_id = 0;
+    /// Latch-free eviction poll (null when no budget is attached).
+    const std::atomic<bool>* live = nullptr;
   };
+
+  bool EntryLive(const Entry& entry) const {
+    return entry.live == nullptr ||
+           entry.live->load(std::memory_order_acquire);
+  }
 
   /// Recomputes procedure `id`, refreshes its cache and re-acquires locks.
   Result<std::vector<rel::Tuple>> Recompute(ProcId id);
@@ -96,6 +113,7 @@ class CacheInvalidateStrategy : public Strategy {
   std::atomic<std::size_t> invalidation_count_{0};
   std::atomic<std::size_t> access_count_{0};
   std::atomic<std::size_t> invalid_access_count_{0};
+  std::atomic<std::size_t> eviction_reload_count_{0};
 };
 
 }  // namespace procsim::proc

@@ -1,0 +1,31 @@
+#ifndef PROCSIM_PROC_ENGINE_CONFIG_H_
+#define PROCSIM_PROC_ENGINE_CONFIG_H_
+
+#include <cstddef>
+
+#include "util/shard.h"
+
+namespace procsim::proc {
+
+/// \brief Engine-wide sharding and memory-budget configuration.
+///
+/// One value of this struct flows from the top (concurrent::Engine::Options,
+/// audit::CrossCheckOptions, sim::Simulator::Options) down into every
+/// partitioned structure, so the i-lock stripes, the cache-budget shards and
+/// the engine's slot stripes all agree on the partitioning instead of each
+/// hardcoding its own constant.
+struct EngineConfig {
+  /// Shard count for every partitioned structure (util::ShardMap).
+  std::size_t shards = util::kDefaultShardCount;
+
+  /// Global cache budget in bytes, split evenly across shards; cached
+  /// procedure results beyond the budget are evicted LRU-first and
+  /// recomputed on next access (AR-like degradation).  0 = unlimited:
+  /// nothing is ever evicted, but byte accounting still runs so memory
+  /// footprints stay observable.
+  std::size_t cache_budget_bytes = 0;
+};
+
+}  // namespace procsim::proc
+
+#endif  // PROCSIM_PROC_ENGINE_CONFIG_H_

@@ -12,19 +12,24 @@ HybridStrategy::HybridStrategy(rel::Catalog* catalog, rel::Executor* executor,
                                CostMeter* meter,
                                std::size_t result_tuple_bytes,
                                const cost::Params& params,
-                               cost::ProcModel model, double safety_margin)
-    : Strategy(catalog, executor, meter, result_tuple_bytes),
+                               cost::ProcModel model, double safety_margin,
+                               EngineConfig config, CacheBudget* budget)
+    : Strategy(catalog, executor, meter, result_tuple_bytes, config, budget),
       params_(params),
       model_(model),
       safety_margin_(safety_margin) {
+  // Sub-strategies share the hybrid's budget: their cached copies compete
+  // for the same global byte pool as everyone else's.
   subs_.push_back(std::make_unique<AlwaysRecomputeStrategy>(
-      catalog, executor, meter, result_tuple_bytes));
+      catalog, executor, meter, result_tuple_bytes, config, budget));
   subs_.push_back(std::make_unique<CacheInvalidateStrategy>(
-      catalog, executor, meter, result_tuple_bytes, params.C_inval));
+      catalog, executor, meter, result_tuple_bytes, params.C_inval, config,
+      budget));
   subs_.push_back(std::make_unique<UpdateCacheAvmStrategy>(
-      catalog, executor, meter, result_tuple_bytes));
+      catalog, executor, meter, result_tuple_bytes, config, budget));
   subs_.push_back(std::make_unique<UpdateCacheRvmStrategy>(
-      catalog, executor, meter, result_tuple_bytes));
+      catalog, executor, meter, result_tuple_bytes,
+      rete::ReteNetwork::JoinShape::kRightDeep, config, budget));
 }
 
 Strategy* HybridStrategy::SubStrategy(cost::Strategy strategy) {

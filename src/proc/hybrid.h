@@ -27,7 +27,8 @@ class HybridStrategy : public Strategy {
   HybridStrategy(rel::Catalog* catalog, rel::Executor* executor,
                  CostMeter* meter, std::size_t result_tuple_bytes,
                  const cost::Params& params, cost::ProcModel model,
-                 double safety_margin = 1.25);
+                 double safety_margin = 1.25, EngineConfig config = {},
+                 CacheBudget* budget = nullptr);
 
   std::string name() const override { return "Hybrid"; }
 

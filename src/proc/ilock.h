@@ -1,9 +1,9 @@
 #ifndef PROCSIM_PROC_ILOCK_H_
 #define PROCSIM_PROC_ILOCK_H_
 
-#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +11,7 @@
 #include "util/latch.h"
 #include "proc/procedure.h"
 #include "relational/tuple.h"
+#include "util/shard.h"
 #include "util/thread_annotations.h"
 
 namespace procsim::proc {
@@ -26,14 +27,15 @@ namespace procsim::proc {
 /// index structures); the paper charges no I/O for it — only the downstream
 /// screening/invalidations are charged by the callers.
 ///
-/// Thread safety: the table is sharded by relation name, each shard behind
-/// its own kILock stripe latch.  Per-operation calls (AddIntervalLock,
-/// FindBroken) touch exactly one shard; whole-table sweeps (ClearLocks,
-/// lock_count, ForEachLock) latch shards one at a time and never hold two,
-/// so stripe latches cannot deadlock against each other.
+/// Thread safety: the table is sharded by relation name (util::ShardMap;
+/// shard count flows from proc::EngineConfig), each shard behind its own
+/// kILock stripe latch.  Per-operation calls (AddIntervalLock, FindBroken)
+/// touch exactly one shard; whole-table sweeps (ClearLocks, lock_count,
+/// ForEachLock) latch shards one at a time and never hold two, so stripe
+/// latches cannot deadlock against each other.
 class ILockTable {
  public:
-  ILockTable() = default;
+  explicit ILockTable(std::size_t shards = util::kDefaultShardCount);
   ILockTable(const ILockTable&) = delete;
   ILockTable& operator=(const ILockTable&) = delete;
 
@@ -57,6 +59,13 @@ class ILockTable {
 
   std::size_t lock_count() const;
 
+  /// How many shards the table is partitioned into.
+  std::size_t shard_count() const { return map_.size(); }
+
+  /// Locks currently held in shard `index` (bounds-checked; aborts on an
+  /// out-of-range index).
+  std::size_t shard_lock_count(std::size_t index) const;
+
   /// Calls `fn(relation, owner, column, lo, hi)` for every lock; iteration
   /// order is unspecified.  Used by audit::ValidateILockTable.  The
   /// callback runs with one stripe latch held — it must not call back into
@@ -73,8 +82,6 @@ class ILockTable {
     int64_t hi;
   };
 
-  static constexpr std::size_t kShards = 8;
-
   struct Shard {
     util::RankedMutex latch{util::LatchRank::kILock,
                                   "ILockTable::shard"};
@@ -82,11 +89,14 @@ class ILockTable {
         GUARDED_BY(latch);
   };
 
+  static std::vector<std::unique_ptr<Shard>> MakeShards(std::size_t count);
+
   Shard& ShardFor(const std::string& relation) const {
-    return shards_[std::hash<std::string>{}(relation) % kShards];
+    return *shards_[map_.ForName(relation)];
   }
 
-  mutable std::array<Shard, kShards> shards_;
+  const util::ShardMap map_;
+  const std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace procsim::proc

@@ -5,11 +5,14 @@
 namespace procsim::proc {
 
 Strategy::Strategy(rel::Catalog* catalog, rel::Executor* executor,
-                   CostMeter* meter, std::size_t result_tuple_bytes)
+                   CostMeter* meter, std::size_t result_tuple_bytes,
+                   EngineConfig config, CacheBudget* budget)
     : catalog_(catalog),
       executor_(executor),
       meter_(meter),
-      result_tuple_bytes_(result_tuple_bytes) {
+      result_tuple_bytes_(result_tuple_bytes),
+      config_(config),
+      budget_(budget) {
   PROCSIM_CHECK(catalog != nullptr);
   PROCSIM_CHECK(executor != nullptr);
   PROCSIM_CHECK(meter != nullptr);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "proc/engine_config.h"
 #include "proc/procedure.h"
 #include "relational/catalog.h"
 #include "relational/executor.h"
@@ -11,6 +12,8 @@
 #include "util/cost_meter.h"
 
 namespace procsim::proc {
+
+class CacheBudget;
 
 /// \brief Base class of the paper's query-processing strategies for
 /// database procedures: Always Recompute, Cache and Invalidate, and the two
@@ -31,8 +34,14 @@ namespace procsim::proc {
 /// strategies, excluded by the paper's analysis) is not charged.
 class Strategy : public rel::UpdateObserver {
  public:
+  /// `config` supplies the sharding dimensions (i-lock stripes, budget
+  /// shards); `budget`, when non-null, accounts every cached result this
+  /// strategy materializes and may evict entries between accesses (the
+  /// strategy then degrades to recompute-on-access for that entry).  The
+  /// budget must outlive the strategy.
   Strategy(rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
-           std::size_t result_tuple_bytes);
+           std::size_t result_tuple_bytes, EngineConfig config = {},
+           CacheBudget* budget = nullptr);
   ~Strategy() override = default;
 
   virtual std::string name() const = 0;
@@ -65,6 +74,8 @@ class Strategy : public rel::UpdateObserver {
   rel::Executor* executor_;
   CostMeter* meter_;
   std::size_t result_tuple_bytes_;
+  EngineConfig config_;
+  CacheBudget* budget_;  ///< may be null (no accounting, no eviction)
   std::vector<DatabaseProcedure> procedures_;
 };
 

@@ -2,15 +2,22 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace procsim::proc {
+namespace {
+
+obs::Counter* const g_cache_reloads =
+    obs::GlobalMetrics().RegisterCounter("cache.entries.reloaded");
+
+}  // namespace
 
 UpdateCacheAdaptiveStrategy::UpdateCacheAdaptiveStrategy(
     rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
     std::size_t result_tuple_bytes, double patch_fraction,
-    std::size_t max_unread_patches)
-    : Strategy(catalog, executor, meter, result_tuple_bytes),
+    std::size_t max_unread_patches, EngineConfig config, CacheBudget* budget)
+    : Strategy(catalog, executor, meter, result_tuple_bytes, config, budget),
       patch_fraction_(patch_fraction),
       max_unread_patches_(max_unread_patches) {
   PROCSIM_CHECK_GE(patch_fraction, 0.0);
@@ -26,6 +33,12 @@ Status UpdateCacheAdaptiveStrategy::Prepare() {
     entry.maintainer = std::make_unique<ivm::AvmViewMaintainer>(
         procedure.query, executor_, catalog_->disk(), result_tuple_bytes_);
     PROCSIM_RETURN_IF_ERROR(entry.maintainer->Initialize());
+    if (budget_ != nullptr) {
+      entry.budget_id = budget_->Register(name() + "/" + procedure.name);
+      entry.live = budget_->LiveFlag(entry.budget_id);
+      budget_->Admit(entry.budget_id, entry.maintainer->store().size() *
+                                          result_tuple_bytes_);
+    }
     Result<rel::Relation*> base =
         catalog_->GetRelation(procedure.query.base.relation);
     if (!base.ok()) return base.status();
@@ -44,8 +57,13 @@ Result<std::vector<rel::Tuple>> UpdateCacheAdaptiveStrategy::Access(
     return Status::NotFound("no procedure with id " + std::to_string(id));
   }
   Entry& entry = entries_[id];
-  if (!entry.valid) {
+  const bool evicted = !EntryLive(entry);
+  if (!entry.valid || evicted) {
     // Recompute and refresh the stored copy, as Cache and Invalidate does.
+    // A budget eviction of a still-valid entry takes the same path (the
+    // stored pages are gone), but is counted as a reload, not an
+    // invalidation.
+    if (evicted && entry.valid) g_cache_reloads->Add();
     Result<std::vector<rel::Tuple>> value =
         executor_->Execute(procedures_[id].query);
     if (!value.ok()) return value.status();
@@ -54,8 +72,13 @@ Result<std::vector<rel::Tuple>> UpdateCacheAdaptiveStrategy::Access(
     entry.valid = true;
     entry.pending.Clear();
     entry.unread_patches = 0;
+    if (budget_ != nullptr) {
+      budget_->Admit(entry.budget_id,
+                     value.ValueOrDie().size() * result_tuple_bytes_);
+    }
     return value;
   }
+  if (budget_ != nullptr) budget_->OnAccess(entry.budget_id);
   entry.unread_patches = 0;
   return entry.maintainer->Read();
 }
@@ -66,6 +89,7 @@ void UpdateCacheAdaptiveStrategy::HandleWrite(const std::string& relation,
   for (ProcId id : locks_.FindBroken(relation, tuple)) {
     Entry& entry = entries_[id];
     if (!entry.valid) continue;  // already invalid; recompute will catch up
+    if (!EntryLive(entry)) continue;  // evicted; next access recomputes
     Result<bool> matches =
         executor_->MatchesBase(entry.maintainer->query(), tuple);
     if (!matches.ok()) {
@@ -95,6 +119,12 @@ void UpdateCacheAdaptiveStrategy::OnDelete(const std::string& relation,
 Status UpdateCacheAdaptiveStrategy::OnTransactionEnd() {
   PROCSIM_RETURN_IF_ERROR(deferred_error_);
   for (Entry& entry : entries_) {
+    // A sibling's Resize below may evict this entry mid-loop; its pending
+    // deltas are moot (next access recomputes from base tables).
+    if (!EntryLive(entry)) {
+      entry.pending.Clear();
+      continue;
+    }
     if (!entry.valid || entry.pending.empty()) continue;
     const double delta_size =
         static_cast<double>(entry.pending.TotalNetSize());
@@ -105,6 +135,10 @@ Status UpdateCacheAdaptiveStrategy::OnTransactionEnd() {
       PROCSIM_RETURN_IF_ERROR(entry.maintainer->ApplyBaseDelta(entry.pending));
       ++patch_count_;
       ++entry.unread_patches;
+      if (budget_ != nullptr) {
+        budget_->Resize(entry.budget_id, entry.maintainer->store().size() *
+                                             result_tuple_bytes_);
+      }
     } else {
       entry.valid = false;
       ++invalidate_count_;

@@ -1,12 +1,14 @@
 #ifndef PROCSIM_PROC_UPDATE_CACHE_ADAPTIVE_H_
 #define PROCSIM_PROC_UPDATE_CACHE_ADAPTIVE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ivm/avm.h"
 #include "ivm/delta.h"
+#include "proc/cache_budget.h"
 #include "proc/ilock.h"
 #include "proc/strategy.h"
 
@@ -38,7 +40,9 @@ class UpdateCacheAdaptiveStrategy : public Strategy {
                               CostMeter* meter,
                               std::size_t result_tuple_bytes,
                               double patch_fraction = 0.25,
-                              std::size_t max_unread_patches = 4);
+                              std::size_t max_unread_patches = 4,
+                              EngineConfig config = {},
+                              CacheBudget* budget = nullptr);
 
   std::string name() const override { return "UpdateCache/Adaptive"; }
 
@@ -60,7 +64,15 @@ class UpdateCacheAdaptiveStrategy : public Strategy {
     bool valid = true;
     /// Patches applied since the last Access() of this procedure.
     std::size_t unread_patches = 0;
+    CacheBudget::EntryId budget_id = 0;
+    /// Latch-free eviction poll (null when no budget is attached).
+    const std::atomic<bool>* live = nullptr;
   };
+
+  bool EntryLive(const Entry& entry) const {
+    return entry.live == nullptr ||
+           entry.live->load(std::memory_order_acquire);
+  }
 
   void HandleWrite(const std::string& relation, const rel::Tuple& tuple,
                    bool is_insert);
@@ -68,7 +80,7 @@ class UpdateCacheAdaptiveStrategy : public Strategy {
   double patch_fraction_;
   std::size_t max_unread_patches_;
   std::vector<Entry> entries_;
-  ILockTable locks_;
+  ILockTable locks_{config_.shards};
   Status deferred_error_;
   std::size_t patch_count_ = 0;
   std::size_t invalidate_count_ = 0;

@@ -12,6 +12,8 @@ obs::Counter* const g_delta_tuples = obs::GlobalMetrics().RegisterCounter(
     "proc.update_cache_avm.delta_tuples_applied");
 obs::Counter* const g_refreshes = obs::GlobalMetrics().RegisterCounter(
     "proc.update_cache_avm.cache_refreshes");
+obs::Counter* const g_cache_reloads =
+    obs::GlobalMetrics().RegisterCounter("cache.entries.reloaded");
 
 }  // namespace
 
@@ -24,6 +26,12 @@ Status UpdateCacheAvmStrategy::Prepare() {
     entry.maintainer = std::make_unique<ivm::AvmViewMaintainer>(
         procedure.query, executor_, catalog_->disk(), result_tuple_bytes_);
     PROCSIM_RETURN_IF_ERROR(entry.maintainer->Initialize());
+    if (budget_ != nullptr) {
+      entry.budget_id = budget_->Register(name() + "/" + procedure.name);
+      entry.live = budget_->LiveFlag(entry.budget_id);
+      budget_->Admit(entry.budget_id, entry.maintainer->store().size() *
+                                          result_tuple_bytes_);
+    }
     // Register the base-selection interval so broken locks can be found.
     Result<rel::Relation*> base =
         catalog_->GetRelation(procedure.query.base.relation);
@@ -42,7 +50,26 @@ Result<std::vector<rel::Tuple>> UpdateCacheAvmStrategy::Access(ProcId id) {
     return Status::NotFound("no procedure with id " + std::to_string(id));
   }
   g_accesses->Add();
-  return entries_[id].maintainer->Read();
+  Entry& entry = entries_[id];
+  if (EntryLive(entry)) {
+    if (budget_ != nullptr) budget_->OnAccess(entry.budget_id);
+    return entry.maintainer->Read();
+  }
+  // Evicted by the budget: the maintained copy is gone, so recompute from
+  // the base tables (AR-like degradation), re-seed the maintainer, and
+  // re-admit the fresh value.  Deltas accumulated for the dead copy are
+  // stale — the recomputation already reflects them.
+  g_cache_reloads->Add();
+  Result<std::vector<rel::Tuple>> value =
+      executor_->Execute(entry.maintainer->query());
+  if (!value.ok()) return value.status();
+  PROCSIM_RETURN_IF_ERROR(entry.maintainer->ResetContents(value.ValueOrDie()));
+  entry.pending.Clear();
+  if (budget_ != nullptr) {
+    budget_->Admit(entry.budget_id,
+                   value.ValueOrDie().size() * result_tuple_bytes_);
+  }
+  return value;
 }
 
 void UpdateCacheAvmStrategy::HandleWrite(const std::string& relation,
@@ -50,6 +77,9 @@ void UpdateCacheAvmStrategy::HandleWrite(const std::string& relation,
                                          bool is_insert) {
   for (ProcId id : locks_.FindBroken(relation, tuple)) {
     Entry& entry = entries_[id];
+    // An evicted copy cannot be patched; the next access recomputes it, so
+    // tracking deltas for it would only waste C3 work.
+    if (!EntryLive(entry)) continue;
     // Screen the written tuple against the full procedure predicate (C1 per
     // term, at least one) and track it in the A_net/D_net structures (C3).
     Result<bool> matches =
@@ -81,11 +111,21 @@ void UpdateCacheAvmStrategy::OnDelete(const std::string& relation,
 Status UpdateCacheAvmStrategy::OnTransactionEnd() {
   PROCSIM_RETURN_IF_ERROR(deferred_error_);
   for (Entry& entry : entries_) {
+    // A sibling's Resize below may evict this entry mid-loop: its pending
+    // deltas are then moot (next access recomputes from base tables).
+    if (!EntryLive(entry)) {
+      entry.pending.Clear();
+      continue;
+    }
     if (entry.pending.empty()) continue;
     g_delta_tuples->Add(entry.pending.TotalNetSize());
     PROCSIM_RETURN_IF_ERROR(entry.maintainer->ApplyBaseDelta(entry.pending));
     entry.pending.Clear();
     g_refreshes->Add();
+    if (budget_ != nullptr) {
+      budget_->Resize(entry.budget_id, entry.maintainer->store().size() *
+                                           result_tuple_bytes_);
+    }
   }
   return Status::OK();
 }

@@ -1,12 +1,14 @@
 #ifndef PROCSIM_PROC_UPDATE_CACHE_AVM_H_
 #define PROCSIM_PROC_UPDATE_CACHE_AVM_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ivm/avm.h"
 #include "ivm/delta.h"
+#include "proc/cache_budget.h"
 #include "proc/ilock.h"
 #include "proc/strategy.h"
 
@@ -42,13 +44,21 @@ class UpdateCacheAvmStrategy : public Strategy {
   struct Entry {
     std::unique_ptr<ivm::AvmViewMaintainer> maintainer;
     ivm::DeltaSet pending;
+    CacheBudget::EntryId budget_id = 0;
+    /// Latch-free eviction poll (null when no budget is attached).
+    const std::atomic<bool>* live = nullptr;
   };
+
+  bool EntryLive(const Entry& entry) const {
+    return entry.live == nullptr ||
+           entry.live->load(std::memory_order_acquire);
+  }
 
   void HandleWrite(const std::string& relation, const rel::Tuple& tuple,
                    bool is_insert);
 
   std::vector<Entry> entries_;
-  ILockTable locks_;
+  ILockTable locks_{config_.shards};
   Status deferred_error_;
 };
 

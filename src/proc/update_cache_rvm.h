@@ -3,8 +3,11 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "proc/cache_budget.h"
 #include "proc/strategy.h"
 #include "rete/network.h"
 
@@ -21,7 +24,8 @@ class UpdateCacheRvmStrategy : public Strategy {
       rel::Catalog* catalog, rel::Executor* executor, CostMeter* meter,
       std::size_t result_tuple_bytes,
       rete::ReteNetwork::JoinShape shape =
-          rete::ReteNetwork::JoinShape::kRightDeep);
+          rete::ReteNetwork::JoinShape::kRightDeep,
+      EngineConfig config = {}, CacheBudget* budget = nullptr);
 
   std::string name() const override { return "UpdateCache/RVM"; }
 
@@ -51,6 +55,14 @@ class UpdateCacheRvmStrategy : public Strategy {
   rete::ReteNetwork::JoinShape shape_;
   std::unique_ptr<rete::ReteNetwork> network_;
   std::vector<rete::MemoryNode*> result_memories_;
+  /// Budgeted result memories in registration (deterministic) order.  Only
+  /// *terminal* memories are budgeted: evicting a shared interior memory
+  /// would starve downstream joins.  Shared terminal memories (several
+  /// procedures mapping to one node) register once.
+  std::vector<std::pair<rete::MemoryNode*, CacheBudget::EntryId>>
+      budget_entries_;
+  std::unordered_map<const rete::MemoryNode*, CacheBudget::EntryId>
+      budget_index_;
   Status deferred_error_;
 };
 

@@ -410,6 +410,9 @@ Status ReteNetwork::ValidateState() const {
   // α-memories: each must equal a from-scratch recomputation of its
   // selection against the base relation.
   for (const auto& entry : selections_) {
+    // A budget-evicted memory is allowed (required, even) to diverge: it is
+    // terminal, so no join reads it, and the owner recomputes on access.
+    if (entry->memory->evicted()) continue;
     PROCSIM_RETURN_IF_ERROR(entry->memory->store().CheckConsistency());
     Result<rel::Relation*> base = catalog_->GetRelation(entry->relation);
     if (!base.ok()) return base.status();
@@ -452,6 +455,8 @@ Status ReteNetwork::ValidateState() const {
       return Status::Internal("and-node " + and_node->Describe() +
                               " has no beta-memory successor");
     }
+    // Evicted β-memories (terminal only, like α above) skip validation.
+    if (beta->evicted()) continue;
     PROCSIM_RETURN_IF_ERROR(beta->store().CheckConsistency());
     std::vector<Tuple> expected;
     const std::vector<Tuple> left =

@@ -90,7 +90,16 @@ Result<std::vector<Tuple>> MemoryNode::ProbeEqual(std::size_t column,
   return store_.ProbeEqual(column, key);
 }
 
+Status MemoryNode::ResetContents(const std::vector<Tuple>& tuples) {
+  util::RankedLockGuard guard(latch_);
+  return store_.Rebuild(tuples);
+}
+
 Status MemoryNode::Activate(const Token& token) {
+  // An evicted memory holds no pages to maintain: drop the token.  Only
+  // terminal memories can be evicted, so nothing downstream misses it; the
+  // owner recomputes from base tables on the next access.
+  if (evicted()) return Status::OK();
   {
     // Latch only the store mutation; drop before propagating so no two
     // memory latches are ever held together (see class comment).

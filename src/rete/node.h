@@ -1,6 +1,7 @@
 #ifndef PROCSIM_RETE_NODE_H_
 #define PROCSIM_RETE_NODE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -113,11 +114,35 @@ class MemoryNode : public ReteNode {
   Result<std::vector<rel::Tuple>> ProbeEqual(std::size_t column,
                                              int64_t key) const;
 
+  /// Attaches a cache-budget liveness flag (proc::CacheBudget::LiveFlag).
+  /// Only terminal memories (no successors) may be bound: an evicted memory
+  /// drops incoming tokens, which would starve downstream joins.  Bound at
+  /// Prepare time, before any concurrency.
+  void BindEvictionFlag(const std::atomic<bool>* live) {
+    live_flag_.store(live, std::memory_order_release);
+  }
+
+  /// Whether the budget has evicted this memory's contents.  False when no
+  /// flag is bound (unbudgeted networks).
+  bool evicted() const {
+    const std::atomic<bool>* live =
+        live_flag_.load(std::memory_order_acquire);
+    return live != nullptr && !live->load(std::memory_order_acquire);
+  }
+
+  /// Replaces the memory contents wholesale — the owning strategy's
+  /// recompute-after-eviction path.  Runs under the memory latch; callers
+  /// must be quiescent with respect to token flow into this memory.
+  Status ResetContents(const std::vector<rel::Tuple>& tuples);
+
  private:
   mutable util::RankedMutex latch_{
       util::LatchRank::kReteMemory, "MemoryNode"};
   ivm::TupleStore store_ GUARDED_BY(latch_);
   const bool is_beta_;
+  /// Double-atomic: the outer pointer is bound once at Prepare time; the
+  /// inner bool is flipped by CacheBudget eviction on other threads.
+  std::atomic<const std::atomic<bool>*> live_flag_{nullptr};
 };
 
 /// \brief A two-input join node: `left.column op right.column`.

@@ -36,22 +36,26 @@ std::vector<std::string> CanonicalizeResult(
 }
 
 std::unique_ptr<proc::Strategy> Simulator::MakeStrategy(
-    Strategy strategy_kind, Database* db, const cost::Params& params) {
+    Strategy strategy_kind, Database* db, const cost::Params& params,
+    const proc::EngineConfig& config, proc::CacheBudget* budget) {
   const auto tuple_bytes = static_cast<std::size_t>(params.S);
   switch (strategy_kind) {
     case Strategy::kAlwaysRecompute:
       return std::make_unique<proc::AlwaysRecomputeStrategy>(
-          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes);
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
+          config, budget);
     case Strategy::kCacheInvalidate:
       return std::make_unique<proc::CacheInvalidateStrategy>(
           db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
-          params.C_inval);
+          params.C_inval, config, budget);
     case Strategy::kUpdateCacheAvm:
       return std::make_unique<proc::UpdateCacheAvmStrategy>(
-          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes);
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
+          config, budget);
     case Strategy::kUpdateCacheRvm:
       return std::make_unique<proc::UpdateCacheRvmStrategy>(
-          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes);
+          db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
+          rete::ReteNetwork::JoinShape::kRightDeep, config, budget);
   }
   PROCSIM_CHECK(false) << "unreachable";
   return nullptr;
@@ -59,23 +63,29 @@ std::unique_ptr<proc::Strategy> Simulator::MakeStrategy(
 
 Result<StrategySet> MakeAllStrategies(Database* db,
                                       const cost::Params& params,
-                                      cost::ProcModel model) {
+                                      cost::ProcModel model,
+                                      const proc::EngineConfig& config) {
   PROCSIM_CHECK(db != nullptr);
   StrategySet set;
+  set.budget = std::make_unique<proc::CacheBudget>(config.cache_budget_bytes,
+                                                   config.shards);
   const auto tuple_bytes = static_cast<std::size_t>(params.S);
   for (Strategy kind :
        {Strategy::kAlwaysRecompute, Strategy::kCacheInvalidate,
         Strategy::kUpdateCacheAvm, Strategy::kUpdateCacheRvm}) {
-    set.all.push_back(Simulator::MakeStrategy(kind, db, params));
+    set.all.push_back(
+        Simulator::MakeStrategy(kind, db, params, config, set.budget.get()));
   }
   set.cache_invalidate =
       static_cast<proc::CacheInvalidateStrategy*>(set.all[1].get());
   set.rvm = static_cast<proc::UpdateCacheRvmStrategy*>(set.all[3].get());
   set.all.push_back(std::make_unique<proc::HybridStrategy>(
       db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes, params,
-      model));
+      model, /*safety_margin=*/1.25, config, set.budget.get()));
   set.all.push_back(std::make_unique<proc::UpdateCacheAdaptiveStrategy>(
-      db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes));
+      db->catalog.get(), db->executor.get(), &db->meter, tuple_bytes,
+      /*patch_fraction=*/0.25, /*max_unread_patches=*/4, config,
+      set.budget.get()));
 
   for (const std::unique_ptr<proc::Strategy>& strategy : set.all) {
     for (const proc::DatabaseProcedure& procedure : db->procedures) {
@@ -88,9 +98,14 @@ Result<StrategySet> MakeAllStrategies(Database* db,
 
 Result<SimulationResult> Simulator::Run(Strategy strategy_kind,
                                         const Options& options) {
+  // The budget outlives the factory-made strategy (RunWithFactory destroys
+  // the strategy before returning, while `budget` is still alive here).
+  const auto budget = std::make_unique<proc::CacheBudget>(
+      options.engine.cache_budget_bytes, options.engine.shards);
   return RunWithFactory(
       [&](Database* db) {
-        return MakeStrategy(strategy_kind, db, options.params);
+        return MakeStrategy(strategy_kind, db, options.params, options.engine,
+                            budget.get());
       },
       options);
 }

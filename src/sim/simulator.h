@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "cost/model.h"
+#include "proc/cache_budget.h"
+#include "proc/engine_config.h"
 #include "proc/strategy.h"
 #include "sim/workload.h"
 #include "util/locality.h"
@@ -46,6 +48,9 @@ class Simulator {
     /// If set, every Access() result is checked (un-metered) against a
     /// from-scratch recomputation; mismatches are counted.
     bool verify_results = false;
+    /// Sharding and cache-budget configuration (default: 8 shards,
+    /// unlimited budget — the pre-budget behavior).
+    proc::EngineConfig engine;
   };
 
   /// Builds a fresh database for `options` and measures one strategy over
@@ -62,9 +67,12 @@ class Simulator {
   static Result<SimulationResult> RunWithFactory(const StrategyFactory& factory,
                                                  const Options& options);
 
-  /// Constructs the strategy object of the given kind over `db`.
+  /// Constructs the strategy object of the given kind over `db`.  `budget`,
+  /// when non-null, must outlive the strategy.
   static std::unique_ptr<proc::Strategy> MakeStrategy(
-      cost::Strategy strategy_kind, Database* db, const cost::Params& params);
+      cost::Strategy strategy_kind, Database* db, const cost::Params& params,
+      const proc::EngineConfig& config = {},
+      proc::CacheBudget* budget = nullptr);
 };
 
 /// Sorted, serialized form of a result set for order-insensitive equality.
@@ -76,6 +84,10 @@ std::vector<std::string> CanonicalizeResult(
 /// a fixed order (AR, CI, AVM, RVM, Hybrid, Adaptive) shared by the
 /// differential oracle and the concurrent engine.
 struct StrategySet {
+  /// Shared memory budget all six strategies admit their cached results
+  /// into.  Declared first so it is destroyed last: strategies hold raw
+  /// liveness-flag pointers into it.
+  std::unique_ptr<proc::CacheBudget> budget;
   std::vector<std::unique_ptr<proc::Strategy>> all;
   proc::CacheInvalidateStrategy* cache_invalidate = nullptr;
   proc::UpdateCacheRvmStrategy* rvm = nullptr;
@@ -83,9 +95,12 @@ struct StrategySet {
 
 /// Builds the full strategy set over `db`, registers every procedure with
 /// every strategy and calls Prepare().  Metering state is untouched.
+/// `config` sets the shard count and cache budget shared by all six
+/// strategies (default: 8 shards, unlimited budget).
 Result<StrategySet> MakeAllStrategies(Database* db,
                                       const cost::Params& params,
-                                      cost::ProcModel model);
+                                      cost::ProcModel model,
+                                      const proc::EngineConfig& config = {});
 
 }  // namespace procsim::sim
 

@@ -32,6 +32,9 @@ namespace procsim::util {
 ///   kReteMemory       per α/β memory latch (store refresh while a token is
 ///                     being applied to that memory)
 ///   kILock            ILockTable stripe latches
+///   kCacheBudget      cache-budget accounting shards (byte totals + LRU
+///                     clock; eviction only flips per-entry atomic flags,
+///                     so no lower-ranked latch is ever taken under it)
 ///   kInvalidationLog  validity bitmap + log append latch
 ///   kPageTable        SimulatedDisk page-directory latch (page allocation
 ///                     vs concurrent page lookups)
@@ -57,6 +60,7 @@ enum class LatchRank : int {
   kRete = 30,
   kReteMemory = 35,
   kILock = 40,
+  kCacheBudget = 45,
   kInvalidationLog = 50,
   kPageTable = 55,
   kBufferCache = 60,

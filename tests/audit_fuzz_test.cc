@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace procsim::audit {
 namespace {
 
@@ -64,6 +67,48 @@ TEST(AuditFuzzTest, DifferentSeedsAllAgree) {
     Result<CrossCheckReport> report = CrossCheck(options);
     EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
                              << report.status().ToString();
+  }
+}
+
+TEST(AuditFuzzTest, TinyBudgetPreservesByteIdentityAcrossShardCounts) {
+  // The eviction-aware differential proof: replay one op stream unbudgeted,
+  // then under an adversarially tiny cache budget at several shard counts.
+  // Evictions must actually happen, and every access digest must stay
+  // byte-identical — eviction is not invalidation; a recompute restores the
+  // exact oracle value regardless of how the LRU perturbs each strategy.
+  CrossCheckOptions options;
+  options.params = SmallParams();
+  options.seed = 20260807;
+  options.steps = 120;
+  options.compare_sample = 1;  // digests are the property under test
+  const std::vector<sim::WorkloadOp> ops = GenerateOpStream(options);
+
+  std::vector<std::string> baseline_digests;
+  Result<CrossCheckReport> baseline =
+      RunOpStream(options, ops, &baseline_digests);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_FALSE(baseline_digests.empty());
+  EXPECT_EQ(baseline.ValueOrDie().cache_evictions, 0u);
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                             std::size_t{64}}) {
+    CrossCheckOptions budgeted = options;
+    budgeted.engine.shards = shards;
+    // ~13-tuple results at S=100 bytes: a couple of KB forces constant
+    // eviction across every strategy's cached objects.
+    budgeted.engine.cache_budget_bytes = 2048;
+    std::vector<std::string> digests;
+    Result<CrossCheckReport> report = RunOpStream(budgeted, ops, &digests);
+    ASSERT_TRUE(report.ok())
+        << shards << " shards: " << report.status().ToString();
+    EXPECT_GT(report.ValueOrDie().cache_evictions, 0u)
+        << shards << " shards: budget never forced an eviction";
+    ASSERT_EQ(digests.size(), baseline_digests.size()) << shards << " shards";
+    for (std::size_t i = 0; i < digests.size(); ++i) {
+      ASSERT_EQ(digests[i], baseline_digests[i])
+          << shards << " shards: access #" << i
+          << " diverged between budgeted and unbudgeted runs";
+    }
   }
 }
 

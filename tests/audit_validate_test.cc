@@ -262,6 +262,34 @@ TEST(ValidateInvalidationLogTest, TracksTransitions) {
 }
 
 // ---------------------------------------------------------------------------
+// Cache budget: accounting drift must be caught at quiesce.
+
+TEST(ValidateCacheBudgetTest, CleanBudgetPasses) {
+  proc::CacheBudget budget(/*budget_bytes=*/1000, /*shards=*/4);
+  const proc::CacheBudget::EntryId a = budget.Register("proc/a");
+  const proc::CacheBudget::EntryId b = budget.Register("proc/b");
+  budget.Admit(a, 100);
+  budget.Admit(b, 120);
+  EXPECT_TRUE(ValidateCacheBudget(budget).ok());
+  // Still clean after an eviction cycle: overflow shard 0 (slice = 250).
+  budget.Resize(a, 600);  // forces a's shard over budget -> a is evicted
+  EXPECT_FALSE(budget.EntryIsLive(a));
+  EXPECT_TRUE(ValidateCacheBudget(budget).ok());
+}
+
+TEST(ValidateCacheBudgetTest, DetectsAccountingDrift) {
+  proc::CacheBudget budget(/*budget_bytes=*/0, /*shards=*/2);
+  const proc::CacheBudget::EntryId a = budget.Register("proc/a");
+  budget.Admit(a, 64);
+  ASSERT_TRUE(ValidateCacheBudget(budget).ok());
+  budget.CorruptAccountingForTesting(/*shard=*/0, /*delta=*/13);
+  const Status status = ValidateCacheBudget(budget);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("drift"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------------
 // Relation cross-checks: heap, B-tree and hash index must agree.
 
 TEST_F(ValidateReteTest, ValidateCatalogPassesOnCleanDatabase) {

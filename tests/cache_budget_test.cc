@@ -1,0 +1,173 @@
+// Unit semantics of the memory-budget layer: LRU victim selection, recency
+// protection, Admit-revival, Resize accounting, per-shard isolation,
+// oversized self-eviction and the unlimited (budget 0) mode.  The
+// cross-strategy behavior under eviction is proven by the differential
+// harness (audit_fuzz_test) and the concurrent stress suite
+// (concurrent_eviction_test); this file pins the budget's own contract.
+#include "proc/cache_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace procsim::proc {
+namespace {
+
+TEST(CacheBudgetTest, EvictsLeastRecentlyTouchedFirst) {
+  // One shard, 300-byte slice.  Three 100-byte entries fill it exactly;
+  // admitting a fourth must evict the least recently touched.
+  CacheBudget budget(300, 1);
+  const CacheBudget::EntryId a = budget.Register("a");
+  const CacheBudget::EntryId b = budget.Register("b");
+  const CacheBudget::EntryId c = budget.Register("c");
+  const CacheBudget::EntryId d = budget.Register("d");
+  budget.Admit(a, 100);
+  budget.Admit(b, 100);
+  budget.Admit(c, 100);
+  EXPECT_EQ(budget.accounted_bytes(), 300u);
+  EXPECT_EQ(budget.eviction_count(), 0u);
+
+  budget.Admit(d, 100);
+  // `a` was admitted first and never touched since — it is the victim.
+  EXPECT_FALSE(budget.EntryIsLive(a));
+  EXPECT_TRUE(budget.EntryIsLive(b));
+  EXPECT_TRUE(budget.EntryIsLive(c));
+  EXPECT_TRUE(budget.EntryIsLive(d));
+  EXPECT_EQ(budget.eviction_count(), 1u);
+  EXPECT_EQ(budget.accounted_bytes(), 300u);
+}
+
+TEST(CacheBudgetTest, OnAccessProtectsRecency) {
+  CacheBudget budget(300, 1);
+  const CacheBudget::EntryId a = budget.Register("a");
+  const CacheBudget::EntryId b = budget.Register("b");
+  const CacheBudget::EntryId c = budget.Register("c");
+  const CacheBudget::EntryId d = budget.Register("d");
+  budget.Admit(a, 100);
+  budget.Admit(b, 100);
+  budget.Admit(c, 100);
+  // A hit on `a` makes `b` the coldest entry.
+  budget.OnAccess(a);
+  budget.Admit(d, 100);
+  EXPECT_TRUE(budget.EntryIsLive(a));
+  EXPECT_FALSE(budget.EntryIsLive(b));
+}
+
+TEST(CacheBudgetTest, ResizeDoesNotProtectRecency) {
+  CacheBudget budget(300, 1);
+  const CacheBudget::EntryId a = budget.Register("a");
+  const CacheBudget::EntryId b = budget.Register("b");
+  const CacheBudget::EntryId c = budget.Register("c");
+  budget.Admit(a, 100);
+  budget.Admit(b, 100);
+  // Maintenance on `a` (a delta patch) is not a read: `a` stays coldest
+  // even though it was the most recently *modified*.
+  budget.Resize(a, 120);
+  budget.Admit(c, 100);
+  EXPECT_FALSE(budget.EntryIsLive(a));
+  EXPECT_TRUE(budget.EntryIsLive(b));
+  EXPECT_TRUE(budget.EntryIsLive(c));
+}
+
+TEST(CacheBudgetTest, ResizeIsNoOpOnDeadEntries) {
+  CacheBudget budget(100, 1);
+  const CacheBudget::EntryId a = budget.Register("a");
+  const CacheBudget::EntryId b = budget.Register("b");
+  budget.Admit(a, 80);
+  budget.Admit(b, 80);  // evicts a
+  ASSERT_FALSE(budget.EntryIsLive(a));
+  budget.Resize(a, 10);
+  EXPECT_FALSE(budget.EntryIsLive(a));
+  EXPECT_EQ(budget.accounted_bytes(), 80u);
+}
+
+TEST(CacheBudgetTest, AdmitRevivesEvictedEntry) {
+  CacheBudget budget(100, 1);
+  const CacheBudget::EntryId a = budget.Register("a");
+  const CacheBudget::EntryId b = budget.Register("b");
+  budget.Admit(a, 80);
+  budget.Admit(b, 80);  // evicts a
+  ASSERT_FALSE(budget.EntryIsLive(a));
+  // The owner recomputed: readmission revives the entry (and `b`, now the
+  // coldest, is evicted in its place).
+  budget.Admit(a, 80);
+  EXPECT_TRUE(budget.EntryIsLive(a));
+  EXPECT_FALSE(budget.EntryIsLive(b));
+  EXPECT_EQ(budget.accounted_bytes(), 80u);
+}
+
+TEST(CacheBudgetTest, OversizedEntrySelfEvicts) {
+  // An entry bigger than its shard's whole slice can never fit: Admit
+  // accepts it, then immediately evicts it again.  The owning strategy
+  // degrades to always-recompute for that procedure.
+  CacheBudget budget(100, 1);
+  const CacheBudget::EntryId a = budget.Register("a");
+  budget.Admit(a, 500);
+  EXPECT_FALSE(budget.EntryIsLive(a));
+  EXPECT_EQ(budget.accounted_bytes(), 0u);
+  EXPECT_EQ(budget.eviction_count(), 1u);
+}
+
+TEST(CacheBudgetTest, ShardsAreIsolated) {
+  // Entry ids stripe across shards (id % shards).  Overflowing shard 0
+  // must not evict anything in shard 1.
+  CacheBudget budget(400, 2);
+  EXPECT_EQ(budget.shard_budget_bytes(), 200u);
+  const CacheBudget::EntryId s0_a = budget.Register("s0/a");  // id 0, shard 0
+  const CacheBudget::EntryId s1_a = budget.Register("s1/a");  // id 1, shard 1
+  const CacheBudget::EntryId s0_b = budget.Register("s0/b");  // id 2, shard 0
+  budget.Admit(s0_a, 150);
+  budget.Admit(s1_a, 150);
+  budget.Admit(s0_b, 150);  // shard 0 over its slice: evicts s0_a
+  EXPECT_FALSE(budget.EntryIsLive(s0_a));
+  EXPECT_TRUE(budget.EntryIsLive(s0_b));
+  EXPECT_TRUE(budget.EntryIsLive(s1_a));
+  EXPECT_EQ(budget.shard_accounted_bytes(0), 150u);
+  EXPECT_EQ(budget.shard_accounted_bytes(1), 150u);
+}
+
+TEST(CacheBudgetTest, UnlimitedModeAccountsButNeverEvicts) {
+  CacheBudget budget(0, 4);
+  EXPECT_TRUE(budget.unlimited());
+  std::vector<CacheBudget::EntryId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(budget.Register("entry"));
+    budget.Admit(ids.back(), 1 << 20);
+  }
+  EXPECT_EQ(budget.eviction_count(), 0u);
+  EXPECT_EQ(budget.accounted_bytes(), 16u << 20);
+  for (CacheBudget::EntryId id : ids) EXPECT_TRUE(budget.EntryIsLive(id));
+}
+
+TEST(CacheBudgetTest, LiveFlagPointersSurviveRegistration) {
+  // LiveFlag addresses are cached by strategies at Prepare time and must
+  // stay valid as later registrations grow the shard's entry vector.
+  CacheBudget budget(0, 1);
+  const CacheBudget::EntryId first = budget.Register("first");
+  const std::atomic<bool>* flag = budget.LiveFlag(first);
+  for (int i = 0; i < 256; ++i) budget.Register("filler");
+  EXPECT_EQ(budget.LiveFlag(first), flag);
+  EXPECT_TRUE(flag->load());
+}
+
+TEST(CacheBudgetTest, ForEachEntryReportsAllShards) {
+  CacheBudget budget(100, 2);
+  budget.Register("a");
+  budget.Register("b");
+  budget.Register("c");
+  budget.Admit(0, 10);
+  budget.Admit(1, 20);
+  std::size_t seen = 0;
+  std::size_t live_bytes = 0;
+  budget.ForEachEntry([&](const CacheBudget::EntryInfo& info) {
+    ++seen;
+    if (info.live) live_bytes += info.bytes;
+    EXPECT_LT(info.shard, budget.shard_count());
+  });
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(live_bytes, 30u);
+  EXPECT_EQ(budget.entry_count(), 3u);
+}
+
+}  // namespace
+}  // namespace procsim::proc

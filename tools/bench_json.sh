@@ -56,6 +56,7 @@ GOLDEN_BENCHES=(
   abl_cinval_sweep
   abl_sharing_arity
   abl_yao_exact
+  fig20_memory_pressure
 )
 
 if [[ ! -x "${DIFF_BIN}" && "${UPDATE}" -eq 0 ]]; then
