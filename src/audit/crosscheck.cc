@@ -194,8 +194,82 @@ Result<CrossCheckReport> RunOpStream(
   Rng rng(options.seed + 2000003);
   CrossCheckReport report;
 
+  const auto count_mutation = [&report](WorkloadOp::Kind kind) {
+    switch (kind) {
+      case WorkloadOp::Kind::kUpdate:
+      case WorkloadOp::Kind::kSilentUpdate:
+        ++report.update_transactions;
+        break;
+      case WorkloadOp::Kind::kInsert:
+        ++report.base_inserts;
+        break;
+      case WorkloadOp::Kind::kDelete:
+        ++report.base_deletes;
+        break;
+      default:
+        break;
+    }
+  };
+  // Applies a batch of mutation ops atomically: every strategy notification,
+  // then one transaction end (the marker-pair semantics of sim::WorkloadOp;
+  // a bare mutation is a batch of one, preserving the historical behavior).
+  const auto apply_batch = [&](const std::vector<WorkloadOp>& batch,
+                               bool* any_applied) -> Status {
+    bool any_notify = false;
+    for (const WorkloadOp& op : batch) {
+      Result<sim::MutationResult> mutation =
+          sim::ApplyMutationOp(db, op, mix, &rng);
+      PROCSIM_RETURN_IF_ERROR(mutation.status());
+      const sim::MutationResult& applied = mutation.ValueOrDie();
+      if (!applied.applied) continue;  // e.g. delete against a minimum table
+      *any_applied = true;
+      count_mutation(op.kind);
+      if (!applied.notify) continue;
+      for (const auto& [old_tuple, new_tuple] : applied.changes) {
+        if (old_tuple.has_value()) Notify(&harness, false, *old_tuple);
+        if (new_tuple.has_value()) Notify(&harness, true, *new_tuple);
+      }
+      any_notify = true;
+    }
+    if (any_notify) PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
+    return Status::OK();
+  };
+
+  bool in_txn = false;
+  std::vector<WorkloadOp> txn_ops;
   for (const WorkloadOp& op : ops) {
     ++report.steps;
+    if (op.kind == WorkloadOp::Kind::kBegin) {
+      if (in_txn) {
+        return Status::InvalidArgument(
+            "nested kBegin at step " + std::to_string(report.steps));
+      }
+      in_txn = true;
+      txn_ops.clear();
+      continue;
+    }
+    if (op.kind == WorkloadOp::Kind::kCommit ||
+        op.kind == WorkloadOp::Kind::kAbort) {
+      if (!in_txn) {
+        return Status::InvalidArgument(
+            std::string(sim::WorkloadOpKindName(op.kind)) +
+            " without an open transaction at step " +
+            std::to_string(report.steps));
+      }
+      in_txn = false;
+      if (op.kind == WorkloadOp::Kind::kAbort) {
+        txn_ops.clear();  // an aborted transaction applies not at all
+        continue;
+      }
+      bool any_applied = false;
+      PROCSIM_RETURN_IF_ERROR(apply_batch(txn_ops, &any_applied));
+      txn_ops.clear();
+      if (any_applied) {
+        PROCSIM_RETURN_IF_ERROR(
+            CompareBatch(&harness, options, &rng, &report));
+      }
+      continue;
+    }
     if (op.kind == WorkloadOp::Kind::kAccess) {
       const proc::ProcId id =
           static_cast<proc::ProcId>(op.value) % db->procedures.size();
@@ -209,34 +283,20 @@ Result<CrossCheckReport> RunOpStream(
       ++report.accesses;
       continue;
     }
-    Result<sim::MutationResult> mutation =
-        sim::ApplyMutationOp(db, op, mix, &rng);
-    PROCSIM_RETURN_IF_ERROR(mutation.status());
-    const sim::MutationResult& applied = mutation.ValueOrDie();
-    if (!applied.applied) continue;  // e.g. delete against a minimum table
-    if (applied.notify) {
-      for (const auto& [old_tuple, new_tuple] : applied.changes) {
-        if (old_tuple.has_value()) Notify(&harness, false, *old_tuple);
-        if (new_tuple.has_value()) Notify(&harness, true, *new_tuple);
-      }
-      PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
+    if (in_txn) {
+      // Mutations inside an explicit transaction are buffered until its
+      // commit marker — deferred apply, exactly like txn::TxnManager.
+      txn_ops.push_back(op);
+      continue;
     }
-    switch (op.kind) {
-      case WorkloadOp::Kind::kUpdate:
-      case WorkloadOp::Kind::kSilentUpdate:
-        ++report.update_transactions;
-        break;
-      case WorkloadOp::Kind::kInsert:
-        ++report.base_inserts;
-        break;
-      case WorkloadOp::Kind::kDelete:
-        ++report.base_deletes;
-        break;
-      case WorkloadOp::Kind::kAccess:
-        break;
+    bool any_applied = false;
+    PROCSIM_RETURN_IF_ERROR(apply_batch({op}, &any_applied));
+    if (any_applied) {
+      PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
     }
-    PROCSIM_RETURN_IF_ERROR(CompareBatch(&harness, options, &rng, &report));
   }
+  // An unterminated transaction at stream end never committed: discard it,
+  // exactly as crash recovery discards transactions without a commit record.
   report.cache_evictions = harness.strategies.budget->eviction_count();
   return report;
 }

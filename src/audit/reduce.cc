@@ -10,13 +10,6 @@ namespace {
 
 using sim::WorkloadOp;
 
-/// Probes one candidate stream: true iff it still fails.
-bool Fails(const CrossCheckOptions& options,
-           const std::vector<WorkloadOp>& candidate, std::size_t* probes) {
-  ++*probes;
-  return !RunOpStream(options, candidate).ok();
-}
-
 /// `current` minus the chunk [begin, end).
 std::vector<WorkloadOp> WithoutRange(const std::vector<WorkloadOp>& current,
                                      std::size_t begin, std::size_t end) {
@@ -34,21 +27,51 @@ std::vector<WorkloadOp> WithoutRange(const std::vector<WorkloadOp>& current,
 
 Result<ReduceOutcome> ReduceOpStream(const CrossCheckOptions& options,
                                      const std::vector<WorkloadOp>& ops) {
-  ReduceOutcome outcome;
-  {
-    Result<CrossCheckReport> initial = RunOpStream(options, ops);
-    ++outcome.probes;
-    if (initial.ok()) {
-      return Status::InvalidArgument(
-          "op stream passes; nothing to reduce (" +
-          std::to_string(ops.size()) + " ops)");
-    }
-    outcome.failure = initial.status().ToString();
+  Result<CrossCheckReport> initial =
+      RunOpStream(options, NormalizeTxnMarkers(ops));
+  if (initial.ok()) {
+    return Status::InvalidArgument("op stream passes; nothing to reduce (" +
+                                   std::to_string(ops.size()) + " ops)");
   }
+  Result<ReduceOutcome> outcome = ReduceOpStream(
+      options, ops,
+      [&options](const std::vector<WorkloadOp>& candidate) {
+        return !RunOpStream(options, candidate).ok();
+      },
+      initial.status().ToString());
+  if (outcome.ok()) ++outcome.ValueOrDie().probes;  // the initial run above
+  return outcome;
+}
+
+Result<ReduceOutcome> ReduceOpStream(const CrossCheckOptions& options,
+                                     const std::vector<WorkloadOp>& ops,
+                                     const ReduceProbe& probe,
+                                     const std::string& failure) {
+  ReduceOutcome outcome;
+  outcome.failure = failure;
+  std::vector<WorkloadOp> current = NormalizeTxnMarkers(ops);
+  ++outcome.probes;
+  if (!probe(current)) {
+    return Status::InvalidArgument(
+        "op stream passes the probe; nothing to reduce (" +
+        std::to_string(ops.size()) + " ops)");
+  }
+
+  // Accepts `candidate` (already normalized) as the new current stream.
+  // Normalization can re-grow a candidate back into the current stream
+  // (e.g. removing a trailing kCommit that normalization re-appends); such
+  // no-op candidates are rejected without probing or the loops would spin.
+  const auto try_candidate = [&](std::vector<WorkloadOp> candidate) {
+    candidate = NormalizeTxnMarkers(std::move(candidate));
+    if (candidate.size() >= current.size()) return false;
+    ++outcome.probes;
+    if (!probe(candidate)) return false;
+    current = std::move(candidate);
+    return true;
+  };
 
   // ddmin: try removing ever-finer chunks; on success restart at the
   // coarsest granularity that still covers the shrunk stream.
-  std::vector<WorkloadOp> current = ops;
   std::size_t chunks = 2;
   while (current.size() >= 2) {
     const std::size_t chunk_size =
@@ -57,9 +80,7 @@ Result<ReduceOutcome> ReduceOpStream(const CrossCheckOptions& options,
     for (std::size_t begin = 0; begin < current.size(); begin += chunk_size) {
       const std::size_t end = std::min(begin + chunk_size, current.size());
       if (end - begin == current.size()) continue;  // would empty the stream
-      std::vector<WorkloadOp> candidate = WithoutRange(current, begin, end);
-      if (Fails(options, candidate, &outcome.probes)) {
-        current = std::move(candidate);
+      if (try_candidate(WithoutRange(current, begin, end))) {
         chunks = std::max<std::size_t>(2, chunks - 1);
         reduced = true;
         break;
@@ -77,9 +98,7 @@ Result<ReduceOutcome> ReduceOpStream(const CrossCheckOptions& options,
   while (changed && current.size() > 1) {
     changed = false;
     for (std::size_t i = 0; i < current.size(); ++i) {
-      std::vector<WorkloadOp> candidate = WithoutRange(current, i, i + 1);
-      if (Fails(options, candidate, &outcome.probes)) {
-        current = std::move(candidate);
+      if (try_candidate(WithoutRange(current, i, i + 1))) {
         changed = true;
         break;
       }
@@ -90,6 +109,36 @@ Result<ReduceOutcome> ReduceOpStream(const CrossCheckOptions& options,
   outcome.test_case =
       FormatReducedTestCase(options, outcome.minimal, outcome.failure);
   return outcome;
+}
+
+std::vector<WorkloadOp> NormalizeTxnMarkers(
+    const std::vector<WorkloadOp>& ops) {
+  std::vector<WorkloadOp> normalized;
+  normalized.reserve(ops.size() + 1);
+  bool open = false;
+  for (const WorkloadOp& op : ops) {
+    switch (op.kind) {
+      case WorkloadOp::Kind::kBegin:
+        if (open) continue;  // nested begin: keep the outer transaction
+        open = true;
+        break;
+      case WorkloadOp::Kind::kCommit:
+      case WorkloadOp::Kind::kAbort:
+        if (!open) continue;  // orphaned terminator: its begin was sliced off
+        open = false;
+        break;
+      default:
+        break;
+    }
+    normalized.push_back(op);
+  }
+  // Close an unterminated transaction so its ops still take effect — both
+  // RunOpStream and recovery discard an uncommitted suffix, which would
+  // mask whatever failure those ops were kept to reproduce.
+  if (open) {
+    normalized.push_back(WorkloadOp{WorkloadOp::Kind::kCommit, 0});
+  }
+  return normalized;
 }
 
 std::string FormatReducedTestCase(const CrossCheckOptions& options,

@@ -38,67 +38,123 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Options& options) {
       1, std::min(options.config.shards, engine->db_->procedures.size()));
   engine->slot_stripes_ = std::make_unique<util::LatchStripes>(
       util::LatchRank::kStrategySlot, "Engine::slot", stripes);
+  engine->wal_ = std::make_unique<storage::WriteAheadLog>(
+      &engine->db_->meter, options.config.wal_force_cost_ms);
+  // kBlock: every session transaction locks exactly one granule (R1) once,
+  // so plain blocking is provably deadlock-free here.
+  engine->locks_ =
+      std::make_unique<txn::LockManager>(txn::LockManager::DeadlockPolicy::kBlock);
+  engine->txns_ = std::make_unique<txn::TxnManager>(
+      engine->wal_.get(), engine->locks_.get(), &engine->db_->meter,
+      txn::TxnManager::Options{options.config.group_commit_size});
   return engine;
 }
 
 std::size_t Engine::procedure_count() const { return db_->procedures.size(); }
 
 Result<std::string> Engine::Access(uint64_t access_id) {
-  const auto id =
-      static_cast<proc::ProcId>(access_id % db_->procedures.size());
-  g_accesses->Add();
-  obs::TraceSpan span("concurrent.engine.access", "concurrent");
-  util::RankedSharedLockGuard db_guard(db_latch_);
-  // The slot stripe serializes concurrent refreshes of the same cache slot
-  // (e.g. two sessions both finding CacheInvalidate's entry invalid).
-  util::RankedLockGuard slot_guard(slot_stripes_->For(id));
-
-  // Metered cost of this access across all six strategies (total_ms is an
-  // atomic, so concurrent sessions perturb each other's deltas only by
-  // their own charges — the histogram is exact in barrier-stepped mode).
-  const double before_ms = db_->meter.total_ms();
-  std::string expected;
-  bool first = true;
-  for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
-    Result<std::vector<rel::Tuple>> answer = strategy->Access(id);
-    if (!answer.ok()) {
-      return Status::Internal(strategy->name() + " failed accessing " +
-                              db_->procedures[id].name + ": " +
-                              answer.status().ToString());
-    }
-    std::string digest = sim::CanonicalResultBytes(answer.ValueOrDie());
-    if (first) {
-      expected = std::move(digest);
-      first = false;
-    } else if (digest != expected) {
-      return Status::Internal(strategy->name() + " diverged on " +
-                              db_->procedures[id].name +
-                              " under concurrent access");
-    }
+  const txn::TxnId txn = txns_->Begin();
+  Status lock = locks_->Acquire(txn, txn::Granule::Relation("R1"),
+                                txn::LockMode::kShared);
+  if (!lock.ok()) {
+    txns_->Abort(txn);
+    return lock;
   }
-  g_access_cost->Observe(db_->meter.total_ms() - before_ms);
-  return expected;
+  Result<std::string> result = [&]() -> Result<std::string> {
+    const auto id =
+        static_cast<proc::ProcId>(access_id % db_->procedures.size());
+    g_accesses->Add();
+    obs::TraceSpan span("concurrent.engine.access", "concurrent");
+    util::RankedSharedLockGuard db_guard(db_latch_);
+    // The slot stripe serializes concurrent refreshes of the same cache
+    // slot (e.g. two sessions both finding CacheInvalidate's entry
+    // invalid).
+    util::RankedLockGuard slot_guard(slot_stripes_->For(id));
+
+    // Metered cost of this access across all six strategies (total_ms is
+    // an atomic, so concurrent sessions perturb each other's deltas only
+    // by their own charges — the histogram is exact in barrier-stepped
+    // mode).
+    const double before_ms = db_->meter.total_ms();
+    std::string expected;
+    bool first = true;
+    for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+      Result<std::vector<rel::Tuple>> answer = strategy->Access(id);
+      if (!answer.ok()) {
+        return Status::Internal(strategy->name() + " failed accessing " +
+                                db_->procedures[id].name + ": " +
+                                answer.status().ToString());
+      }
+      std::string digest = sim::CanonicalResultBytes(answer.ValueOrDie());
+      if (first) {
+        expected = std::move(digest);
+        first = false;
+      } else if (digest != expected) {
+        return Status::Internal(strategy->name() + " diverged on " +
+                                db_->procedures[id].name +
+                                " under concurrent access");
+      }
+    }
+    g_access_cost->Observe(db_->meter.total_ms() - before_ms);
+    return expected;
+  }();
+  // Session latches are released; the read-only commit just retires the
+  // transaction (its lock was released at commit-enqueue).
+  if (!result.ok()) {
+    txns_->Abort(txn);
+    return result;
+  }
+  PROCSIM_RETURN_IF_ERROR(txns_->Commit(txn, nullptr));
+  return result;
 }
 
 Status Engine::Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix) {
   PROCSIM_CHECK(op.value != 0)
       << "engine mutations must be op-seeded (value != 0)";
   g_mutations->Add();
+  const txn::TxnId txn = txns_->Begin();
+  Status st = locks_->Acquire(txn, txn::Granule::Relation("R1"),
+                              txn::LockMode::kExclusive);
+  if (!st.ok()) {
+    txns_->Abort(txn);
+    return st;
+  }
+  st = txns_->QueueOp(txn, op);
+  if (!st.ok()) {
+    txns_->Abort(txn);
+    return st;
+  }
+  // The apply hook runs at the group flush — immediately with the default
+  // group_commit_size of 1, batched otherwise.
+  return txns_->Commit(
+      txn, [this, mix](txn::TxnId, const std::vector<sim::WorkloadOp>& ops) {
+        return ApplyOps(ops, mix);
+      });
+}
+
+Status Engine::ApplyOps(const std::vector<sim::WorkloadOp>& ops,
+                        const sim::WorkloadMix& mix) {
   obs::TraceSpan span("concurrent.engine.mutate", "concurrent");
   util::RankedLockGuard db_guard(db_latch_);
-  Result<sim::MutationResult> mutation =
-      sim::ApplyMutationOp(db_.get(), op, mix, /*inline_rng=*/nullptr);
-  PROCSIM_RETURN_IF_ERROR(mutation.status());
-  const sim::MutationResult& applied = mutation.ValueOrDie();
-  if (!applied.applied || !applied.notify) return Status::OK();
-  for (const auto& [old_tuple, new_tuple] : applied.changes) {
-    for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
-      if (old_tuple.has_value()) strategy->OnDelete("R1", *old_tuple);
-      if (new_tuple.has_value()) strategy->OnInsert("R1", *new_tuple);
+  bool notified = false;
+  for (const sim::WorkloadOp& op : ops) {
+    Result<sim::MutationResult> mutation =
+        sim::ApplyMutationOp(db_.get(), op, mix, /*inline_rng=*/nullptr);
+    PROCSIM_RETURN_IF_ERROR(mutation.status());
+    const sim::MutationResult& applied = mutation.ValueOrDie();
+    if (!applied.applied || !applied.notify) continue;
+    for (const auto& [old_tuple, new_tuple] : applied.changes) {
+      for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+        if (old_tuple.has_value()) strategy->OnDelete("R1", *old_tuple);
+        if (new_tuple.has_value()) strategy->OnInsert("R1", *new_tuple);
+      }
     }
+    notified = true;
   }
-  for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
-    PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
+  if (notified) {
+    for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+      PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
+    }
   }
   return Status::OK();
 }
@@ -106,6 +162,10 @@ Status Engine::Mutate(const sim::WorkloadOp& op, const sim::WorkloadMix& mix) {
 Status Engine::ValidateAtQuiesce() {
   PROCSIM_CHECK_EQ(util::internal::HeldCount(), 0u)
       << "quiescent validation with latches held";
+  // Retire any partially filled commit group so the validated state is the
+  // fully committed one, then check the log's own invariants.
+  PROCSIM_RETURN_IF_ERROR(txns_->Flush());
+  PROCSIM_RETURN_IF_ERROR(wal_->CheckConsistency());
   for (proc::ProcId id = 0; id < db_->procedures.size(); ++id) {
     std::string expected;
     {

@@ -67,6 +67,19 @@ namespace procsim::obs {
     "storage.disk.pages_allocated",
     "storage.disk.reads",
     "storage.disk.writes",
+    "txn.commit.latency_ms",
+    "txn.lock.deadlocks",
+    "txn.lock.grants",
+    "txn.lock.upgrades",
+    "txn.lock.waits",
+    "txn.lock.wounds",
+    "txn.manager.aborts",
+    "txn.manager.begins",
+    "txn.manager.commits",
+    "txn.manager.group_commits",
+    "wal.log.forces",
+    "wal.log.truncations",
+    "wal.records.appended",
 };
 // procsim-lint: metric-catalog-end
 

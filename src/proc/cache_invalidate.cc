@@ -175,6 +175,11 @@ const InvalidationLog& CacheInvalidateStrategy::validity_log() const {
   return *validity_;
 }
 
+InvalidationLog& CacheInvalidateStrategy::mutable_validity_log() {
+  PROCSIM_CHECK(validity_.has_value()) << "Prepare() not called";
+  return *validity_;
+}
+
 InvalidationLog::Checkpoint CacheInvalidateStrategy::TakeValidityCheckpoint()
     const {
   PROCSIM_CHECK(validity_.has_value()) << "Prepare() not called";

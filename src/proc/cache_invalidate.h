@@ -77,6 +77,11 @@ class CacheInvalidateStrategy : public Strategy {
   /// Prepare().
   const InvalidationLog& validity_log() const;
 
+  /// Mutable access for the transaction layer: installing the WAL mirror
+  /// (InvalidationLog::SetMirror) and driving checkpoint/truncation from
+  /// the engine's recovery protocol.  Valid after Prepare().
+  InvalidationLog& mutable_validity_log();
+
   /// Captures a recovery checkpoint of the validity bitmap.
   InvalidationLog::Checkpoint TakeValidityCheckpoint() const;
 

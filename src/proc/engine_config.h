@@ -24,6 +24,20 @@ struct EngineConfig {
   /// nothing is ever evicted, but byte accounting still runs so memory
   /// footprints stay observable.
   std::size_t cache_budget_bytes = 0;
+
+  /// Transactions batched per group-commit flush (txn::TxnManager).  1 =
+  /// commit immediately: every access reads its own session's writes, the
+  /// historical behavior all goldens assume.  Larger groups defer the
+  /// database apply to the flush, trading commit latency for fewer log
+  /// forces — the fig21 sweep.
+  std::size_t group_commit_size = 1;
+
+  /// Simulated cost of one write-ahead-log force (a sequential log write at
+  /// a group-commit boundary), charged to the engine's cost meter.  0 keeps
+  /// the paper's C_inval ≈ 0 operating point — log appends are amortized to
+  /// nothing — so existing figures are untouched; fig21 sets it to C2 to
+  /// expose the group-commit throughput/latency trade.
+  double wal_force_cost_ms = 0.0;
 };
 
 }  // namespace procsim::proc

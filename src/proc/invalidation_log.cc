@@ -37,7 +37,13 @@ Status InvalidationLog::Append(Record::Kind kind, ProcId id) {
   }
   records_.push_back(Record{next_lsn_++, kind, id});
   g_records->Add();
+  if (mirror_) mirror_(records_.back());
   return Status::OK();
+}
+
+void InvalidationLog::SetMirror(MirrorFn mirror) {
+  Guard guard(latch_);
+  mirror_ = std::move(mirror);
 }
 
 Status InvalidationLog::MarkInvalid(ProcId id) {
@@ -82,6 +88,7 @@ void InvalidationLog::TruncateThrough(const Checkpoint& checkpoint) {
                        return record.lsn <= checkpoint.lsn;
                      }),
       records_.end());
+  truncated_through_ = std::max(truncated_through_, checkpoint.lsn);
   g_truncations->Add();
 }
 
@@ -90,6 +97,15 @@ Result<std::vector<bool>> InvalidationLog::Recover(
   Guard guard(latch_);
   if (checkpoint.valid.size() != valid_.size()) {
     return Status::InvalidArgument("checkpoint bitmap size mismatch");
+  }
+  if (checkpoint.lsn < truncated_through_) {
+    // The records between the checkpoint and the truncation point are gone;
+    // replaying across the hole would silently resurrect stale validity
+    // (the crash harness caught exactly this before the guard existed).
+    return Status::FailedPrecondition(
+        "checkpoint at LSN " + std::to_string(checkpoint.lsn) +
+        " predates log truncation through LSN " +
+        std::to_string(truncated_through_));
   }
   std::vector<bool> recovered = checkpoint.valid;
   // Replay the log suffix in LSN order (records_ is append-ordered).
@@ -122,7 +138,7 @@ Status InvalidationLog::ResetFrom(std::vector<bool> valid) {
 
 Status InvalidationLog::CheckConsistency() const {
   Guard guard(latch_);
-  uint64_t previous_lsn = 0;
+  uint64_t previous_lsn = truncated_through_;
   for (const Record& record : records_) {
     if (record.lsn <= previous_lsn) {
       return Status::Internal("log LSN " + std::to_string(record.lsn) +

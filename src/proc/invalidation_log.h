@@ -2,6 +2,7 @@
 #define PROCSIM_PROC_INVALIDATION_LOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/latch.h"
@@ -76,13 +77,28 @@ class InvalidationLog {
   Checkpoint TakeCheckpoint() const;
 
   /// Truncates log records at or before the checkpoint's LSN (they are no
-  /// longer needed for recovery).
+  /// longer needed for recovery) and remembers the truncation point, so a
+  /// later Recover() against a checkpoint older than the truncation fails
+  /// loudly instead of silently replaying across the missing prefix.
   void TruncateThrough(const Checkpoint& checkpoint);
 
   /// Rebuilds the bitmap state from `checkpoint` plus this log's records
   /// with lsn > checkpoint.lsn — the §3 crash-recovery procedure.  Returns
-  /// the recovered validity bitmap.
+  /// the recovered validity bitmap.  Fails (FailedPrecondition) if records
+  /// the checkpoint needs were truncated away: checkpoint.lsn must be at or
+  /// past the last TruncateThrough() point.  A fresh checkpoint at LSN 0
+  /// (taken before any record) recovers fine against an untruncated log.
   Result<std::vector<bool>> Recover(const Checkpoint& checkpoint) const;
+
+  /// Observer called (under the latch) for every record this log appends.
+  /// The transaction layer installs a hook that mirrors validity
+  /// transitions into the engine's write-ahead log, tagged with the
+  /// mutating transaction — that is what makes invalidation state exactly
+  /// as durable as the data it guards.  The hook must only acquire latches
+  /// ranked above kInvalidationLog (the WAL's kWal qualifies).  Install at
+  /// quiesce; pass nullptr to clear.
+  using MirrorFn = std::function<void(const Record&)>;
+  void SetMirror(MirrorFn mirror);
 
   /// Simulates a crash: wipes the in-memory bitmap (the log and any
   /// checkpoints survive).  After this, only Recover() can restore state;
@@ -98,6 +114,9 @@ class InvalidationLog {
   }
   uint64_t next_lsn() const NO_THREAD_SAFETY_ANALYSIS { return next_lsn_; }
   bool crashed() const NO_THREAD_SAFETY_ANALYSIS { return crashed_; }
+  uint64_t truncated_through() const NO_THREAD_SAFETY_ANALYSIS {
+    return truncated_through_;
+  }
 
   /// Verifies log-structure invariants: LSNs strictly increase and stay
   /// below next_lsn(), and every record names a procedure inside the
@@ -112,7 +131,9 @@ class InvalidationLog {
   std::vector<bool> valid_ GUARDED_BY(latch_);
   std::vector<Record> records_ GUARDED_BY(latch_);
   uint64_t next_lsn_ GUARDED_BY(latch_) = 1;
+  uint64_t truncated_through_ GUARDED_BY(latch_) = 0;
   bool crashed_ GUARDED_BY(latch_) = false;
+  MirrorFn mirror_ GUARDED_BY(latch_);
 };
 
 }  // namespace procsim::proc

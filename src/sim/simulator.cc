@@ -143,6 +143,12 @@ Result<SimulationResult> Simulator::RunWithFactory(
   g_runs->Add();
   SimulationResult result;
   for (const WorkloadOp& op : schedule) {
+    if (IsTxnMarker(op.kind)) {
+      // The single-user simulator applies every update atomically already;
+      // explicit transaction boundaries are scheduling no-ops here (they
+      // matter to the txn engine and the crash harness).
+      continue;
+    }
     if (op.kind == WorkloadOp::Kind::kUpdate) {
       obs::TraceSpan span("sim.update", "sim");
       const double before_ms = db->meter.total_ms();

@@ -242,6 +242,12 @@ const char* WorkloadOpKindName(WorkloadOp::Kind kind) {
       return "kDelete";
     case WorkloadOp::Kind::kSilentUpdate:
       return "kSilentUpdate";
+    case WorkloadOp::Kind::kBegin:
+      return "kBegin";
+    case WorkloadOp::Kind::kCommit:
+      return "kCommit";
+    case WorkloadOp::Kind::kAbort:
+      return "kAbort";
   }
   return "k?";
 }
@@ -306,8 +312,9 @@ Result<MutationResult> ApplyMutationOp(Database* db, const WorkloadOp& op,
                                        const WorkloadMix& mix,
                                        Rng* inline_rng) {
   PROCSIM_CHECK(db != nullptr);
-  if (op.kind == WorkloadOp::Kind::kAccess) {
-    return Status::InvalidArgument("access op is not a mutation");
+  if (!IsMutationOp(op.kind)) {
+    return Status::InvalidArgument(std::string(WorkloadOpKindName(op.kind)) +
+                                   " op is not a mutation");
   }
   Rng private_rng(op.value);
   Rng* rng = op.value != 0 ? &private_rng : inline_rng;
@@ -317,6 +324,9 @@ Result<MutationResult> ApplyMutationOp(Database* db, const WorkloadOp& op,
   result.notify = op.kind != WorkloadOp::Kind::kSilentUpdate;
   switch (op.kind) {
     case WorkloadOp::Kind::kAccess:
+    case WorkloadOp::Kind::kBegin:
+    case WorkloadOp::Kind::kCommit:
+    case WorkloadOp::Kind::kAbort:
       break;  // rejected above
     case WorkloadOp::Kind::kUpdate:
     case WorkloadOp::Kind::kSilentUpdate: {

@@ -101,16 +101,36 @@ struct WorkloadOp {
     kSilentUpdate,  ///< kUpdate applied WITHOUT notifying strategies — a
                     ///< deliberately lost invalidation, planted to give the
                     ///< reducer and failure-path tests a real bug to find
+    kBegin,         ///< transaction boundary: open an explicit transaction
+    kCommit,        ///< transaction boundary: commit the open transaction
+    kAbort,         ///< transaction boundary: roll the open transaction back
   };
   Kind kind = Kind::kAccess;
   /// kAccess: the procedure id.  Mutations: the seed of the op's private
   /// RNG stream; 0 means "draw from the caller's inline RNG instead",
   /// which preserves the classic Simulator loop's bit-exact stream
-  /// consumption.
+  /// consumption.  Txn markers: unused (0).
   uint64_t value = 0;
 };
 
 const char* WorkloadOpKindName(WorkloadOp::Kind kind);
+
+/// Begin/commit/abort markers bracket explicit transactions in an op
+/// stream.  Ops between a kBegin and its kCommit apply atomically (all
+/// strategy notifications, then one transaction-end); ops between a kBegin
+/// and a kAbort apply not at all.  Ops outside any marker pair auto-commit
+/// one at a time — marker-free streams behave exactly as they always have.
+inline bool IsTxnMarker(WorkloadOp::Kind kind) {
+  return kind == WorkloadOp::Kind::kBegin ||
+         kind == WorkloadOp::Kind::kCommit ||
+         kind == WorkloadOp::Kind::kAbort;
+}
+
+/// True for ops that change base tables (everything except accesses and
+/// transaction markers).
+inline bool IsMutationOp(WorkloadOp::Kind kind) {
+  return kind != WorkloadOp::Kind::kAccess && !IsTxnMarker(kind);
+}
 
 /// Per-step operation mix; the remainder of the probability mass is a
 /// procedure access.  Defaults match the historical CrossCheck mix.

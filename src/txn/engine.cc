@@ -1,0 +1,418 @@
+#include "txn/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "proc/cache_invalidate.h"
+#include "storage/disk.h"
+#include "util/logging.h"
+
+namespace procsim::txn {
+namespace {
+
+/// Thread-local transaction tag read by the InvalidationLog→WAL mirror.
+thread_local TxnId g_current_txn = 0;
+
+/// The only relation transactions mutate (the paper's update model writes
+/// R1 in place); every transaction locks it as one granule.
+const char kMutatedRelation[] = "R1";
+
+}  // namespace
+
+TxnId CurrentTxn() { return g_current_txn; }
+
+CurrentTxnScope::CurrentTxnScope(TxnId txn) : previous_(g_current_txn) {
+  g_current_txn = txn;
+}
+
+CurrentTxnScope::~CurrentTxnScope() { g_current_txn = previous_; }
+
+Result<std::unique_ptr<TxnEngine>> TxnEngine::Build(const Options& options)
+    NO_THREAD_SAFETY_ANALYSIS {
+  auto engine = std::unique_ptr<TxnEngine>(new TxnEngine());
+  engine->options_ = options;
+  Result<std::unique_ptr<sim::Database>> built =
+      sim::BuildDatabase(options.params, options.model, options.seed);
+  if (!built.ok()) return built.status();
+  engine->db_ = built.TakeValueOrDie();
+  Result<sim::StrategySet> strategies = sim::MakeAllStrategies(
+      engine->db_.get(), options.params, options.model, options.config);
+  if (!strategies.ok()) return strategies.status();
+  engine->strategies_ = strategies.TakeValueOrDie();
+  engine->wal_ = std::make_unique<storage::WriteAheadLog>(
+      &engine->db_->meter, options.config.wal_force_cost_ms);
+  engine->locks_ = std::make_unique<LockManager>(options.deadlock_policy);
+  engine->txns_ = std::make_unique<TxnManager>(
+      engine->wal_.get(), engine->locks_.get(), &engine->db_->meter,
+      TxnManager::Options{options.config.group_commit_size});
+  const std::size_t stripes = std::max<std::size_t>(
+      1, std::min(options.config.shards, engine->db_->procedures.size()));
+  engine->slot_stripes_ = std::make_unique<util::LatchStripes>(
+      util::LatchRank::kStrategySlot, "TxnEngine::slot", stripes);
+  return engine;
+}
+
+void TxnEngine::InstallMirror() NO_THREAD_SAFETY_ANALYSIS {
+  storage::WriteAheadLog* wal = wal_.get();
+  strategies_.cache_invalidate->mutable_validity_log().SetMirror(
+      [wal](const proc::InvalidationLog::Record& record) {
+        if (record.kind == proc::InvalidationLog::Record::Kind::kInvalidate) {
+          wal->AppendInvalidate(CurrentTxn(), record.procedure);
+        } else {
+          wal->AppendValidate(CurrentTxn(), record.procedure);
+        }
+      });
+}
+
+Result<std::unique_ptr<TxnEngine>> TxnEngine::Create(const Options& options) {
+  Result<std::unique_ptr<TxnEngine>> engine = Build(options);
+  if (!engine.ok()) return engine.status();
+  engine.ValueOrDie()->InstallMirror();
+  return engine;
+}
+
+TxnId TxnEngine::Begin() { return txns_->Begin(); }
+
+Status TxnEngine::Queue(TxnId txn, const sim::WorkloadOp& op) {
+  PROCSIM_RETURN_IF_ERROR(locks_->Acquire(
+      txn, Granule::Relation(kMutatedRelation), LockMode::kExclusive));
+  return txns_->QueueOp(txn, op);
+}
+
+Result<std::string> TxnEngine::Access(TxnId txn, uint64_t access_id) {
+  PROCSIM_RETURN_IF_ERROR(locks_->Acquire(
+      txn, Granule::Relation(kMutatedRelation), LockMode::kShared));
+  CurrentTxnScope scope(txn);
+  util::RankedSharedLockGuard db_guard(db_latch_);
+  const auto id =
+      static_cast<proc::ProcId>(access_id % db_->procedures.size());
+  // The slot stripe serializes concurrent refreshes of one cache slot,
+  // exactly as in concurrent::Engine.
+  util::RankedLockGuard slot_guard(slot_stripes_->For(id));
+  std::string expected;
+  bool first = true;
+  for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+    Result<std::vector<rel::Tuple>> answer = strategy->Access(id);
+    if (!answer.ok()) {
+      return Status::Internal(strategy->name() + " failed accessing " +
+                              db_->procedures[id].name + ": " +
+                              answer.status().ToString());
+    }
+    std::string digest = sim::CanonicalResultBytes(answer.ValueOrDie());
+    if (first) {
+      expected = std::move(digest);
+      first = false;
+    } else if (digest != expected) {
+      return Status::Internal(strategy->name() + " diverged on " +
+                              db_->procedures[id].name +
+                              " under transactional access");
+    }
+  }
+  return expected;
+}
+
+Status TxnEngine::Commit(TxnId txn) {
+  return txns_->Commit(txn, [this](TxnId t,
+                                   const std::vector<sim::WorkloadOp>& ops) {
+    return ApplyCommitted(t, ops, /*skip_invalidation=*/false);
+  });
+}
+
+Status TxnEngine::Abort(TxnId txn) { return txns_->Abort(txn); }
+
+Status TxnEngine::Flush() { return txns_->Flush(); }
+
+Status TxnEngine::ApplyCommitted(TxnId txn,
+                                 const std::vector<sim::WorkloadOp>& ops,
+                                 bool skip_invalidation) {
+  CurrentTxnScope scope(txn);
+  util::RankedLockGuard db_guard(db_latch_);
+  bool notified = false;
+  for (const sim::WorkloadOp& op : ops) {
+    Result<sim::MutationResult> mutation =
+        sim::ApplyMutationOp(db_.get(), op, options_.mix, /*inline_rng=*/
+                             nullptr);
+    PROCSIM_RETURN_IF_ERROR(mutation.status());
+    const sim::MutationResult& applied = mutation.ValueOrDie();
+    if (!applied.applied || !applied.notify) continue;
+    for (const auto& [old_tuple, new_tuple] : applied.changes) {
+      for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+        if (skip_invalidation &&
+            strategy.get() == strategies_.cache_invalidate) {
+          continue;  // the planted recovery bug: a lost invalidation
+        }
+        if (old_tuple.has_value()) {
+          strategy->OnDelete(kMutatedRelation, *old_tuple);
+        }
+        if (new_tuple.has_value()) {
+          strategy->OnInsert(kMutatedRelation, *new_tuple);
+        }
+      }
+    }
+    notified = true;
+  }
+  if (notified) {
+    for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+      PROCSIM_RETURN_IF_ERROR(strategy->OnTransactionEnd());
+    }
+  }
+  return Status::OK();
+}
+
+Status TxnEngine::TakeCheckpoint(bool truncate_validity_log)
+    NO_THREAD_SAFETY_ANALYSIS {
+  PROCSIM_RETURN_IF_ERROR(txns_->Flush());
+  const proc::InvalidationLog::Checkpoint checkpoint =
+      strategies_.cache_invalidate->TakeValidityCheckpoint();
+  wal_->AppendCheckpoint(checkpoint.lsn, checkpoint.valid);
+  if (truncate_validity_log) {
+    strategies_.cache_invalidate->mutable_validity_log().TruncateThrough(
+        checkpoint);
+  }
+  return Status::OK();
+}
+
+Status TxnEngine::Run(const std::vector<sim::WorkloadOp>& ops) {
+  TxnId open = 0;
+  for (const sim::WorkloadOp& op : ops) {
+    switch (op.kind) {
+      case sim::WorkloadOp::Kind::kBegin: {
+        if (open != 0) {
+          return Status::InvalidArgument(
+              "nested kBegin: transaction " + std::to_string(open) +
+              " is still open");
+        }
+        open = Begin();
+        break;
+      }
+      case sim::WorkloadOp::Kind::kCommit: {
+        if (open == 0) {
+          return Status::InvalidArgument("kCommit without an open transaction");
+        }
+        Status st = Commit(open);
+        open = 0;
+        PROCSIM_RETURN_IF_ERROR(st);
+        break;
+      }
+      case sim::WorkloadOp::Kind::kAbort: {
+        if (open == 0) {
+          return Status::InvalidArgument("kAbort without an open transaction");
+        }
+        Status st = Abort(open);
+        open = 0;
+        PROCSIM_RETURN_IF_ERROR(st);
+        break;
+      }
+      case sim::WorkloadOp::Kind::kAccess: {
+        if (open != 0) {
+          PROCSIM_RETURN_IF_ERROR(Access(open, op.value).status());
+          break;
+        }
+        const TxnId txn = Begin();
+        PROCSIM_RETURN_IF_ERROR(Access(txn, op.value).status());
+        PROCSIM_RETURN_IF_ERROR(Commit(txn));
+        break;
+      }
+      default: {  // mutations
+        if (open != 0) {
+          PROCSIM_RETURN_IF_ERROR(Queue(open, op));
+          break;
+        }
+        const TxnId txn = Begin();
+        PROCSIM_RETURN_IF_ERROR(Queue(txn, op));
+        PROCSIM_RETURN_IF_ERROR(Commit(txn));
+        break;
+      }
+    }
+  }
+  // An unterminated transaction at stream end never reached its commit
+  // point: roll it back, exactly as recovery would discard it.
+  if (open != 0) PROCSIM_RETURN_IF_ERROR(Abort(open));
+  return Status::OK();
+}
+
+Result<std::string> TxnEngine::StateDigest() {
+  return OracleStateDigest(db_.get());
+}
+
+std::string OracleStateDigest(sim::Database* db) {
+  std::string digest;
+  storage::MeteringGuard guard(db->disk.get());
+  for (proc::ProcId id = 0; id < db->procedures.size(); ++id) {
+    Result<std::vector<rel::Tuple>> oracle =
+        db->executor->Execute(db->procedures[id].query);
+    PROCSIM_CHECK(oracle.ok()) << "oracle execution failed on "
+                               << db->procedures[id].name << ": "
+                               << oracle.status().ToString();
+    const std::string bytes = sim::CanonicalResultBytes(oracle.ValueOrDie());
+    digest += std::to_string(id) + ":" + std::to_string(bytes.size()) + ":";
+    digest += bytes;
+  }
+  return digest;
+}
+
+Status TxnEngine::CompareAllAgainstOracle() NO_THREAD_SAFETY_ANALYSIS {
+  // The sweep runs inside one real (read-only) transaction so any cache
+  // refresh it triggers mirrors its validation records under a *committed*
+  // transaction — keeping the WAL recoverable after validation runs.
+  const TxnId txn = Begin();
+  {
+    CurrentTxnScope scope(txn);
+    for (proc::ProcId id = 0; id < db_->procedures.size(); ++id) {
+      std::string expected;
+      {
+        storage::MeteringGuard guard(db_->disk.get());
+        Result<std::vector<rel::Tuple>> oracle =
+            db_->executor->Execute(db_->procedures[id].query);
+        PROCSIM_RETURN_IF_ERROR(oracle.status());
+        expected = sim::CanonicalResultBytes(oracle.ValueOrDie());
+      }
+      for (const std::unique_ptr<proc::Strategy>& strategy :
+           strategies_.all) {
+        Result<std::vector<rel::Tuple>> answer = strategy->Access(id);
+        PROCSIM_RETURN_IF_ERROR(answer.status());
+        if (sim::CanonicalResultBytes(answer.ValueOrDie()) != expected) {
+          return Status::Internal(strategy->name() + " diverged on " +
+                                  db_->procedures[id].name +
+                                  " against the from-scratch oracle");
+        }
+      }
+    }
+  }
+  PROCSIM_RETURN_IF_ERROR(txns_->Commit(txn, nullptr));
+  return txns_->Flush();
+}
+
+Result<std::unique_ptr<TxnEngine>> TxnEngine::Recover(
+    const Options& options, std::vector<storage::WalRecord> surviving,
+    const RecoveryInjection& injection,
+    RecoveryReport* report) NO_THREAD_SAFETY_ANALYSIS {
+  Result<std::unique_ptr<TxnEngine>> built = Build(options);
+  if (!built.ok()) return built.status();
+  TxnEngine& engine = *built.ValueOrDie();
+
+  // Install the surviving prefix verbatim as the revived engine's log:
+  // history re-grows past it, so the recovered engine can crash again.
+  PROCSIM_RETURN_IF_ERROR(engine.wal_->ResetFrom(surviving));
+
+  // Pass 1 (analysis): a transaction's effects are durable iff its kCommit
+  // record survived the crash prefix.
+  std::set<TxnId> committed;
+  TxnId max_txn = 0;
+  for (const storage::WalRecord& record : surviving) {
+    max_txn = std::max(max_txn, record.txn);
+    if (record.kind == storage::WalRecord::Kind::kCommit) {
+      committed.insert(record.txn);
+    }
+  }
+  engine.txns_->AdvancePastTxn(max_txn);
+
+  // Pass 2 (redo): replay each committed transaction's buffered ops at its
+  // commit record, through the SAME apply path the live flush uses — one
+  // organic pass rebuilds heaps, indexes, invalidation bitmaps, i-locks and
+  // budget live-flags together.  Per-transaction records are contiguous
+  // ([kMutation...][mirrored validity...][kCommit]), and commit records
+  // appear in serialization order, so replay order == live apply order.
+  std::map<TxnId, std::vector<sim::WorkloadOp>> buffered;
+  std::size_t replayed_mutations = 0;
+  std::size_t discarded = 0;
+  std::optional<std::size_t> checkpoint_index;
+  for (std::size_t i = 0; i < surviving.size(); ++i) {
+    const storage::WalRecord& record = surviving[i];
+    const bool durable = committed.count(record.txn) > 0;
+    switch (record.kind) {
+      case storage::WalRecord::Kind::kMutation: {
+        if (!durable) {
+          ++discarded;
+          break;
+        }
+        const auto kind = static_cast<sim::WorkloadOp::Kind>(record.a);
+        if (record.a > static_cast<uint64_t>(sim::WorkloadOp::Kind::kAbort) ||
+            !sim::IsMutationOp(kind) || record.b == 0) {
+          return Status::Internal("corrupt mutation record at LSN " +
+                                  std::to_string(record.lsn));
+        }
+        buffered[record.txn].push_back(sim::WorkloadOp{kind, record.b});
+        break;
+      }
+      case storage::WalRecord::Kind::kCommit: {
+        const auto it = buffered.find(record.txn);
+        if (it == buffered.end()) break;  // read-only transaction
+        replayed_mutations += it->second.size();
+        PROCSIM_RETURN_IF_ERROR(engine.ApplyCommitted(
+            record.txn, it->second, injection.drop_invalidation_replay));
+        buffered.erase(it);
+        break;
+      }
+      case storage::WalRecord::Kind::kCheckpoint:
+        checkpoint_index = i;
+        break;
+      case storage::WalRecord::Kind::kBegin:
+      case storage::WalRecord::Kind::kAbort:
+      case storage::WalRecord::Kind::kInvalidate:
+      case storage::WalRecord::Kind::kValidate:
+        if (!durable) ++discarded;
+        break;
+    }
+  }
+
+  // Pass 3 (cross-check): restore the validity bitmap purely from the log —
+  // latest surviving checkpoint plus committed mirrored records after it —
+  // and require every log-invalid procedure to be invalid in the organically
+  // replayed engine.  (The reverse direction is expectedly loose: committed
+  // re-validations are not replayed, because cached bytes are not durable —
+  // organic recovery conservatively leaves those procedures invalid.)
+  const std::size_t proc_count = engine.db_->procedures.size();
+  std::vector<bool> log_valid(proc_count, true);
+  std::size_t first_validity_record = 0;
+  if (checkpoint_index.has_value()) {
+    const storage::WalRecord& checkpoint = surviving[*checkpoint_index];
+    if (checkpoint.bitmap.size() != proc_count) {
+      return Status::Internal(
+          "checkpoint bitmap covers " +
+          std::to_string(checkpoint.bitmap.size()) + " procedures, expected " +
+          std::to_string(proc_count));
+    }
+    log_valid = checkpoint.bitmap;
+    first_validity_record = *checkpoint_index + 1;
+  }
+  for (std::size_t i = first_validity_record; i < surviving.size(); ++i) {
+    const storage::WalRecord& record = surviving[i];
+    if (record.kind != storage::WalRecord::Kind::kInvalidate &&
+        record.kind != storage::WalRecord::Kind::kValidate) {
+      continue;
+    }
+    if (committed.count(record.txn) == 0) continue;
+    if (record.a >= proc_count) {
+      return Status::Internal("validity record at LSN " +
+                              std::to_string(record.lsn) +
+                              " names procedure " + std::to_string(record.a) +
+                              " outside the catalog");
+    }
+    log_valid[record.a] = record.kind == storage::WalRecord::Kind::kValidate;
+  }
+  for (proc::ProcId id = 0; id < proc_count; ++id) {
+    if (!log_valid[id] && engine.strategies_.cache_invalidate->IsValid(id)) {
+      return Status::Internal(
+          "recovery lost the invalidation of " + engine.db_->procedures[id].name +
+          ": the committed log marks it invalid but the replayed cache "
+          "still claims validity");
+    }
+  }
+
+  engine.InstallMirror();
+  if (report != nullptr) {
+    report->surviving_records = surviving.size();
+    report->committed_txns = committed.size();
+    report->replayed_mutations = replayed_mutations;
+    report->discarded_records = discarded;
+    report->log_restored_valid = std::move(log_valid);
+  }
+  return built;
+}
+
+}  // namespace procsim::txn

@@ -1,0 +1,209 @@
+#ifndef PROCSIM_TXN_ENGINE_H_
+#define PROCSIM_TXN_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/params.h"
+#include "proc/engine_config.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "storage/wal.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "util/latch.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace procsim::txn {
+
+/// The transaction currently executing on this thread (0 = none).  The
+/// InvalidationLog→WAL mirror reads it to tag mirrored validity records
+/// with their mutating transaction, which is what lets recovery discard
+/// the invalidations of uncommitted transactions.
+TxnId CurrentTxn();
+
+/// RAII tag installing `txn` as the thread's current transaction.
+class CurrentTxnScope {
+ public:
+  explicit CurrentTxnScope(TxnId txn);
+  ~CurrentTxnScope();
+  CurrentTxnScope(const CurrentTxnScope&) = delete;
+  CurrentTxnScope& operator=(const CurrentTxnScope&) = delete;
+
+ private:
+  TxnId previous_;
+};
+
+/// \brief The transactional engine: one Database + all six strategies
+/// behind Begin/Queue/Access/Commit/Abort, with a WriteAheadLog, a 2PL
+/// LockManager and a group-committing TxnManager — and a recovery path
+/// that rebuilds the whole stack from the log.
+///
+/// Mutations are deferred-apply: Queue() buffers ops (under an X lock on
+/// R1); the group flush applies them in commit order, so the WAL's record
+/// order IS the serialization order, and a crash prefix always corresponds
+/// to a prefix of committed transactions.  That single total order is what
+/// makes one recovery pass sufficient for heaps, indexes, invalidation
+/// bitmaps, i-locks and cache-budget live flags alike (DESIGN.md §12).
+///
+/// Recovery = genesis + redo: the durable base image is the seed (the
+/// database build is deterministic), so Recover() rebuilds the base,
+/// prepares fresh strategies (all caches valid) and replays the committed
+/// transactions' mutation records *organically* — through the same
+/// ApplyMutationOp + strategy-notification path the live engine uses.
+/// That one pass reconstructs the heaps/indexes AND re-derives every
+/// cache's validity, i-locks and budget accounting.  The mirrored validity
+/// records in the log are then cross-checked against the organic outcome:
+/// any procedure the (committed) log marks invalid must be invalid in the
+/// recovered engine — a violated subset means a lost invalidation, the
+/// exact bug class the crash harness exists to catch.
+class TxnEngine {
+ public:
+  struct Options {
+    cost::Params params;
+    cost::ProcModel model = cost::ProcModel::kModel1;
+    uint64_t seed = 42;
+    /// shards + cache budget + group_commit_size + wal_force_cost_ms.
+    proc::EngineConfig config;
+    sim::WorkloadMix mix;
+    LockManager::DeadlockPolicy deadlock_policy =
+        LockManager::DeadlockPolicy::kWoundWait;
+  };
+
+  /// Fault injection for the crash-fuzz harness: plantable recovery bugs.
+  struct RecoveryInjection {
+    /// Replay applies heap mutations but skips the CacheInvalidate
+    /// strategy's write notification — a lost invalidation.  Both recovery
+    /// cross-checks (the log-subset invariant and the oracle digest sweep)
+    /// must catch it.
+    bool drop_invalidation_replay = false;
+  };
+
+  struct RecoveryReport {
+    std::size_t surviving_records = 0;
+    std::size_t committed_txns = 0;
+    std::size_t replayed_mutations = 0;
+    /// Records of uncommitted/aborted transactions skipped by replay.
+    std::size_t discarded_records = 0;
+    /// The validity bitmap restored purely from the log (checkpoint +
+    /// committed mirrored records) — the §3 WAL-recovery answer, checked
+    /// against the organically replayed bitmap.
+    std::vector<bool> log_restored_valid;
+  };
+
+  static Result<std::unique_ptr<TxnEngine>> Create(const Options& options);
+
+  /// Rebuilds an engine from the seed base image plus `surviving` (a crash
+  /// prefix of a WAL snapshot).  The recovered engine's WAL contains the
+  /// surviving records verbatim, so it can itself crash and recover — the
+  /// idempotence proof.  `injection` plants recovery bugs for the harness;
+  /// `report`, when non-null, receives replay statistics.
+  static Result<std::unique_ptr<TxnEngine>> Recover(
+      const Options& options, std::vector<storage::WalRecord> surviving,
+      const RecoveryInjection& injection, RecoveryReport* report = nullptr);
+
+  TxnId Begin();
+
+  /// Buffers one mutation op for `txn`, first taking R1 exclusively.
+  /// Returns Aborted when `txn` has been wounded / victimized.
+  Status Queue(TxnId txn, const sim::WorkloadOp& op);
+
+  /// Serves procedure `access_id % procedure_count` under an R1 shared
+  /// lock: all six strategies answer, the answers must agree byte-for-byte
+  /// and the canonical digest is returned.
+  Result<std::string> Access(TxnId txn, uint64_t access_id);
+
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  /// Forces the pending partial commit group, if any.
+  Status Flush();
+
+  /// Flushes, captures the CacheInvalidate validity checkpoint and logs it
+  /// as a kCheckpoint WAL record.  When `truncate_validity_log` is set the
+  /// in-memory validity log is truncated through the checkpoint — the
+  /// InvalidationLog reclamation protocol the recovery edge-case tests
+  /// exercise.  (The WAL itself is never truncated by the engine: the
+  /// durable base image is the seed, so every committed mutation record is
+  /// needed for redo.)
+  Status TakeCheckpoint(bool truncate_validity_log = false);
+
+  /// Executes a marker-aware op stream single-threadedly: kBegin/kCommit/
+  /// kAbort bracket explicit transactions, bare ops auto-commit, accesses
+  /// read (inside or outside transactions).  An unterminated transaction at
+  /// stream end is rolled back.  The trailing commit group is NOT flushed —
+  /// call Flush() for a quiescent end state.
+  Status Run(const std::vector<sim::WorkloadOp>& ops);
+
+  /// From-scratch oracle digest of every procedure's current value
+  /// (un-metered), procedure-tagged and length-prefixed — byte-identical
+  /// iff the database states are.  Quiescent-only.
+  Result<std::string> StateDigest() NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Quiescent sweep: every strategy's answer for every procedure must be
+  /// byte-identical to the from-scratch oracle.  (Structure validators live
+  /// a layer up, in audit; the crash harness runs both.)
+  Status CompareAllAgainstOracle();
+
+  std::vector<storage::WalRecord> WalSnapshot() const {
+    return wal_->Snapshot();
+  }
+  const storage::WriteAheadLog& wal() const { return *wal_; }
+  LockManager& locks() { return *locks_; }
+  TxnManager& manager() { return *txns_; }
+  const Options& options() const { return options_; }
+  std::size_t procedure_count() const NO_THREAD_SAFETY_ANALYSIS {
+    return db_->procedures.size();
+  }
+
+  /// Quiescent-only escape hatches (setup/validation, like
+  /// concurrent::Engine's).
+  sim::Database* database() NO_THREAD_SAFETY_ANALYSIS { return db_.get(); }
+  sim::StrategySet& strategies() NO_THREAD_SAFETY_ANALYSIS {
+    return strategies_;
+  }
+
+ private:
+  TxnEngine() = default;
+
+  /// Builds database + strategies + txn machinery (no replay, no mirror).
+  static Result<std::unique_ptr<TxnEngine>> Build(const Options& options);
+
+  /// Installs the InvalidationLog→WAL mirror (disabled during replay so
+  /// recovery does not re-log what it is reconstructing).
+  void InstallMirror();
+
+  /// Group-flush apply hook: applies `ops` and notifies strategies, under
+  /// the db latch, tagged as `txn`.  `skip_invalidation` is the planted
+  /// recovery bug (only ever set by Recover's replay).
+  Status ApplyCommitted(TxnId txn, const std::vector<sim::WorkloadOp>& ops,
+                        bool skip_invalidation);
+
+  // procsim-lint: allow(unguarded(options_)) because options are written once at Build and read-only afterwards
+  Options options_;
+  mutable util::RankedSharedMutex db_latch_{util::LatchRank::kDatabase,
+                                            "TxnEngine::db"};
+  std::unique_ptr<util::LatchStripes> slot_stripes_;
+  std::unique_ptr<sim::Database> db_ GUARDED_BY(db_latch_);
+  sim::StrategySet strategies_ GUARDED_BY(db_latch_);
+  // procsim-lint: allow(unguarded(wal_)) because the pointer is written once at Build; the WriteAheadLog serializes itself on its own kWal latch
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  // procsim-lint: allow(unguarded(locks_)) because the pointer is written once at Build; the LockManager serializes itself on its own kTxnLock latch
+  std::unique_ptr<LockManager> locks_;
+  // procsim-lint: allow(unguarded(txns_)) because the pointer is written once at Build; the TxnManager serializes itself on its own kTxnManager latch
+  std::unique_ptr<TxnManager> txns_;
+};
+
+/// From-scratch, un-metered oracle digest of every procedure's current
+/// value over `db`: procedure-tagged, length-prefixed, byte-identical iff
+/// the database states are.  TxnEngine::StateDigest() is this applied to
+/// the engine's own database; the crash harness applies it to its
+/// independently advanced reference database.
+std::string OracleStateDigest(sim::Database* db);
+
+}  // namespace procsim::txn
+
+#endif  // PROCSIM_TXN_ENGINE_H_

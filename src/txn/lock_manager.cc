@@ -1,0 +1,236 @@
+#include "txn/lock_manager.h"
+
+#include <tuple>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace procsim::txn {
+namespace {
+
+obs::Counter* const g_grants =
+    obs::GlobalMetrics().RegisterCounter("txn.lock.grants");
+obs::Counter* const g_waits =
+    obs::GlobalMetrics().RegisterCounter("txn.lock.waits");
+obs::Counter* const g_wounds =
+    obs::GlobalMetrics().RegisterCounter("txn.lock.wounds");
+obs::Counter* const g_upgrades =
+    obs::GlobalMetrics().RegisterCounter("txn.lock.upgrades");
+obs::Counter* const g_deadlocks =
+    obs::GlobalMetrics().RegisterCounter("txn.lock.deadlocks");
+
+}  // namespace
+
+const char* LockModeName(LockMode mode) {
+  return mode == LockMode::kShared ? "S" : "X";
+}
+
+Granule Granule::Relation(std::string name) {
+  Granule granule;
+  granule.relation = std::move(name);
+  return granule;
+}
+
+Granule Granule::Tuple(std::string name, std::uint64_t tuple) {
+  Granule granule;
+  granule.relation = std::move(name);
+  granule.whole_relation = false;
+  granule.tuple = tuple;
+  return granule;
+}
+
+bool Granule::operator<(const Granule& other) const {
+  return std::tie(relation, whole_relation, tuple) <
+         std::tie(other.relation, other.whole_relation, other.tuple);
+}
+
+bool Granule::operator==(const Granule& other) const {
+  return relation == other.relation &&
+         whole_relation == other.whole_relation && tuple == other.tuple;
+}
+
+std::string Granule::ToString() const {
+  return whole_relation ? relation
+                        : relation + "[" + std::to_string(tuple) + "]";
+}
+
+LockManager::LockManager(DeadlockPolicy policy) : policy_(policy) {}
+
+bool LockManager::Compatible(const GranuleState& state, TxnId txn,
+                             LockMode mode) {
+  for (const auto& [holder, held] : state.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::CycleFrom(TxnId start) const {
+  // Depth-first walk of waits-for edges: a waiter points at every
+  // conflicting holder of the granule it is parked on.  The graph is tiny
+  // (bounded by in-flight transactions), so recursion-free DFS with an
+  // explicit stack is plenty.
+  std::vector<TxnId> stack{start};
+  std::set<TxnId> visited;
+  while (!stack.empty()) {
+    const TxnId current = stack.back();
+    stack.pop_back();
+    const auto wait = waiting_.find(current);
+    if (wait == waiting_.end()) continue;
+    const auto granule = table_.find(wait->second);
+    if (granule == table_.end()) continue;
+    for (const auto& [holder, held] : granule->second.holders) {
+      (void)held;
+      if (holder == current) continue;
+      if (holder == start) return true;
+      if (visited.insert(holder).second) stack.push_back(holder);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, const Granule& granule, LockMode mode) {
+  PROCSIM_CHECK_NE(txn, 0u) << "txn id 0 is reserved";
+  util::RankedUniqueLock lock(latch_);
+  bool counted_wait = false;
+  while (true) {
+    if (wounded_.count(txn) != 0) {
+      waiting_.erase(txn);
+      return Status::Aborted("txn " + std::to_string(txn) +
+                             " wounded by an older transaction");
+    }
+    GranuleState& state = table_[granule];
+    const auto self = state.holders.find(txn);
+    if (self != state.holders.end() &&
+        (self->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+      waiting_.erase(txn);
+      return Status::OK();  // already held at a sufficient mode
+    }
+    if (Compatible(state, txn, mode)) {
+      const bool upgrade =
+          self != state.holders.end() && mode == LockMode::kExclusive;
+      state.holders[txn] = mode;
+      waiting_.erase(txn);
+      g_grants->Add();
+      if (upgrade) g_upgrades->Add();
+      return Status::OK();
+    }
+    switch (policy_) {
+      case DeadlockPolicy::kWoundWait:
+        // Older requester wounds every younger conflicting holder; the
+        // victims abort on their next lock request or commit attempt.  A
+        // younger requester simply waits (young→old waits cannot cycle).
+        for (const auto& [holder, held] : state.holders) {
+          if (holder == txn) continue;
+          const bool conflicts =
+              mode == LockMode::kExclusive || held == LockMode::kExclusive;
+          if (conflicts && holder > txn && wounded_.insert(holder).second) {
+            g_wounds->Add();
+          }
+        }
+        break;
+      case DeadlockPolicy::kCycleDetect:
+        waiting_[txn] = granule;
+        if (CycleFrom(txn)) {
+          waiting_.erase(txn);
+          g_deadlocks->Add();
+          return Status::Aborted("txn " + std::to_string(txn) +
+                                 " aborted as deadlock victim on " +
+                                 granule.ToString());
+        }
+        break;
+      case DeadlockPolicy::kBlock:
+        break;
+    }
+    waiting_[txn] = granule;
+    if (!counted_wait) {
+      g_waits->Add();
+      counted_wait = true;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  {
+    util::RankedLockGuard guard(latch_);
+    for (auto it = table_.begin(); it != table_.end();) {
+      it->second.holders.erase(txn);
+      if (it->second.holders.empty()) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    wounded_.erase(txn);
+    waiting_.erase(txn);
+  }
+  cv_.notify_all();
+}
+
+bool LockManager::IsWounded(TxnId txn) const {
+  util::RankedLockGuard guard(latch_);
+  return wounded_.count(txn) != 0;
+}
+
+void LockManager::WoundForTesting(TxnId txn) {
+  {
+    util::RankedLockGuard guard(latch_);
+    if (wounded_.insert(txn).second) g_wounds->Add();
+  }
+  cv_.notify_all();
+}
+
+std::size_t LockManager::held_count(TxnId txn) const {
+  util::RankedLockGuard guard(latch_);
+  std::size_t count = 0;
+  for (const auto& [granule, state] : table_) {
+    (void)granule;
+    count += state.holders.count(txn);
+  }
+  return count;
+}
+
+bool LockManager::Holds(TxnId txn, const Granule& granule,
+                        LockMode mode) const {
+  util::RankedLockGuard guard(latch_);
+  const auto it = table_.find(granule);
+  if (it == table_.end()) return false;
+  const auto holder = it->second.holders.find(txn);
+  if (holder == it->second.holders.end()) return false;
+  return holder->second == mode;
+}
+
+std::vector<TxnId> LockManager::FindWaitsForCycle() const {
+  util::RankedLockGuard guard(latch_);
+  for (const auto& [waiter, granule] : waiting_) {
+    (void)granule;
+    if (!CycleFrom(waiter)) continue;
+    // Reconstruct one cycle path for the caller's diagnostics: walk
+    // greedily along waits-for edges until the start repeats.
+    std::vector<TxnId> cycle{waiter};
+    TxnId current = waiter;
+    while (true) {
+      const auto wait = waiting_.find(current);
+      if (wait == waiting_.end()) return cycle;
+      const auto state = table_.find(wait->second);
+      if (state == table_.end()) return cycle;
+      TxnId next = 0;
+      for (const auto& [holder, held] : state->second.holders) {
+        (void)held;
+        if (holder == current) continue;
+        if (holder == waiter) return cycle;
+        if (next == 0 && waiting_.count(holder) != 0) next = holder;
+      }
+      if (next == 0) return cycle;
+      cycle.push_back(next);
+      current = next;
+    }
+  }
+  return {};
+}
+
+}  // namespace procsim::txn

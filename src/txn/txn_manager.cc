@@ -1,0 +1,172 @@
+#include "txn/txn_manager.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace procsim::txn {
+namespace {
+
+obs::Counter* const g_begins =
+    obs::GlobalMetrics().RegisterCounter("txn.manager.begins");
+obs::Counter* const g_commits =
+    obs::GlobalMetrics().RegisterCounter("txn.manager.commits");
+obs::Counter* const g_aborts =
+    obs::GlobalMetrics().RegisterCounter("txn.manager.aborts");
+obs::Counter* const g_group_commits =
+    obs::GlobalMetrics().RegisterCounter("txn.manager.group_commits");
+obs::Histogram* const g_commit_latency =
+    obs::GlobalMetrics().RegisterHistogram("txn.commit.latency_ms",
+                                           obs::DefaultCostBuckets());
+
+}  // namespace
+
+using Guard = util::RankedLockGuard;
+
+TxnManager::TxnManager(storage::WriteAheadLog* wal, LockManager* locks,
+                       CostMeter* meter, Options options)
+    : wal_(wal), locks_(locks), meter_(meter), options_(options) {
+  PROCSIM_CHECK(wal_ != nullptr);
+  PROCSIM_CHECK(locks_ != nullptr);
+  PROCSIM_CHECK_GT(options_.group_commit_size, 0u);
+}
+
+TxnId TxnManager::Begin() {
+  const TxnId txn = next_txn_.fetch_add(1, std::memory_order_relaxed);
+  {
+    Guard guard(latch_);
+    active_[txn] = Txn{};
+  }
+  wal_->AppendBegin(txn);
+  g_begins->Add();
+  return txn;
+}
+
+Status TxnManager::QueueOp(TxnId txn, const sim::WorkloadOp& op) {
+  if (!sim::IsMutationOp(op.kind)) {
+    return Status::InvalidArgument(
+        std::string(sim::WorkloadOpKindName(op.kind)) +
+        " is not a bufferable mutation");
+  }
+  if (op.value == 0) {
+    return Status::InvalidArgument(
+        "transactional mutations must be op-seeded (value != 0): a deferred "
+        "apply has no inline RNG stream to draw from");
+  }
+  Guard guard(latch_);
+  const auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                   " is not active");
+  }
+  if (it->second.committing) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                   " is already committing");
+  }
+  it->second.ops.push_back(op);
+  return Status::OK();
+}
+
+Status TxnManager::Commit(TxnId txn, ApplyFn apply) {
+  if (locks_->IsWounded(txn)) {
+    PROCSIM_RETURN_IF_ERROR(Abort(txn));
+    return Status::Aborted("txn " + std::to_string(txn) +
+                           " wounded; rolled back instead of committing");
+  }
+  Guard guard(latch_);
+  const auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                   " is not active");
+  }
+  if (it->second.committing) {
+    return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                   " committed twice");
+  }
+  it->second.committing = true;
+  it->second.apply = std::move(apply);
+  it->second.enqueue_ms = meter_ != nullptr ? meter_->total_ms() : 0.0;
+  queue_.push_back(txn);
+  // Early lock release: the commit order is fixed by the queue position, so
+  // holding locks until the force would only serialize batch-mates against
+  // each other.  A crash before the force simply truncates the queue's
+  // effects — recovery replays nothing without a kCommit record.
+  locks_->ReleaseAll(txn);
+  if (queue_.size() >= options_.group_commit_size) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Status TxnManager::Abort(TxnId txn) {
+  {
+    Guard guard(latch_);
+    const auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                     " is not active");
+    }
+    if (it->second.committing) {
+      return Status::InvalidArgument("txn " + std::to_string(txn) +
+                                     " is already committing; too late to "
+                                     "abort");
+    }
+    active_.erase(it);
+  }
+  wal_->AppendAbort(txn);
+  locks_->ReleaseAll(txn);
+  g_aborts->Add();
+  return Status::OK();
+}
+
+Status TxnManager::Flush() {
+  Guard guard(latch_);
+  if (queue_.empty()) return Status::OK();
+  return FlushLocked();
+}
+
+Status TxnManager::FlushLocked() {
+  // Walk the group in commit order: redo records, apply, commit point.
+  for (const TxnId txn : queue_) {
+    const auto it = active_.find(txn);
+    PROCSIM_CHECK(it != active_.end()) << "queued txn missing from table";
+    const Txn& state = it->second;
+    for (const sim::WorkloadOp& op : state.ops) {
+      wal_->AppendMutation(txn, static_cast<uint64_t>(op.kind), op.value);
+    }
+    if (state.apply) {
+      PROCSIM_RETURN_IF_ERROR(state.apply(txn, state.ops));
+    }
+    wal_->AppendCommit(txn);
+  }
+  // One force makes the whole group durable; its cost is amortized across
+  // every transaction in the batch.
+  wal_->Force();
+  const double now_ms = meter_ != nullptr ? meter_->total_ms() : 0.0;
+  for (const TxnId txn : queue_) {
+    g_commit_latency->Observe(now_ms - active_[txn].enqueue_ms);
+    active_.erase(txn);
+    g_commits->Add();
+    commit_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_.clear();
+  g_group_commits->Add();
+  return Status::OK();
+}
+
+void TxnManager::AdvancePastTxn(TxnId max_seen) {
+  TxnId current = next_txn_.load(std::memory_order_relaxed);
+  while (current <= max_seen &&
+         !next_txn_.compare_exchange_weak(current, max_seen + 1,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t TxnManager::pending_commits() const {
+  Guard guard(latch_);
+  return queue_.size();
+}
+
+}  // namespace procsim::txn

@@ -1,0 +1,119 @@
+#ifndef PROCSIM_TXN_TXN_MANAGER_H_
+#define PROCSIM_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/workload.h"
+#include "storage/wal.h"
+#include "txn/lock_manager.h"
+#include "util/cost_meter.h"
+#include "util/latch.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace procsim::txn {
+
+/// \brief Transaction table + group-commit pipeline over one WriteAheadLog.
+///
+/// Protocol (deferred-apply redo logging):
+///  - Begin() assigns the next TxnId and logs kBegin.
+///  - QueueOp() buffers the transaction's mutation ops — nothing touches
+///    the database until commit, so an abort is a pure forget.
+///  - Commit() moves the transaction onto the group-commit queue and
+///    releases its locks (serialization order is now fixed as the queue
+///    order — the standard group-commit early-release trade).  When the
+///    queue reaches group_commit_size the group flushes.
+///  - A flush walks the queue in order: for each transaction it appends
+///    the kMutation redo records, runs the caller's apply hook (heap apply
+///    + strategy notification; mirrored validity records land here, tagged
+///    with the transaction), appends kCommit — the commit point — then
+///    forces the log once for the whole group.  One force amortized over
+///    the batch is the paper's C_inval ≈ 0 argument applied to commits.
+///  - Abort() logs kAbort, drops the buffer and releases locks.
+///
+/// Commit latency is measured on the simulated clock (CostMeter::total_ms):
+/// enqueue-to-force, so batch-mates that wait for the group to fill pay
+/// visible latency — the txn.commit.latency_ms histogram fig21 plots.
+///
+/// Thread safety: one kTxnManager latch guards the table and queue; the
+/// apply hook runs under it (it acquires only higher-ranked latches — the
+/// database latch, strategy internals, the WAL).
+class TxnManager {
+ public:
+  struct Options {
+    /// Transactions per group flush; 1 = commit immediately (the serving
+    /// engine's read-your-writes default).
+    std::size_t group_commit_size = 1;
+  };
+
+  /// Apply hook: applies `ops` to the database and notifies strategies.
+  /// Runs during a group flush, after the transaction's kMutation records
+  /// are logged and before its kCommit record.
+  using ApplyFn =
+      std::function<Status(TxnId txn, const std::vector<sim::WorkloadOp>& ops)>;
+
+  /// `wal`, `locks` and `meter` must outlive the manager; `meter` may be
+  /// null (latency histogram then records zeros).
+  TxnManager(storage::WriteAheadLog* wal, LockManager* locks,
+             CostMeter* meter, Options options);
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  TxnId Begin();
+
+  /// Buffers one mutation op for `txn`.  The caller must already hold the
+  /// covering lock (the manager does not know granules).
+  Status QueueOp(TxnId txn, const sim::WorkloadOp& op);
+
+  /// Enqueues `txn` for group commit with `apply` as its flush-time hook
+  /// (may be null for read-only transactions) and releases its locks.
+  /// Flushes the group if it is now full.  Returns Aborted if `txn` was
+  /// wounded — the transaction is rolled back instead (kAbort logged,
+  /// buffer dropped).
+  Status Commit(TxnId txn, ApplyFn apply);
+
+  /// Rolls `txn` back: logs kAbort, drops its buffered ops, releases locks.
+  Status Abort(TxnId txn);
+
+  /// Forces the pending (partial) group, if any.
+  Status Flush();
+
+  /// Fast-forwards the TxnId allocator past `max_seen`: recovery calls
+  /// this with the highest id in the surviving log so re-grown history
+  /// never reuses an id (the WAL's one-commit-per-txn invariant).
+  void AdvancePastTxn(TxnId max_seen);
+
+  std::size_t group_commit_size() const { return options_.group_commit_size; }
+  std::size_t pending_commits() const;
+  std::uint64_t commits() const {
+    return commit_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Txn {
+    std::vector<sim::WorkloadOp> ops;
+    ApplyFn apply;
+    double enqueue_ms = 0;
+    bool committing = false;
+  };
+
+  Status FlushLocked() REQUIRES(latch_);
+
+  storage::WriteAheadLog* const wal_;
+  LockManager* const locks_;
+  CostMeter* const meter_;
+  const Options options_;
+  std::atomic<TxnId> next_txn_{1};
+  std::atomic<std::uint64_t> commit_count_{0};
+  mutable util::RankedMutex latch_{util::LatchRank::kTxnManager, "TxnManager"};
+  std::map<TxnId, Txn> active_ GUARDED_BY(latch_);
+  std::vector<TxnId> queue_ GUARDED_BY(latch_);
+};
+
+}  // namespace procsim::txn
+
+#endif  // PROCSIM_TXN_TXN_MANAGER_H_

@@ -23,6 +23,13 @@ namespace procsim::util {
 ///
 ///   kSessionPool      session-pool scheduling state (coordinator/worker
 ///                     hand-off in deterministic mode)
+///   kTxnManager       transaction-manager state (group-commit queue + txn
+///                     table; a group flush applies mutations under it, so
+///                     it sits above the scheduler and below the database)
+///   kTxnLock          LockManager table latch (2PL granule queues; waiters
+///                     park on a condition variable, releasing the latch,
+///                     so blocking on a *transaction lock* never holds a
+///                     latch — only the table walk itself is ranked)
 ///   kDatabase         the engine's coarse database latch — shared for
 ///                     procedure accesses, exclusive for update transactions
 ///   kStrategySlot     per-procedure strategy cache slot stripes (serializes
@@ -36,6 +43,9 @@ namespace procsim::util {
 ///                     clock; eviction only flips per-entry atomic flags,
 ///                     so no lower-ranked latch is ever taken under it)
 ///   kInvalidationLog  validity bitmap + log append latch
+///   kWal              write-ahead-log append/truncate latch (sits above
+///                     kInvalidationLog: validity-log appends mirror into
+///                     the WAL while the validity latch is held)
 ///   kPageTable        SimulatedDisk page-directory latch (page allocation
 ///                     vs concurrent page lookups)
 ///   kBufferCache      buffer-cache frame/LRU latch
@@ -55,6 +65,8 @@ namespace procsim::util {
 ///    including paths no test executes.
 enum class LatchRank : int {
   kSessionPool = 0,
+  kTxnManager = 2,
+  kTxnLock = 5,
   kDatabase = 10,
   kStrategySlot = 20,
   kRete = 30,
@@ -62,6 +74,7 @@ enum class LatchRank : int {
   kILock = 40,
   kCacheBudget = 45,
   kInvalidationLog = 50,
+  kWal = 52,
   kPageTable = 55,
   kBufferCache = 60,
 };

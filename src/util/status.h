@@ -19,6 +19,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kFailedPrecondition,
+  kAborted,
 };
 
 /// \brief Success-or-error result used throughout the library instead of
@@ -51,6 +53,16 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// The operation was rolled back by concurrency control (a wounded or
+  /// deadlock-victim transaction).  Distinct from kInternal: an Aborted
+  /// transaction is the protocol working, not a bug — callers retry or
+  /// drop the transaction.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +89,10 @@ class Status {
         return "Internal";
       case StatusCode::kUnimplemented:
         return "Unimplemented";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kAborted:
+        return "Aborted";
     }
     return "Unknown";
   }

@@ -80,6 +80,69 @@ TEST(InvalidationLogTest, OperationsAfterCrashFailUntilReset) {
   EXPECT_TRUE(log.MarkInvalid(0).ok());
 }
 
+TEST(InvalidationLogTest, RecoverAcrossTruncationHoleFailsLoudly) {
+  // Regression: a checkpoint that predates the truncation point must be
+  // rejected — replaying the surviving suffix against it would silently
+  // resurrect stale validity for the truncated-away transitions.
+  InvalidationLog log(3);
+  const InvalidationLog::Checkpoint stale = log.TakeCheckpoint();  // LSN 0
+  ASSERT_TRUE(log.MarkInvalid(0).ok());
+  const InvalidationLog::Checkpoint fresh = log.TakeCheckpoint();
+  log.TruncateThrough(fresh);
+  EXPECT_EQ(log.truncated_through(), fresh.lsn);
+  Result<std::vector<bool>> recovered = log.Recover(stale);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+  // The checkpoint at the truncation point itself is still usable.
+  EXPECT_TRUE(log.Recover(fresh).ok());
+}
+
+TEST(InvalidationLogTest, FreshLsnZeroCheckpointRecoversUntruncatedLog) {
+  // Regression: a checkpoint taken before any record (LSN 0) must recover
+  // fine as long as nothing was truncated — the whole log is its suffix.
+  InvalidationLog log(2);
+  const InvalidationLog::Checkpoint genesis = log.TakeCheckpoint();
+  EXPECT_EQ(genesis.lsn, 0u);
+  ASSERT_TRUE(log.MarkInvalid(1).ok());
+  Result<std::vector<bool>> recovered = log.Recover(genesis);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.ValueOrDie()[0]);
+  EXPECT_FALSE(recovered.ValueOrDie()[1]);
+}
+
+TEST(InvalidationLogTest, ConsistencyHoldsOnEmptyPostTruncationLog) {
+  // Regression: after truncating everything, the checker must anchor LSN
+  // monotonicity at the truncation point, not at zero.
+  InvalidationLog log(2);
+  ASSERT_TRUE(log.MarkInvalid(0).ok());
+  ASSERT_TRUE(log.MarkValid(0).ok());
+  const InvalidationLog::Checkpoint checkpoint = log.TakeCheckpoint();
+  log.TruncateThrough(checkpoint);
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_TRUE(log.CheckConsistency().ok());
+  ASSERT_TRUE(log.MarkInvalid(1).ok());
+  EXPECT_TRUE(log.CheckConsistency().ok());
+}
+
+TEST(InvalidationLogTest, MirrorSeesEveryAppendedRecord) {
+  InvalidationLog log(3);
+  std::vector<InvalidationLog::Record> mirrored;
+  log.SetMirror([&](const InvalidationLog::Record& record) {
+    mirrored.push_back(record);
+  });
+  ASSERT_TRUE(log.MarkInvalid(1).ok());
+  ASSERT_TRUE(log.MarkInvalid(1).ok());  // idempotent: no record, no mirror
+  ASSERT_TRUE(log.MarkValid(1).ok());
+  ASSERT_EQ(mirrored.size(), 2u);
+  EXPECT_EQ(mirrored[0].kind, InvalidationLog::Record::Kind::kInvalidate);
+  EXPECT_EQ(mirrored[0].procedure, 1u);
+  EXPECT_EQ(mirrored[1].kind, InvalidationLog::Record::Kind::kValidate);
+  EXPECT_EQ(mirrored[0].lsn, log.records()[0].lsn);
+  log.SetMirror(nullptr);
+  ASSERT_TRUE(log.MarkInvalid(2).ok());
+  EXPECT_EQ(mirrored.size(), 2u);  // cleared hook sees nothing
+}
+
 // Property: random transition streams with random crash/checkpoint points
 // always recover the pre-crash state.
 class InvalidationLogPropertyTest : public ::testing::TestWithParam<uint64_t> {

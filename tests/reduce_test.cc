@@ -72,6 +72,92 @@ TEST(ReduceTest, PassingStreamIsRejected) {
   EXPECT_EQ(reduced.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(NormalizeTxnMarkersTest, RepairsSlicedMarkerStreams) {
+  const auto kind = [](const WorkloadOp& op) { return op.kind; };
+  // Orphan closers (a slice dropped their kBegin) are removed.
+  std::vector<WorkloadOp> orphans = {
+      {WorkloadOp::Kind::kCommit, 0},
+      {WorkloadOp::Kind::kUpdate, 5},
+      {WorkloadOp::Kind::kAbort, 0},
+  };
+  std::vector<WorkloadOp> repaired = NormalizeTxnMarkers(orphans);
+  ASSERT_EQ(repaired.size(), 1u);
+  EXPECT_EQ(kind(repaired[0]), WorkloadOp::Kind::kUpdate);
+
+  // A nested kBegin (its closer was sliced away) is dropped; the stream
+  // stays one open transaction, closed at the end.
+  std::vector<WorkloadOp> nested = {
+      {WorkloadOp::Kind::kBegin, 0},
+      {WorkloadOp::Kind::kUpdate, 5},
+      {WorkloadOp::Kind::kBegin, 0},
+      {WorkloadOp::Kind::kInsert, 7},
+  };
+  repaired = NormalizeTxnMarkers(nested);
+  ASSERT_EQ(repaired.size(), 4u);
+  EXPECT_EQ(kind(repaired[0]), WorkloadOp::Kind::kBegin);
+  EXPECT_EQ(kind(repaired[1]), WorkloadOp::Kind::kUpdate);
+  EXPECT_EQ(kind(repaired[2]), WorkloadOp::Kind::kInsert);
+  EXPECT_EQ(kind(repaired[3]), WorkloadOp::Kind::kCommit);
+
+  // Idempotent, and the identity on well-formed streams.
+  const std::vector<WorkloadOp> well_formed = {
+      {WorkloadOp::Kind::kBegin, 0},   {WorkloadOp::Kind::kUpdate, 5},
+      {WorkloadOp::Kind::kCommit, 0},  {WorkloadOp::Kind::kAccess, 1},
+      {WorkloadOp::Kind::kBegin, 0},   {WorkloadOp::Kind::kDelete, 9},
+      {WorkloadOp::Kind::kAbort, 0},
+  };
+  const std::vector<WorkloadOp> once = NormalizeTxnMarkers(well_formed);
+  ASSERT_EQ(once.size(), well_formed.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(kind(once[i]), well_formed[i].kind) << "op " << i;
+  }
+  const std::vector<WorkloadOp> twice = NormalizeTxnMarkers(once);
+  ASSERT_EQ(twice.size(), once.size());
+}
+
+TEST(ReduceTest, TransactionalStreamShrinksWithMarkersPaired) {
+  CrossCheckOptions options = ReducerOptions();
+  options.steps = 40;
+  std::vector<WorkloadOp> ops = GenerateOpStream(options);
+  // Bracket every op into explicit transactions, then plant the bug inside
+  // one of them.
+  std::vector<WorkloadOp> wrapped;
+  for (const WorkloadOp& op : ops) {
+    if (sim::IsMutationOp(op.kind)) {
+      wrapped.push_back({WorkloadOp::Kind::kBegin, 0});
+      wrapped.push_back(op);
+      wrapped.push_back({WorkloadOp::Kind::kCommit, 0});
+    } else {
+      wrapped.push_back(op);
+    }
+  }
+  bool planted = false;
+  for (WorkloadOp& op : wrapped) {
+    if (op.kind == WorkloadOp::Kind::kUpdate) {
+      op.kind = WorkloadOp::Kind::kSilentUpdate;
+      if (op.value == 0) op.value = 54321;
+      planted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(planted);
+
+  Result<ReduceOutcome> reduced = ReduceOpStream(options, wrapped);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  const ReduceOutcome& outcome = reduced.ValueOrDie();
+  EXPECT_LE(outcome.minimal.size(), 6u);
+  // The minimal stream is marker-well-formed: normalization is the
+  // identity on it (every candidate was normalized before probing).
+  const std::vector<WorkloadOp> normalized =
+      NormalizeTxnMarkers(outcome.minimal);
+  ASSERT_EQ(normalized.size(), outcome.minimal.size());
+  for (std::size_t i = 0; i < normalized.size(); ++i) {
+    EXPECT_EQ(normalized[i].kind, outcome.minimal[i].kind) << "op " << i;
+  }
+  // And it still reproduces the failure.
+  EXPECT_FALSE(RunOpStream(options, outcome.minimal).ok());
+}
+
 TEST(ReduceTest, GeneratedStreamMatchesCrossCheck) {
   // CrossCheck(options) must be exactly GenerateOpStream + RunOpStream:
   // same counts, same comparisons.

@@ -187,5 +187,44 @@ TEST(UpdateTransactionTest, ModifiesRequestedTupleCountInPlace) {
   }
 }
 
+TEST(WorkloadOpTest, TxnMarkersAreNeitherMutationsNorAccesses) {
+  // The classifiers partition the op kinds: markers vs mutations vs access.
+  EXPECT_TRUE(IsTxnMarker(WorkloadOp::Kind::kBegin));
+  EXPECT_TRUE(IsTxnMarker(WorkloadOp::Kind::kCommit));
+  EXPECT_TRUE(IsTxnMarker(WorkloadOp::Kind::kAbort));
+  EXPECT_FALSE(IsTxnMarker(WorkloadOp::Kind::kAccess));
+  EXPECT_FALSE(IsTxnMarker(WorkloadOp::Kind::kUpdate));
+
+  EXPECT_FALSE(IsMutationOp(WorkloadOp::Kind::kBegin));
+  EXPECT_FALSE(IsMutationOp(WorkloadOp::Kind::kCommit));
+  EXPECT_FALSE(IsMutationOp(WorkloadOp::Kind::kAbort));
+  EXPECT_FALSE(IsMutationOp(WorkloadOp::Kind::kAccess));
+  EXPECT_TRUE(IsMutationOp(WorkloadOp::Kind::kUpdate));
+  EXPECT_TRUE(IsMutationOp(WorkloadOp::Kind::kInsert));
+  EXPECT_TRUE(IsMutationOp(WorkloadOp::Kind::kDelete));
+  EXPECT_TRUE(IsMutationOp(WorkloadOp::Kind::kSilentUpdate));
+}
+
+TEST(WorkloadOpTest, MarkerKindsHaveNames) {
+  EXPECT_STREQ(WorkloadOpKindName(WorkloadOp::Kind::kBegin), "kBegin");
+  EXPECT_STREQ(WorkloadOpKindName(WorkloadOp::Kind::kCommit), "kCommit");
+  EXPECT_STREQ(WorkloadOpKindName(WorkloadOp::Kind::kAbort), "kAbort");
+}
+
+TEST(WorkloadOpTest, MarkerOpsAreRejectedByApplyMutationOp) {
+  Result<std::unique_ptr<Database>> built =
+      BuildDatabase(TinyParams(), cost::ProcModel::kModel1, 7);
+  ASSERT_TRUE(built.ok());
+  WorkloadMix mix;
+  // Markers are the stream executor's business, exactly like accesses.
+  for (const WorkloadOp::Kind kind :
+       {WorkloadOp::Kind::kBegin, WorkloadOp::Kind::kCommit,
+        WorkloadOp::Kind::kAbort, WorkloadOp::Kind::kAccess}) {
+    Result<MutationResult> applied = ApplyMutationOp(
+        built.ValueOrDie().get(), WorkloadOp{kind, 0}, mix, nullptr);
+    EXPECT_FALSE(applied.ok()) << WorkloadOpKindName(kind);
+  }
+}
+
 }  // namespace
 }  // namespace procsim::sim

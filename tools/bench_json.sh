@@ -57,6 +57,7 @@ GOLDEN_BENCHES=(
   abl_sharing_arity
   abl_yao_exact
   fig20_memory_pressure
+  fig21_group_commit
 )
 
 if [[ ! -x "${DIFF_BIN}" && "${UPDATE}" -eq 0 ]]; then

@@ -11,19 +11,23 @@
 #   4. ThreadSanitizer build + the concurrent-engine and observability
 #      tests (latch-rank checker, multi-session stress, metrics-registry
 #      hammering; zero reports allowed)
-#   5. Bench smoke: every figure/table/ablation binary in --quick mode
+#   5. Crash-recovery gate: the crash-point fuzzing harness plus the
+#      recovery-idempotence suite (label `recovery` in the relwithdebinfo
+#      preset) — every WAL record boundary is a simulated crash, recovery
+#      is oracle-checked, and the planted-bug self-test must still trip
+#   6. Bench smoke: every figure/table/ablation binary in --quick mode
 #      (label `bench-smoke` in the relwithdebinfo preset)
-#   6. Golden-figure gate: full-mode analytic bench snapshots diffed
+#   7. Golden-figure gate: full-mode analytic bench snapshots diffed
 #      against bench/goldens/ at 2% tolerance (tools/bench_json.sh)
-#   7. Thread-safety gate: Clang build under -Werror=thread-safety (the
+#   8. Thread-safety gate: Clang build under -Werror=thread-safety (the
 #      `thread-safety` preset), including the expected-to-fail
 #      negative-compile fixture; skipped gracefully when clang++ is absent
-#   8. procsim_lint gate: all four static-analysis passes (latch-rank,
+#   9. procsim_lint gate: all four static-analysis passes (latch-rank,
 #      layering DAG, metrics consistency, annotation coverage) over src/ —
 #      the --json report must be byte-identical to the empty-findings
 #      golden (tools/procsim_lint/goldens/clean.json)
-#   9. Static-analysis gate (tools/check.sh)
-#  10. Format gate (tools/format.sh --check; no-op without clang-format)
+#  10. Static-analysis gate (tools/check.sh)
+#  11. Format gate (tools/format.sh --check; no-op without clang-format)
 set -eu -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,9 +47,12 @@ run_preset ubsan
 run_preset audit -R 'Audit|Validate|BTree|HeapFile|Page|BufferCache|Rete|TupleStore|ILock|Invalidation'
 run_preset tsan -R 'Concurrent|LatchRank|Obs'
 
-echo "=== ci.sh: bench smoke (quick mode) ==="
+echo "=== ci.sh: crash-recovery gate (crash-point fuzz + idempotence) ==="
 cmake --preset relwithdebinfo >/dev/null
 cmake --build --preset relwithdebinfo -j "${JOBS}"
+ctest --preset relwithdebinfo -L recovery
+
+echo "=== ci.sh: bench smoke (quick mode) ==="
 ctest --preset relwithdebinfo -L bench-smoke
 
 echo "=== ci.sh: golden-figure gate ==="
