@@ -177,62 +177,78 @@ Status TxnEngine::TakeCheckpoint(bool truncate_validity_log)
 }
 
 Status TxnEngine::Run(const std::vector<sim::WorkloadOp>& ops) {
+  // `open` tracks the transaction currently holding locks — explicit
+  // (kBegin) or the implicit one wrapped around a bare op.  Any error
+  // return below leaves it for the rollback at the bottom, so a failed op
+  // can never leak a transaction that pins R1 forever.
   TxnId open = 0;
-  for (const sim::WorkloadOp& op : ops) {
-    switch (op.kind) {
-      case sim::WorkloadOp::Kind::kBegin: {
-        if (open != 0) {
-          return Status::InvalidArgument(
-              "nested kBegin: transaction " + std::to_string(open) +
-              " is still open");
+  const auto run_all = [&]() -> Status {
+    for (const sim::WorkloadOp& op : ops) {
+      switch (op.kind) {
+        case sim::WorkloadOp::Kind::kBegin: {
+          if (open != 0) {
+            return Status::InvalidArgument(
+                "nested kBegin: transaction " + std::to_string(open) +
+                " is still open");
+          }
+          open = Begin();
+          break;
         }
-        open = Begin();
-        break;
-      }
-      case sim::WorkloadOp::Kind::kCommit: {
-        if (open == 0) {
-          return Status::InvalidArgument("kCommit without an open transaction");
+        case sim::WorkloadOp::Kind::kCommit: {
+          if (open == 0) {
+            return Status::InvalidArgument(
+                "kCommit without an open transaction");
+          }
+          const TxnId txn = open;
+          open = 0;  // Commit terminates the txn even when it fails
+          PROCSIM_RETURN_IF_ERROR(Commit(txn));
+          break;
         }
-        Status st = Commit(open);
-        open = 0;
-        PROCSIM_RETURN_IF_ERROR(st);
-        break;
-      }
-      case sim::WorkloadOp::Kind::kAbort: {
-        if (open == 0) {
-          return Status::InvalidArgument("kAbort without an open transaction");
+        case sim::WorkloadOp::Kind::kAbort: {
+          if (open == 0) {
+            return Status::InvalidArgument(
+                "kAbort without an open transaction");
+          }
+          const TxnId txn = open;
+          open = 0;
+          PROCSIM_RETURN_IF_ERROR(Abort(txn));
+          break;
         }
-        Status st = Abort(open);
-        open = 0;
-        PROCSIM_RETURN_IF_ERROR(st);
-        break;
-      }
-      case sim::WorkloadOp::Kind::kAccess: {
-        if (open != 0) {
+        case sim::WorkloadOp::Kind::kAccess: {
+          const bool implicit = open == 0;
+          if (implicit) open = Begin();
           PROCSIM_RETURN_IF_ERROR(Access(open, op.value).status());
+          if (implicit) {
+            const TxnId txn = open;
+            open = 0;
+            PROCSIM_RETURN_IF_ERROR(Commit(txn));
+          }
           break;
         }
-        const TxnId txn = Begin();
-        PROCSIM_RETURN_IF_ERROR(Access(txn, op.value).status());
-        PROCSIM_RETURN_IF_ERROR(Commit(txn));
-        break;
-      }
-      default: {  // mutations
-        if (open != 0) {
+        default: {  // mutations
+          const bool implicit = open == 0;
+          if (implicit) open = Begin();
           PROCSIM_RETURN_IF_ERROR(Queue(open, op));
+          if (implicit) {
+            const TxnId txn = open;
+            open = 0;
+            PROCSIM_RETURN_IF_ERROR(Commit(txn));
+          }
           break;
         }
-        const TxnId txn = Begin();
-        PROCSIM_RETURN_IF_ERROR(Queue(txn, op));
-        PROCSIM_RETURN_IF_ERROR(Commit(txn));
-        break;
       }
     }
+    return Status::OK();
+  };
+  Status result = run_all();
+  // A transaction still open here — an unterminated stream tail, or an op
+  // that failed mid-transaction — never reached its commit point: roll it
+  // back, exactly as recovery would discard it.
+  if (open != 0) {
+    const Status rollback = Abort(open);
+    if (result.ok()) result = rollback;
   }
-  // An unterminated transaction at stream end never reached its commit
-  // point: roll it back, exactly as recovery would discard it.
-  if (open != 0) PROCSIM_RETURN_IF_ERROR(Abort(open));
-  return Status::OK();
+  return result;
 }
 
 Result<std::string> TxnEngine::StateDigest() {

@@ -68,25 +68,59 @@ bool LockManager::Compatible(const GranuleState& state, TxnId txn,
   return true;
 }
 
+bool LockManager::OlderWaiterConflicts(TxnId txn, const Granule& granule,
+                                       LockMode mode) const {
+  for (const auto& [other, waiter] : waiting_) {
+    if (other >= txn) break;  // waiting_ is TxnId-ordered: only older remain
+    if (!(waiter.granule == granule)) continue;
+    if (wounded_.count(other) != 0) continue;  // about to abort; don't defer
+    if (mode == LockMode::kExclusive || waiter.mode == LockMode::kExclusive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
+  std::vector<TxnId> blockers;
+  const auto wait = waiting_.find(txn);
+  if (wait == waiting_.end()) return blockers;
+  const Granule& granule = wait->second.granule;
+  const LockMode mode = wait->second.mode;
+  const auto state = table_.find(granule);
+  if (state != table_.end()) {
+    for (const auto& [holder, held] : state->second.holders) {
+      if (holder == txn) continue;
+      if (mode == LockMode::kExclusive || held == LockMode::kExclusive) {
+        blockers.push_back(holder);
+      }
+    }
+  }
+  for (const auto& [other, waiter] : waiting_) {
+    if (other >= txn) break;  // deferral edges only ever point young→old
+    if (!(waiter.granule == granule)) continue;
+    if (wounded_.count(other) != 0) continue;
+    if (mode == LockMode::kExclusive || waiter.mode == LockMode::kExclusive) {
+      blockers.push_back(other);
+    }
+  }
+  return blockers;
+}
+
 bool LockManager::CycleFrom(TxnId start) const {
   // Depth-first walk of waits-for edges: a waiter points at every
-  // conflicting holder of the granule it is parked on.  The graph is tiny
-  // (bounded by in-flight transactions), so recursion-free DFS with an
-  // explicit stack is plenty.
+  // conflicting holder of the granule it is parked on, plus every older
+  // parked waiter the fairness rule defers to.  The graph is tiny (bounded
+  // by in-flight transactions), so recursion-free DFS with an explicit
+  // stack is plenty.
   std::vector<TxnId> stack{start};
   std::set<TxnId> visited;
   while (!stack.empty()) {
     const TxnId current = stack.back();
     stack.pop_back();
-    const auto wait = waiting_.find(current);
-    if (wait == waiting_.end()) continue;
-    const auto granule = table_.find(wait->second);
-    if (granule == table_.end()) continue;
-    for (const auto& [holder, held] : granule->second.holders) {
-      (void)held;
-      if (holder == current) continue;
-      if (holder == start) return true;
-      if (visited.insert(holder).second) stack.push_back(holder);
+    for (const TxnId blocker : BlockersOf(current)) {
+      if (blocker == start) return true;
+      if (visited.insert(blocker).second) stack.push_back(blocker);
     }
   }
   return false;
@@ -109,9 +143,13 @@ Status LockManager::Acquire(TxnId txn, const Granule& granule, LockMode mode) {
       waiting_.erase(txn);
       return Status::OK();  // already held at a sufficient mode
     }
-    if (Compatible(state, txn, mode)) {
-      const bool upgrade =
-          self != state.holders.end() && mode == LockMode::kExclusive;
+    const bool already_holds = self != state.holders.end();
+    // The fairness rule only gates fresh acquisitions: an upgrade by a
+    // current holder is granted past parked waiters (they must outwait the
+    // hold regardless, and deferring the upgrade to them would deadlock).
+    if (Compatible(state, txn, mode) &&
+        (already_holds || !OlderWaiterConflicts(txn, granule, mode))) {
+      const bool upgrade = already_holds && mode == LockMode::kExclusive;
       state.holders[txn] = mode;
       waiting_.erase(txn);
       g_grants->Add();
@@ -119,24 +157,34 @@ Status LockManager::Acquire(TxnId txn, const Granule& granule, LockMode mode) {
       return Status::OK();
     }
     switch (policy_) {
-      case DeadlockPolicy::kWoundWait:
+      case DeadlockPolicy::kWoundWait: {
         // Older requester wounds every younger conflicting holder; the
         // victims abort on their next lock request or commit attempt.  A
         // younger requester simply waits (young→old waits cannot cycle).
+        bool wounded_someone = false;
         for (const auto& [holder, held] : state.holders) {
           if (holder == txn) continue;
           const bool conflicts =
               mode == LockMode::kExclusive || held == LockMode::kExclusive;
           if (conflicts && holder > txn && wounded_.insert(holder).second) {
             g_wounds->Add();
+            wounded_someone = true;
           }
         }
+        // A fresh victim may itself be parked on a granule this requester
+        // holds (the cross-lock case): wake everyone so it observes the
+        // wound and aborts, or both transactions park forever.
+        if (wounded_someone) cv_.notify_all();
         break;
+      }
       case DeadlockPolicy::kCycleDetect:
-        waiting_[txn] = granule;
+        waiting_[txn] = Waiter{granule, mode};
         if (CycleFrom(txn)) {
           waiting_.erase(txn);
           g_deadlocks->Add();
+          // Waiters deferring to this txn under the fairness rule must
+          // re-evaluate now that it is gone.
+          cv_.notify_all();
           return Status::Aborted("txn " + std::to_string(txn) +
                                  " aborted as deadlock victim on " +
                                  granule.ToString());
@@ -145,7 +193,7 @@ Status LockManager::Acquire(TxnId txn, const Granule& granule, LockMode mode) {
       case DeadlockPolicy::kBlock:
         break;
     }
-    waiting_[txn] = granule;
+    waiting_[txn] = Waiter{granule, mode};
     if (!counted_wait) {
       g_waits->Add();
       counted_wait = true;
@@ -206,26 +254,21 @@ bool LockManager::Holds(TxnId txn, const Granule& granule,
 
 std::vector<TxnId> LockManager::FindWaitsForCycle() const {
   util::RankedLockGuard guard(latch_);
-  for (const auto& [waiter, granule] : waiting_) {
-    (void)granule;
+  for (const auto& [waiter, parked] : waiting_) {
+    (void)parked;
     if (!CycleFrom(waiter)) continue;
     // Reconstruct one cycle path for the caller's diagnostics: walk
     // greedily along waits-for edges until the start repeats.
     std::vector<TxnId> cycle{waiter};
+    std::set<TxnId> on_path{waiter};
     TxnId current = waiter;
     while (true) {
-      const auto wait = waiting_.find(current);
-      if (wait == waiting_.end()) return cycle;
-      const auto state = table_.find(wait->second);
-      if (state == table_.end()) return cycle;
       TxnId next = 0;
-      for (const auto& [holder, held] : state->second.holders) {
-        (void)held;
-        if (holder == current) continue;
-        if (holder == waiter) return cycle;
-        if (next == 0 && waiting_.count(holder) != 0) next = holder;
+      for (const TxnId blocker : BlockersOf(current)) {
+        if (blocker == waiter) return cycle;
+        if (next == 0 && waiting_.count(blocker) != 0) next = blocker;
       }
-      if (next == 0) return cycle;
+      if (next == 0 || !on_path.insert(next).second) return cycle;
       cycle.push_back(next);
       current = next;
     }

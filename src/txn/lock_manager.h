@@ -66,6 +66,15 @@ struct Granule {
 ///    pattern is provably deadlock-free (the serving engine acquires at
 ///    most one granule per transaction).
 ///
+/// Grant fairness: a fresh acquisition is denied while an *older* waiter is
+/// parked on the same granule in a conflicting mode, so a steady stream of
+/// young readers cannot starve an older writer.  The rule never applies to
+/// a transaction that already holds the granule (an upgrade cannot starve a
+/// waiter that must outwait the hold anyway — and deferring it would
+/// deadlock against that very waiter).  Deferral edges point young→old
+/// only, preserving the wound-wait no-cycle invariant, and they are part of
+/// the kCycleDetect waits-for graph.
+///
 /// Thread safety: one kTxnLock latch guards the table; waiters park on a
 /// condition variable, releasing the latch, so a blocked *transaction*
 /// never blocks a *latch* path.
@@ -111,9 +120,24 @@ class LockManager {
     std::map<TxnId, LockMode> holders;
   };
 
+  struct Waiter {
+    Granule granule;
+    LockMode mode = LockMode::kShared;
+  };
+
   /// True iff `txn` may hold/keep `mode` on `state` given the other
   /// holders.
   static bool Compatible(const GranuleState& state, TxnId txn, LockMode mode);
+
+  /// True iff granting `mode` to `txn` would overtake an older parked
+  /// waiter on `granule` whose requested mode conflicts (the fairness
+  /// rule).  Wounded waiters are ignored: they are about to abort.
+  bool OlderWaiterConflicts(TxnId txn, const Granule& granule,
+                            LockMode mode) const REQUIRES(latch_);
+
+  /// The transactions the parked `txn` waits for: every conflicting holder
+  /// of its granule plus every older conflicting waiter it defers to.
+  std::vector<TxnId> BlockersOf(TxnId txn) const REQUIRES(latch_);
 
   bool CycleFrom(TxnId start) const REQUIRES(latch_);
 
@@ -123,9 +147,9 @@ class LockManager {
   std::condition_variable_any cv_;
   std::map<Granule, GranuleState> table_ GUARDED_BY(latch_);
   std::set<TxnId> wounded_ GUARDED_BY(latch_);
-  /// txn -> granule it is currently parked on (waits-for edges are derived
-  /// against that granule's holders).
-  std::map<TxnId, Granule> waiting_ GUARDED_BY(latch_);
+  /// txn -> the granule/mode it is currently parked on (waits-for edges are
+  /// derived against that granule's holders and older conflicting waiters).
+  std::map<TxnId, Waiter> waiting_ GUARDED_BY(latch_);
 };
 
 }  // namespace procsim::txn

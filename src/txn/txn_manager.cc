@@ -128,8 +128,14 @@ Status TxnManager::Flush() {
 }
 
 Status TxnManager::FlushLocked() {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "txn manager poisoned by an earlier mid-group apply failure; "
+        "recover from the WAL instead of flushing");
+  }
   // Walk the group in commit order: redo records, apply, commit point.
-  for (const TxnId txn : queue_) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const TxnId txn = queue_[i];
     const auto it = active_.find(txn);
     PROCSIM_CHECK(it != active_.end()) << "queued txn missing from table";
     const Txn& state = it->second;
@@ -137,23 +143,45 @@ Status TxnManager::FlushLocked() {
       wal_->AppendMutation(txn, static_cast<uint64_t>(op.kind), op.value);
     }
     if (state.apply) {
-      PROCSIM_RETURN_IF_ERROR(state.apply(txn, state.ops));
+      const Status applied = state.apply(txn, state.ops);
+      if (!applied.ok()) {
+        // The first i transactions reached their commit points: force and
+        // retire them so no later flush can re-apply their effects.  The
+        // failing transaction never got a kCommit record — durably it never
+        // happened — so terminate it with kAbort and drop it.  The in-memory
+        // database may hold its partial apply: poison the manager so the
+        // damage cannot compound; recovery from the WAL is the remedy.
+        wal_->Force();
+        RetireCommittedLocked(i);
+        wal_->AppendAbort(txn);
+        active_.erase(txn);
+        queue_.erase(queue_.begin());
+        g_aborts->Add();
+        poisoned_ = true;
+        return applied;
+      }
     }
     wal_->AppendCommit(txn);
   }
   // One force makes the whole group durable; its cost is amortized across
   // every transaction in the batch.
   wal_->Force();
+  RetireCommittedLocked(queue_.size());
+  g_group_commits->Add();
+  return Status::OK();
+}
+
+void TxnManager::RetireCommittedLocked(std::size_t count) {
   const double now_ms = meter_ != nullptr ? meter_->total_ms() : 0.0;
-  for (const TxnId txn : queue_) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const TxnId txn = queue_[i];
     g_commit_latency->Observe(now_ms - active_[txn].enqueue_ms);
     active_.erase(txn);
     g_commits->Add();
     commit_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  queue_.clear();
-  g_group_commits->Add();
-  return Status::OK();
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(count));
 }
 
 void TxnManager::AdvancePastTxn(TxnId max_seen) {
@@ -167,6 +195,11 @@ void TxnManager::AdvancePastTxn(TxnId max_seen) {
 std::size_t TxnManager::pending_commits() const {
   Guard guard(latch_);
   return queue_.size();
+}
+
+bool TxnManager::poisoned() const {
+  Guard guard(latch_);
+  return poisoned_;
 }
 
 }  // namespace procsim::txn

@@ -34,6 +34,14 @@ namespace procsim::txn {
 ///    forces the log once for the whole group.  One force amortized over
 ///    the batch is the paper's C_inval ≈ 0 argument applied to commits.
 ///  - Abort() logs kAbort, drops the buffer and releases locks.
+///  - A mid-group apply failure retires the transactions that already
+///    reached their commit point (forced, counted, never re-applied),
+///    terminates the failing transaction with kAbort, and *poisons* the
+///    manager: every later flush fails FailedPrecondition.  The database
+///    may hold a partial apply at that point — recovery from the WAL (which
+///    never saw the failing transaction's commit point) is the remedy, and
+///    poisoning is what keeps a retried Flush from applying the retired
+///    prefix a second time.
 ///
 /// Commit latency is measured on the simulated clock (CostMeter::total_ms):
 /// enqueue-to-force, so batch-mates that wait for the group to fill pay
@@ -89,6 +97,10 @@ class TxnManager {
 
   std::size_t group_commit_size() const { return options_.group_commit_size; }
   std::size_t pending_commits() const;
+
+  /// True once a mid-group apply failure has wedged the manager (see the
+  /// class comment); every subsequent flush fails FailedPrecondition.
+  bool poisoned() const;
   std::uint64_t commits() const {
     return commit_count_.load(std::memory_order_relaxed);
   }
@@ -103,6 +115,11 @@ class TxnManager {
 
   Status FlushLocked() REQUIRES(latch_);
 
+  /// Retires the first `count` queued transactions as committed: observes
+  /// their latency, drops them from the table and bumps the commit
+  /// counters.  Their kCommit records must already be logged and forced.
+  void RetireCommittedLocked(std::size_t count) REQUIRES(latch_);
+
   storage::WriteAheadLog* const wal_;
   LockManager* const locks_;
   CostMeter* const meter_;
@@ -112,6 +129,7 @@ class TxnManager {
   mutable util::RankedMutex latch_{util::LatchRank::kTxnManager, "TxnManager"};
   std::map<TxnId, Txn> active_ GUARDED_BY(latch_);
   std::vector<TxnId> queue_ GUARDED_BY(latch_);
+  bool poisoned_ GUARDED_BY(latch_) = false;
 };
 
 }  // namespace procsim::txn

@@ -117,6 +117,109 @@ TEST(TxnLockManagerTest, ContendedUpgradeWoundsTheOtherReader) {
   EXPECT_TRUE(locks.Holds(1, kR1, LockMode::kExclusive));
 }
 
+TEST(TxnLockManagerTest, WoundingAParkedVictimWakesIt) {
+  // The cross-lock case: old txn 1 holds B, young txn 2 holds A and parks
+  // on B.  When 1 then requests A it wounds 2 — and must wake it, or both
+  // sides stay parked forever (the deadlock wound-wait exists to prevent).
+  LockManager locks(LockManager::DeadlockPolicy::kWoundWait);
+  const Granule a = Granule::Relation("A");
+  const Granule b = Granule::Relation("B");
+  ASSERT_TRUE(locks.Acquire(1, b, LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks.Acquire(2, a, LockMode::kExclusive).ok());
+  Status victim_status;
+  std::thread victim([&] {
+    victim_status = locks.Acquire(2, b, LockMode::kExclusive);
+    if (!victim_status.ok()) locks.ReleaseAll(2);
+  });
+  // Let the victim park on B before the wounder shows up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread wounder([&] {
+    ASSERT_TRUE(locks.Acquire(1, a, LockMode::kExclusive).ok());
+  });
+  victim.join();
+  EXPECT_EQ(victim_status.code(), StatusCode::kAborted);
+  wounder.join();
+  EXPECT_TRUE(locks.Holds(1, a, LockMode::kExclusive));
+  EXPECT_TRUE(locks.Holds(1, b, LockMode::kExclusive));
+}
+
+TEST(TxnLockManagerTest, NewReadersDoNotOvertakeAParkedOlderWriter) {
+  // Fairness: once an older writer is parked, later shared requests on the
+  // same granule queue behind it instead of prolonging its wait.
+  LockManager locks(LockManager::DeadlockPolicy::kBlock);
+  ASSERT_TRUE(locks.Acquire(2, kR1, LockMode::kShared).ok());
+  std::atomic<bool> writer_granted{false};
+  std::atomic<bool> reader_granted{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(locks.Acquire(1, kR1, LockMode::kExclusive).ok());
+    writer_granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread reader([&] {
+    ASSERT_TRUE(locks.Acquire(3, kR1, LockMode::kShared).ok());
+    reader_granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(writer_granted);
+  EXPECT_FALSE(reader_granted);  // deferred to the older X waiter
+  locks.ReleaseAll(2);
+  writer.join();
+  EXPECT_TRUE(writer_granted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(reader_granted);  // now queued behind the writer's hold
+  locks.ReleaseAll(1);
+  reader.join();
+  EXPECT_TRUE(locks.Holds(3, kR1, LockMode::kShared));
+}
+
+TEST(TxnLockManagerTest, HolderUpgradeIsNotDeferredToAParkedWaiter) {
+  // The fairness rule must exempt upgrades: the sole S holder upgrading to
+  // X past a parked older X waiter cannot starve it (the waiter must
+  // outwait the hold regardless) — deferring would deadlock both.
+  LockManager locks(LockManager::DeadlockPolicy::kBlock);
+  ASSERT_TRUE(locks.Acquire(2, kR1, LockMode::kShared).ok());
+  std::thread older([&] {
+    ASSERT_TRUE(locks.Acquire(1, kR1, LockMode::kExclusive).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(locks.Acquire(2, kR1, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Holds(2, kR1, LockMode::kExclusive));
+  locks.ReleaseAll(2);
+  older.join();
+  EXPECT_TRUE(locks.Holds(1, kR1, LockMode::kExclusive));
+}
+
+TEST(TxnLockManagerTest, CycleDetectSeesDeferralEdges) {
+  // A deadlock threaded through a fairness deferral (T3 defers to parked
+  // T1) must still be caught by the cycle detector.  Plant: T3 holds G2;
+  // T2 holds G1 (S); T1 parks wanting X on G1; T2 parks wanting X on G2.
+  // T3 then requests S on G1: compatible with holder T2 but deferred to
+  // the older X waiter T1 — closing T3→T1→T2→T3, so T3 must abort.
+  LockManager locks(LockManager::DeadlockPolicy::kCycleDetect);
+  const Granule g1 = Granule::Relation("G1");
+  const Granule g2 = Granule::Relation("G2");
+  ASSERT_TRUE(locks.Acquire(3, g2, LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks.Acquire(2, g1, LockMode::kShared).ok());
+  std::thread t1([&] {
+    const Status st = locks.Acquire(1, g1, LockMode::kExclusive);
+    if (!st.ok()) locks.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread t2([&] {
+    const Status st = locks.Acquire(2, g2, LockMode::kExclusive);
+    if (!st.ok()) locks.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const Status st = locks.Acquire(3, g1, LockMode::kShared);
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_NE(st.ToString().find("deadlock victim"), std::string::npos);
+  locks.ReleaseAll(3);
+  t2.join();  // granted X on G2 once the victim released it
+  locks.ReleaseAll(2);
+  t1.join();  // granted X on G1 once T2 released its S
+  locks.ReleaseAll(1);
+}
+
 TEST(TxnLockManagerTest, CycleDetectAbortsExactlyOneVictim) {
   LockManager locks(LockManager::DeadlockPolicy::kCycleDetect);
   const Granule a = Granule::Relation("A");
