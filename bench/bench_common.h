@@ -177,6 +177,16 @@ class BenchReport {
     scalars_.emplace_back(scalar_name, value);
   }
 
+  /// Records a wall-clock measurement (rows/sec, elapsed ms, speedups).
+  /// Machine-dependent by nature, so timings live under a separate
+  /// "timings" key that tools/bench_diff ignores (like "metrics"): the
+  /// golden gate stays bit-stable while the numbers remain visible in the
+  /// snapshot.  The key is emitted only when at least one timing was
+  /// recorded, so benches without timings keep their historical JSON shape.
+  void AddTiming(const std::string& timing_name, double value) {
+    timings_.emplace_back(timing_name, value);
+  }
+
   void AddSeries(const std::string& series_name, const std::string& x_name,
                  const std::vector<cost::SweepPoint>& series) {
     std::ostringstream out;
@@ -262,6 +272,15 @@ class BenchReport {
       out << "\n" << grids_[i];
     }
     out << "\n  ],\n";
+    if (!timings_.empty()) {
+      out << "  \"timings\": {";
+      for (std::size_t i = 0; i < timings_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\n    \"" << timings_[i].first
+            << "\": " << FormatJsonDouble(timings_[i].second);
+      }
+      out << "\n  },\n";
+    }
     out << "  \"metrics\": ";
     obs::GlobalMetrics().WriteJson(out);
     out << "\n}\n";
@@ -308,6 +327,7 @@ class BenchReport {
   std::string name_;
   bool quick_ = false;
   std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, double>> timings_;
   std::vector<std::string> series_;  ///< pre-rendered JSON objects
   std::vector<std::string> grids_;   ///< pre-rendered JSON objects
 };

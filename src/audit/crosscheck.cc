@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "audit/validate.h"
+#include "ivm/delta.h"
 #include "proc/cache_invalidate.h"
 #include "proc/strategy.h"
 #include "proc/update_cache_rvm.h"
@@ -149,6 +150,14 @@ void Notify(Harness* harness, bool is_insert, const Tuple& tuple) {
   }
 }
 
+/// Reports a transaction's whole ordered change run to every strategy.
+void NotifyBatch(Harness* harness, const ivm::ChangeBatch& changes) {
+  for (const std::unique_ptr<proc::Strategy>& strategy :
+       harness->strategies.all) {
+    strategy->OnBatch("R1", changes);
+  }
+}
+
 Status EndTransaction(Harness* harness) {
   for (const std::unique_ptr<proc::Strategy>& strategy :
        harness->strategies.all) {
@@ -216,6 +225,7 @@ Result<CrossCheckReport> RunOpStream(
   const auto apply_batch = [&](const std::vector<WorkloadOp>& batch,
                                bool* any_applied) -> Status {
     bool any_notify = false;
+    ivm::ChangeBatch changes;
     for (const WorkloadOp& op : batch) {
       Result<sim::MutationResult> mutation =
           sim::ApplyMutationOp(db, op, mix, &rng);
@@ -226,11 +236,17 @@ Result<CrossCheckReport> RunOpStream(
       count_mutation(op.kind);
       if (!applied.notify) continue;
       for (const auto& [old_tuple, new_tuple] : applied.changes) {
-        if (old_tuple.has_value()) Notify(&harness, false, *old_tuple);
-        if (new_tuple.has_value()) Notify(&harness, true, *new_tuple);
+        if (options.notify_in_batches) {
+          if (old_tuple.has_value()) changes.AddDelete(*old_tuple);
+          if (new_tuple.has_value()) changes.AddInsert(*new_tuple);
+        } else {
+          if (old_tuple.has_value()) Notify(&harness, false, *old_tuple);
+          if (new_tuple.has_value()) Notify(&harness, true, *new_tuple);
+        }
       }
       any_notify = true;
     }
+    if (!changes.empty()) NotifyBatch(&harness, changes);
     if (any_notify) PROCSIM_RETURN_IF_ERROR(EndTransaction(&harness));
     return Status::OK();
   };

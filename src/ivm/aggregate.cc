@@ -1,5 +1,8 @@
 #include "ivm/aggregate.h"
 
+#include <unordered_map>
+#include <utility>
+
 #include "util/logging.h"
 
 namespace procsim::ivm {
@@ -46,10 +49,8 @@ double AggregateViewMaintainer::ValueOf(const rel::Tuple& tuple) const {
   return 0;
 }
 
-Status AggregateViewMaintainer::Apply(const rel::Tuple& tuple, bool insert) {
-  const int64_t group = GroupOf(tuple);
-  const double value = ValueOf(tuple);
-  GroupState& state = groups_[group];
+Status AggregateViewMaintainer::ApplyToState(GroupState& state, int64_t group,
+                                             double value, bool insert) {
   if (insert) {
     ++state.count;
     state.sum += value;
@@ -69,6 +70,13 @@ Status AggregateViewMaintainer::Apply(const rel::Tuple& tuple, bool insert) {
     }
     if (--it->second == 0) state.values.erase(it);
   }
+  return Status::OK();
+}
+
+Status AggregateViewMaintainer::Apply(const rel::Tuple& tuple, bool insert) {
+  const int64_t group = GroupOf(tuple);
+  GroupState& state = groups_[group];
+  PROCSIM_RETURN_IF_ERROR(ApplyToState(state, group, ValueOf(tuple), insert));
   if (state.count == 0) groups_.erase(group);
   return Status::OK();
 }
@@ -86,11 +94,33 @@ Status AggregateViewMaintainer::Initialize() {
 Status AggregateViewMaintainer::ApplyOutputDelta(
     const std::vector<rel::Tuple>& inserted,
     const std::vector<rel::Tuple>& deleted) {
-  for (const rel::Tuple& row : inserted) {
-    PROCSIM_RETURN_IF_ERROR(Apply(row, /*insert=*/true));
-  }
-  for (const rel::Tuple& row : deleted) {
-    PROCSIM_RETURN_IF_ERROR(Apply(row, /*insert=*/false));
+  // Fold the whole delta per group before touching the group map: one
+  // bucketing pass over the batch, then a single groups_ lookup per touched
+  // group instead of one per tuple.  Deltas never cross groups and each
+  // group's ops keep the historical order (its inserts, then its deletes),
+  // so the per-group floating-point sequence — and therefore every stored
+  // sum — is bit-identical to tuple-at-a-time application.
+  struct GroupOps {
+    std::vector<std::pair<double, bool>> ops;  // (value, is_insert)
+  };
+  std::vector<int64_t> order;
+  std::unordered_map<int64_t, GroupOps> buckets;
+  auto bucket = [&](const std::vector<rel::Tuple>& rows, bool insert) {
+    for (const rel::Tuple& row : rows) {
+      const int64_t group = GroupOf(row);
+      auto [it, fresh] = buckets.try_emplace(group);
+      if (fresh) order.push_back(group);
+      it->second.ops.emplace_back(ValueOf(row), insert);
+    }
+  };
+  bucket(inserted, /*insert=*/true);
+  bucket(deleted, /*insert=*/false);
+  for (const int64_t group : order) {
+    GroupState& state = groups_[group];
+    for (const auto& [value, insert] : buckets[group].ops) {
+      PROCSIM_RETURN_IF_ERROR(ApplyToState(state, group, value, insert));
+    }
+    if (state.count == 0) groups_.erase(group);
   }
   return Status::OK();
 }

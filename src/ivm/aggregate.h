@@ -85,6 +85,11 @@ class AggregateViewMaintainer {
   int64_t GroupOf(const rel::Tuple& tuple) const;
   double ValueOf(const rel::Tuple& tuple) const;
   Status Apply(const rel::Tuple& tuple, bool insert);
+  /// One delta applied to an already-looked-up group state; `group` only
+  /// labels error messages.  Shared by the tuple-at-a-time path and the
+  /// per-group batch fold.
+  Status ApplyToState(GroupState& state, int64_t group, double value,
+                      bool insert);
 
   rel::ProcedureQuery query_;
   AggregateSpec spec_;

@@ -24,8 +24,12 @@ Status AvmViewMaintainer::Initialize() {
 
 Status AvmViewMaintainer::ApplyBaseDelta(const DeltaSet& delta) {
   if (delta.empty()) return Status::OK();
-  const std::vector<rel::Tuple> net_inserts = delta.NetInserts();
-  const std::vector<rel::Tuple> net_deletes = delta.NetDeletes();
+  // Materialize A_net and D_net columnar in one pass over the delta set —
+  // no per-tuple row vectors — and keep them columnar through the join
+  // pipeline below.
+  rel::TupleBatch net_inserts;
+  rel::TupleBatch net_deletes;
+  delta.NetBatches(&net_inserts, &net_deletes);
   // V(a, B): join the inserted base tuples through the view's join chain.
   Result<std::vector<rel::Tuple>> view_inserts =
       executor_->JoinDeltas(query_, net_inserts);

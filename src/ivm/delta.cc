@@ -31,7 +31,12 @@ void DeltaSet::Bump(const rel::Tuple& tuple, long delta) {
 bool DeltaSet::empty() const { return counts_.empty(); }
 
 std::vector<rel::Tuple> DeltaSet::NetInserts() const {
+  std::size_t total = 0;
+  for (const auto& [tuple, count] : counts_) {
+    if (count > 0) total += static_cast<std::size_t>(count);
+  }
   std::vector<rel::Tuple> out;
+  out.reserve(total);
   for (const auto& [tuple, count] : counts_) {
     for (long i = 0; i < count; ++i) out.push_back(tuple);
   }
@@ -39,11 +44,47 @@ std::vector<rel::Tuple> DeltaSet::NetInserts() const {
 }
 
 std::vector<rel::Tuple> DeltaSet::NetDeletes() const {
+  std::size_t total = 0;
+  for (const auto& [tuple, count] : counts_) {
+    if (count < 0) total += static_cast<std::size_t>(-count);
+  }
   std::vector<rel::Tuple> out;
+  out.reserve(total);
   for (const auto& [tuple, count] : counts_) {
     for (long i = 0; i > count; --i) out.push_back(tuple);
   }
   return out;
+}
+
+std::vector<DeltaSet::NetEntry> DeltaSet::NetEntries() const {
+  std::vector<NetEntry> out;
+  out.reserve(counts_.size());
+  for (const auto& [tuple, count] : counts_) {
+    out.push_back(NetEntry{&tuple, count});
+  }
+  return out;
+}
+
+void DeltaSet::NetBatches(rel::TupleBatch* inserts,
+                          rel::TupleBatch* deletes) const {
+  std::size_t insert_total = 0;
+  std::size_t delete_total = 0;
+  for (const auto& [tuple, count] : counts_) {
+    if (count > 0) {
+      insert_total += static_cast<std::size_t>(count);
+    } else {
+      delete_total += static_cast<std::size_t>(-count);
+    }
+  }
+  if (inserts != nullptr) inserts->Reserve(insert_total);
+  if (deletes != nullptr) deletes->Reserve(delete_total);
+  for (const auto& [tuple, count] : counts_) {
+    if (count > 0 && inserts != nullptr) {
+      for (long i = 0; i < count; ++i) inserts->AppendRow(tuple);
+    } else if (count < 0 && deletes != nullptr) {
+      for (long i = 0; i > count; --i) deletes->AppendRow(tuple);
+    }
+  }
 }
 
 std::size_t DeltaSet::TotalNetSize() const {
@@ -52,6 +93,22 @@ std::size_t DeltaSet::TotalNetSize() const {
     total += static_cast<std::size_t>(std::labs(count));
   }
   return total;
+}
+
+void ChangeBatch::Append(bool is_insert, const rel::Tuple& tuple) {
+  tags_.push_back(is_insert ? 1 : 0);
+  rows_.AppendRow(tuple);
+  if (is_insert) {
+    net_.AddInsert(tuple);
+  } else {
+    net_.AddDelete(tuple);
+  }
+}
+
+void ChangeBatch::Clear() {
+  tags_.clear();
+  rows_.Clear();
+  net_.Clear();
 }
 
 std::string DeltaSet::ToString() const {

@@ -1,11 +1,13 @@
 #ifndef PROCSIM_IVM_DELTA_H_
 #define PROCSIM_IVM_DELTA_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "relational/tuple.h"
+#include "relational/tuple_batch.h"
 
 namespace procsim::ivm {
 
@@ -18,6 +20,14 @@ namespace procsim::ivm {
 class DeltaSet {
  public:
   DeltaSet() = default;
+
+  /// A non-copying view of one net entry: `tuple` points into the set's own
+  /// storage (valid until the next mutation), `count` is the signed net
+  /// multiplicity (> 0 insert, < 0 delete; never 0).
+  struct NetEntry {
+    const rel::Tuple* tuple = nullptr;
+    long count = 0;
+  };
 
   /// Records an insertion (a "+" token).
   void AddInsert(const rel::Tuple& tuple) { Bump(tuple, +1); }
@@ -33,6 +43,16 @@ class DeltaSet {
   /// Tuples with net-negative count (D_net), with multiplicity.
   std::vector<rel::Tuple> NetDeletes() const;
 
+  /// Every non-zero net entry as a pointer view — no tuple copies.  Entries
+  /// follow the set's internal order, the same order NetInserts/NetDeletes
+  /// and NetBatches materialize, so all four expose one serialization.
+  std::vector<NetEntry> NetEntries() const;
+
+  /// Materializes A_net and D_net as columnar batches (with multiplicity),
+  /// reserving exact capacity up front — the batch-at-a-time entry point
+  /// for delta-join evaluation.  Either output may be null to skip it.
+  void NetBatches(rel::TupleBatch* inserts, rel::TupleBatch* deletes) const;
+
   /// Total number of entries with non-zero net count (sum of |counts|) —
   /// the "size of the A and D data structures" the paper charges C3 for.
   std::size_t TotalNetSize() const;
@@ -45,6 +65,44 @@ class DeltaSet {
   void Bump(const rel::Tuple& tuple, long delta);
 
   std::unordered_map<rel::Tuple, long, rel::TupleHash> counts_;
+};
+
+/// \brief One transaction's ordered change stream against one relation,
+/// with the net DeltaSet riding along.
+///
+/// The ordered view (`tags`/`rows`) preserves the exact insert/delete
+/// serialization the WAL recorded — an in-place modification stays a delete
+/// of the old value immediately followed by an insert of the new one — so
+/// replaying it row-at-a-time is byte- and cost-identical to the historical
+/// per-mutation notification.  The net view (`net`) is for consumers that
+/// want A_net/D_net semantics.  Rows are stored columnar (rel::TupleBatch)
+/// so batch consumers avoid re-pivoting.
+class ChangeBatch {
+ public:
+  ChangeBatch() = default;
+
+  void AddInsert(const rel::Tuple& tuple) { Append(true, tuple); }
+  void AddDelete(const rel::Tuple& tuple) { Append(false, tuple); }
+
+  std::size_t size() const { return tags_.size(); }
+  bool empty() const { return tags_.empty(); }
+
+  /// Whether change `i` is an insert (false: delete).
+  bool is_insert(std::size_t i) const { return tags_[i] != 0; }
+
+  const rel::TupleBatch& rows() const { return rows_; }
+  rel::Tuple RowAt(std::size_t i) const { return rows_.RowAt(i); }
+
+  const DeltaSet& net() const { return net_; }
+
+  void Clear();
+
+ private:
+  void Append(bool is_insert, const rel::Tuple& tuple);
+
+  std::vector<std::uint8_t> tags_;  ///< 1 = insert, 0 = delete, row-aligned
+  rel::TupleBatch rows_;
+  DeltaSet net_;
 };
 
 }  // namespace procsim::ivm

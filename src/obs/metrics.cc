@@ -25,6 +25,10 @@ namespace procsim::obs {
     "concurrent.latch.acquisitions",
     "concurrent.latch.contended",
     "concurrent.latch.rank_near_miss",
+    "exec.batch.batches_submitted",
+    "exec.batch.rows_selected",
+    "exec.batch.rows_submitted",
+    "exec.batch.size_rows",
     "ivm.delta.annihilations",
     "ivm.delta.deletes",
     "ivm.delta.inserts",

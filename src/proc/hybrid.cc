@@ -73,6 +73,11 @@ void HybridStrategy::OnDelete(const std::string& relation,
   for (auto& sub : subs_) sub->OnDelete(relation, tuple);
 }
 
+void HybridStrategy::OnBatch(const std::string& relation,
+                             const ivm::ChangeBatch& changes) {
+  for (auto& sub : subs_) sub->OnBatch(relation, changes);
+}
+
 Status HybridStrategy::OnTransactionEnd() {
   for (auto& sub : subs_) {
     PROCSIM_RETURN_IF_ERROR(sub->OnTransactionEnd());

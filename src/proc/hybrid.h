@@ -38,6 +38,8 @@ class HybridStrategy : public Strategy {
 
   void OnInsert(const std::string& relation, const rel::Tuple& tuple) override;
   void OnDelete(const std::string& relation, const rel::Tuple& tuple) override;
+  void OnBatch(const std::string& relation,
+               const ivm::ChangeBatch& changes) override;
   Status OnTransactionEnd() override;
 
   /// Which strategy procedure `id` was assigned to.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "ivm/delta.h"
 #include "proc/engine_config.h"
 #include "proc/procedure.h"
 #include "relational/catalog.h"
@@ -64,6 +65,14 @@ class Strategy : public rel::UpdateObserver {
   // rel::UpdateObserver (default: ignore).
   void OnInsert(const std::string& relation, const rel::Tuple& tuple) override;
   void OnDelete(const std::string& relation, const rel::Tuple& tuple) override;
+
+  /// Reports one transaction's ordered change run against `relation` in
+  /// bulk.  The default replays the run through OnInsert/OnDelete in order,
+  /// so every strategy is batch-correct by construction; strategies with a
+  /// vectorized maintenance path (RVM's Rete network) override it.  Errors
+  /// are deferred exactly as in the per-change observer methods.
+  virtual void OnBatch(const std::string& relation,
+                       const ivm::ChangeBatch& changes);
 
   const std::vector<DatabaseProcedure>& procedures() const {
     return procedures_;

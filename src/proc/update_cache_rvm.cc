@@ -96,6 +96,13 @@ void UpdateCacheRvmStrategy::OnDelete(const std::string& relation,
   if (!st.ok()) deferred_error_ = st;
 }
 
+void UpdateCacheRvmStrategy::OnBatch(const std::string& relation,
+                                     const ivm::ChangeBatch& changes) {
+  if (!deferred_error_.ok() || network_ == nullptr) return;
+  Status st = network_->OnChanges(relation, changes);
+  if (!st.ok()) deferred_error_ = st;
+}
+
 Status UpdateCacheRvmStrategy::OnTransactionEnd() {
   if (!deferred_error_.ok()) return deferred_error_;
   if (network_ != nullptr) {

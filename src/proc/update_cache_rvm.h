@@ -35,6 +35,12 @@ class UpdateCacheRvmStrategy : public Strategy {
   void OnInsert(const std::string& relation, const rel::Tuple& tuple) override;
   void OnDelete(const std::string& relation, const rel::Tuple& tuple) override;
 
+  /// Bulk Rete propagation: the whole ordered change run enters the network
+  /// as one token batch (ReteNetwork::SubmitBatch) — one root-latch
+  /// acquisition and one activation cascade instead of per-token walks.
+  void OnBatch(const std::string& relation,
+               const ivm::ChangeBatch& changes) override;
+
   /// Audit boundary: base relations and Rete memories must agree here (they
   /// legitimately diverge mid-transaction while tokens are in flight).
   Status OnTransactionEnd() override;

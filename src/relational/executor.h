@@ -5,6 +5,7 @@
 
 #include "relational/catalog.h"
 #include "relational/query.h"
+#include "relational/tuple_batch.h"
 #include "util/cost_meter.h"
 
 namespace procsim::rel {
@@ -16,6 +17,15 @@ namespace procsim::rel {
 /// Plans are "statically optimized" in the paper's sense: the pipeline
 /// order is fixed by the query description (B-tree selection, then hash
 /// joins in order) and there is no run-time optimization step.
+///
+/// Execution is vectorized: scans gather fetched rows into a columnar
+/// TupleBatch, predicates filter a selection vector term-at-a-time, and
+/// each join stage probes the (pre-built) hash index for a whole outer
+/// batch before screening all candidates at once.  The C1 charges are
+/// identical to the historical tuple-at-a-time pipeline — a row is screened
+/// against terms until the first rejection in either scheme — so simulated
+/// costs and results are byte-identical; only the wall-clock cycles differ.
+///
 /// Side information collected during query execution, used by the
 /// Cache-and-Invalidate strategy to set i-locks on everything the query
 /// read (rule indexing [SSH86]).
@@ -43,6 +53,12 @@ class Executor {
   Result<std::vector<Tuple>> JoinDeltas(
       const ProcedureQuery& query, const std::vector<Tuple>& base_tuples) const;
 
+  /// Batch-native JoinDeltas: the delta tuples stay columnar through every
+  /// join stage; rows materialize only in the returned result (the
+  /// view-store boundary).
+  Result<std::vector<Tuple>> JoinDeltas(const ProcedureQuery& query,
+                                        const TupleBatch& base_batch) const;
+
   /// Evaluates whether `tuple` of the base relation satisfies the base
   /// selection (range + residual), charging one screen per term evaluated
   /// (at least one).  Used when screening broken-lock tuples.
@@ -50,9 +66,12 @@ class Executor {
                            const Tuple& tuple) const;
 
  private:
-  Result<std::vector<Tuple>> RunJoins(const ProcedureQuery& query,
-                                      std::vector<Tuple> current,
-                                      ExecutionTrace* trace = nullptr) const;
+  /// The vectorized join pipeline: for each stage, probe the inner hash
+  /// index once per outer row (batch-at-a-time), screen every candidate with
+  /// one EvalBatch, and gather survivors columnar.  Candidate order is
+  /// (outer row, probe match) — the same order the row loop produced.
+  Result<TupleBatch> RunJoins(const ProcedureQuery& query, TupleBatch current,
+                              ExecutionTrace* trace = nullptr) const;
 
   Catalog* catalog_;
   CostMeter* meter_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "relational/tuple.h"
+#include "relational/tuple_batch.h"
 #include "relational/value.h"
 
 namespace procsim::rel {
@@ -29,6 +30,11 @@ struct PredicateTerm {
     return EvalCompare(tuple.value(column), op, constant);
   }
 
+  /// Vectorized Matches: keeps only `selection` rows of `batch` that satisfy
+  /// the term (order preserved).  One term evaluation per selected row —
+  /// exactly the evaluations the row-at-a-time loop would perform.
+  void EvalBatch(const TupleBatch& batch, SelectionVector* selection) const;
+
   bool operator==(const PredicateTerm&) const = default;
   std::string ToString(const Schema* schema = nullptr) const;
 
@@ -51,6 +57,14 @@ class Conjunction {
   /// True if every term matches.  `screens` (if non-null) is incremented by
   /// the number of term evaluations performed, so callers can charge C1.
   bool Matches(const Tuple& tuple, std::size_t* screens = nullptr) const;
+
+  /// Vectorized Matches: filters `selection` term-at-a-time over a shrinking
+  /// selection vector.  A row is evaluated against terms until the first one
+  /// that rejects it — the same evaluations the short-circuiting row loop
+  /// performs, only column-major — so `screens` accumulates an identical C1
+  /// count and the surviving selection is identical (and in order).
+  void EvalBatch(const TupleBatch& batch, SelectionVector* selection,
+                 std::size_t* screens = nullptr) const;
 
   bool operator==(const Conjunction&) const = default;
   std::string ToString(const Schema* schema = nullptr) const;

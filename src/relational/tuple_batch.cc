@@ -1,0 +1,115 @@
+#include "relational/tuple_batch.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace procsim::rel {
+
+SelectionVector AllRows(std::size_t num_rows) {
+  SelectionVector selection(num_rows);
+  std::iota(selection.begin(), selection.end(), 0u);
+  return selection;
+}
+
+TupleBatch TupleBatch::FromRows(const std::vector<Tuple>& rows) {
+  TupleBatch batch(rows.empty() ? 0 : rows.front().arity());
+  batch.Reserve(rows.size());
+  for (const Tuple& row : rows) batch.AppendRow(row);
+  return batch;
+}
+
+const std::vector<Value>& TupleBatch::column(std::size_t col) const {
+  PROCSIM_CHECK_LT(col, columns_.size());
+  return columns_[col];
+}
+
+const Value& TupleBatch::at(std::size_t row, std::size_t col) const {
+  PROCSIM_CHECK_LT(row, num_rows_);
+  PROCSIM_CHECK_LT(col, columns_.size());
+  return columns_[col][row];
+}
+
+void TupleBatch::AppendRow(const Tuple& tuple) {
+  if (columns_.empty() && num_rows_ == 0) {
+    columns_.resize(tuple.arity());
+    if (pending_reserve_ > 0) {
+      for (std::vector<Value>& column : columns_) {
+        column.reserve(pending_reserve_);
+      }
+      pending_reserve_ = 0;
+    }
+  }
+  PROCSIM_CHECK_EQ(tuple.arity(), columns_.size())
+      << "batch rows must share one arity";
+  for (std::size_t col = 0; col < columns_.size(); ++col) {
+    columns_[col].push_back(tuple.value(col));
+  }
+  ++num_rows_;
+}
+
+void TupleBatch::AppendConcatRow(const TupleBatch& left, std::size_t left_row,
+                                 const TupleBatch& right,
+                                 std::size_t right_row) {
+  PROCSIM_CHECK_EQ(left.arity() + right.arity(), columns_.size());
+  PROCSIM_CHECK_LT(left_row, left.num_rows_);
+  PROCSIM_CHECK_LT(right_row, right.num_rows_);
+  for (std::size_t col = 0; col < left.arity(); ++col) {
+    columns_[col].push_back(left.columns_[col][left_row]);
+  }
+  for (std::size_t col = 0; col < right.arity(); ++col) {
+    columns_[left.arity() + col].push_back(right.columns_[col][right_row]);
+  }
+  ++num_rows_;
+}
+
+Tuple TupleBatch::RowAt(std::size_t row) const {
+  PROCSIM_CHECK_LT(row, num_rows_);
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (const std::vector<Value>& column : columns_) {
+    values.push_back(column[row]);
+  }
+  return Tuple(std::move(values));
+}
+
+std::vector<Tuple> TupleBatch::ToRows() const {
+  std::vector<Tuple> rows;
+  rows.reserve(num_rows_);
+  for (std::size_t row = 0; row < num_rows_; ++row) {
+    rows.push_back(RowAt(row));
+  }
+  return rows;
+}
+
+TupleBatch TupleBatch::Gather(const SelectionVector& selection) const {
+  TupleBatch out(columns_.size());
+  out.Reserve(selection.size());
+  for (std::size_t col = 0; col < columns_.size(); ++col) {
+    for (std::uint32_t row : selection) {
+      PROCSIM_CHECK_LT(row, num_rows_);
+      out.columns_[col].push_back(columns_[col][row]);
+    }
+  }
+  out.num_rows_ = selection.size();
+  return out;
+}
+
+void TupleBatch::Reserve(std::size_t rows) {
+  if (columns_.empty() && num_rows_ == 0) {
+    // Arity not yet adopted: remember the reservation and apply it when the
+    // first row fixes the column count.
+    pending_reserve_ += rows;
+    return;
+  }
+  for (std::vector<Value>& column : columns_) {
+    column.reserve(column.size() + rows);
+  }
+}
+
+void TupleBatch::Clear() {
+  for (std::vector<Value>& column : columns_) column.clear();
+  num_rows_ = 0;
+}
+
+}  // namespace procsim::rel

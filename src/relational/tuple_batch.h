@@ -1,0 +1,78 @@
+#ifndef PROCSIM_RELATIONAL_TUPLE_BATCH_H_
+#define PROCSIM_RELATIONAL_TUPLE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace procsim::rel {
+
+/// Row indices into a TupleBatch, always kept in ascending order.  Predicate
+/// evaluation shrinks a selection term-at-a-time instead of short-circuiting
+/// row-at-a-time; because a row is evaluated against terms until the first
+/// one that rejects it in either scheme, the total number of term
+/// evaluations (the paper's C1 screens) is identical.
+using SelectionVector = std::vector<std::uint32_t>;
+
+/// The identity selection [0, num_rows).
+SelectionVector AllRows(std::size_t num_rows);
+
+/// \brief A column-major batch of tuples — the vectorized counterpart of
+/// `std::vector<Tuple>` on the execution hot paths.
+///
+/// Each column is a contiguous `std::vector<Value>`, so a predicate term
+/// touches one vector sequentially instead of hopping across per-row
+/// allocations, and per-row costs (virtual dispatch, latching, eviction
+/// polls) amortize over the batch.  Rows convert to and from `Tuple` only at
+/// the storage boundary (heap pages, TupleStore) — everything between scans
+/// and joins stays columnar.
+///
+/// A batch has a fixed arity: every appended row must match.  An empty
+/// batch constructed with `TupleBatch()` adopts the arity of its first row.
+class TupleBatch {
+ public:
+  TupleBatch() = default;
+  explicit TupleBatch(std::size_t arity) : columns_(arity) {}
+
+  /// Builds a batch from rows (all of equal arity).
+  static TupleBatch FromRows(const std::vector<Tuple>& rows);
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t arity() const { return columns_.size(); }
+  bool empty() const { return num_rows_ == 0; }
+
+  const std::vector<Value>& column(std::size_t col) const;
+  const Value& at(std::size_t row, std::size_t col) const;
+
+  /// Appends one row; adopts the row's arity if the batch is empty.
+  void AppendRow(const Tuple& tuple);
+
+  /// Appends the concatenation `left[left_row] ++ right[right_row]` — the
+  /// columnar form of Tuple::Concat used by the join pipeline.
+  void AppendConcatRow(const TupleBatch& left, std::size_t left_row,
+                       const TupleBatch& right, std::size_t right_row);
+
+  /// Materializes row `row` as a Tuple (the batch→row boundary).
+  Tuple RowAt(std::size_t row) const;
+
+  /// Materializes every row, in order.
+  std::vector<Tuple> ToRows() const;
+
+  /// The sub-batch holding exactly `selection`'s rows, in selection order.
+  TupleBatch Gather(const SelectionVector& selection) const;
+
+  void Reserve(std::size_t rows);
+  void Clear();
+
+ private:
+  std::vector<std::vector<Value>> columns_;
+  std::size_t num_rows_ = 0;
+  /// Reservation requested before the first row adopted the arity.
+  std::size_t pending_reserve_ = 0;
+};
+
+}  // namespace procsim::rel
+
+#endif  // PROCSIM_RELATIONAL_TUPLE_BATCH_H_

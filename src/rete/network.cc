@@ -24,6 +24,14 @@ std::size_t HashString(const std::string& s) {
 
 obs::Counter* const g_tokens_submitted =
     obs::GlobalMetrics().RegisterCounter("rete.network.tokens_submitted");
+obs::Counter* const g_batches_submitted =
+    obs::GlobalMetrics().RegisterCounter("exec.batch.batches_submitted");
+obs::Counter* const g_batch_rows_submitted =
+    obs::GlobalMetrics().RegisterCounter("exec.batch.rows_submitted");
+obs::Counter* const g_batch_rows_selected =
+    obs::GlobalMetrics().RegisterCounter("exec.batch.rows_selected");
+obs::Histogram* const g_batch_size = obs::GlobalMetrics().RegisterHistogram(
+    "exec.batch.size_rows", {1, 4, 16, 64, 256, 1024, 4096, 16384});
 
 std::size_t SelectionSignature(const std::string& relation, bool has_interval,
                                std::size_t key_column, int64_t lo, int64_t hi,
@@ -240,6 +248,20 @@ Result<MemoryNode*> ReteNetwork::AddProcedure(const ProcedureQuery& query) {
   // latch Submit holds — a build racing a token would otherwise corrupt
   // the root index even though builds are normally pre-concurrency.
   util::RankedLockGuard latch_guard(submit_latch_);
+  // A relation appearing twice in one procedure (self-join) makes both
+  // inputs of some and-node downstream of that relation's tokens, which
+  // batch submission cannot interleave faithfully — degrade to per-token.
+  {
+    std::vector<std::string> mentioned{query.base.relation};
+    for (const rel::JoinStage& stage : query.joins) {
+      mentioned.push_back(stage.relation);
+    }
+    std::sort(mentioned.begin(), mentioned.end());
+    if (std::adjacent_find(mentioned.begin(), mentioned.end()) !=
+        mentioned.end()) {
+      batchable_.store(false, std::memory_order_release);
+    }
+  }
   Result<rel::Relation*> base_rel = catalog_->GetRelation(query.base.relation);
   if (!base_rel.ok()) return base_rel.status();
   if (!base_rel.ValueOrDie()->btree_column().has_value()) {
@@ -375,6 +397,65 @@ Status ReteNetwork::Submit(const std::string& relation, const Token& token) {
   // legitimately diverge until the caller reaches a transaction boundary
   // (UpdateCacheRvmStrategy::OnTransactionEnd audits there).
   return Status::OK();
+}
+
+Status ReteNetwork::SubmitBatch(const std::string& relation,
+                                const TokenBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  if (!batchable_.load(std::memory_order_acquire)) {
+    // A compiled self-join means one chain's probes read a memory this very
+    // batch feeds; only token-at-a-time reproduces that interleaving.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PROCSIM_RETURN_IF_ERROR(Submit(relation, batch.TokenAt(i)));
+    }
+    return Status::OK();
+  }
+  util::RankedLockGuard guard(submit_latch_);
+  g_tokens_submitted->Add(batch.size());
+  g_batches_submitted->Add();
+  g_batch_rows_submitted->Add(batch.size());
+  g_batch_size->Observe(static_cast<double>(batch.size()));
+  auto it = root_index_.find(relation);
+  if (it != root_index_.end()) {
+    for (SelectionEntry* entry : it->second) {
+      if (!entry->has_interval) {
+        g_batch_rows_selected->Add(batch.size());
+        PROCSIM_RETURN_IF_ERROR(entry->node->ActivateBatch(batch));
+        continue;
+      }
+      // Vectorized root discrimination: narrow the batch to the entry's key
+      // interval (an un-metered lock-table lookup, as in the row path).
+      const std::vector<rel::Value>& keys =
+          batch.tuples.column(entry->key_column);
+      rel::SelectionVector selection;
+      for (std::uint32_t row = 0; row < batch.size(); ++row) {
+        const int64_t key = keys[row].AsInt64();
+        if (key >= entry->lo && key <= entry->hi) selection.push_back(row);
+      }
+      if (selection.empty()) continue;  // no lock broken by this batch
+      g_batch_rows_selected->Add(selection.size());
+      if (selection.size() == batch.size()) {
+        PROCSIM_RETURN_IF_ERROR(entry->node->ActivateBatch(batch));
+      } else {
+        PROCSIM_RETURN_IF_ERROR(
+            entry->node->ActivateBatch(batch.Gather(selection)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ReteNetwork::OnChanges(const std::string& relation,
+                              const ivm::ChangeBatch& changes) {
+  TokenBatch batch;
+  batch.tags.reserve(changes.size());
+  batch.tuples.Reserve(changes.size());
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    batch.Append(changes.is_insert(i) ? Token::Tag::kInsert
+                                      : Token::Tag::kDelete,
+                 changes.RowAt(i));
+  }
+  return SubmitBatch(relation, batch);
 }
 
 namespace {

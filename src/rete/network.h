@@ -1,12 +1,14 @@
 #ifndef PROCSIM_RETE_NETWORK_H_
 #define PROCSIM_RETE_NETWORK_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/latch.h"
+#include "ivm/delta.h"
 #include "relational/catalog.h"
 #include "relational/query.h"
 #include "rete/node.h"
@@ -89,6 +91,20 @@ class ReteNetwork {
   Status OnDelete(const std::string& relation, const rel::Tuple& tuple) {
     return Submit(relation, Token{Token::Tag::kDelete, tuple});
   }
+
+  /// Feeds an ordered run of base-relation changes in bulk: one root-latch
+  /// acquisition, vectorized interval dispatch, and batch activation down
+  /// every affected chain.  Results and simulated costs are identical to
+  /// submitting each token individually (see the class comment of
+  /// TokenBatch); if any compiled procedure mentions one relation twice
+  /// (self-join), the network falls back to per-token submission, whose
+  /// interleaving the batch order cannot reproduce.
+  Status SubmitBatch(const std::string& relation, const TokenBatch& batch);
+
+  /// Bulk counterpart of OnInsert/OnDelete: converts a transaction's
+  /// ordered ChangeBatch into a token batch and submits it.
+  Status OnChanges(const std::string& relation,
+                   const ivm::ChangeBatch& changes);
 
   /// Quiescent-only (analysis disabled by design: stats are written while
   /// the network is built/validated under the latch; readers are benches
@@ -187,6 +203,11 @@ class ReteNetwork {
   std::unordered_map<std::size_t, MemoryNode*> tails_by_signature_
       GUARDED_BY(submit_latch_);
   Stats stats_ GUARDED_BY(submit_latch_);
+  /// Cleared when a procedure mentions one relation twice: its and-nodes
+  /// could then read a memory fed by the batch's own relation mid-batch, so
+  /// SubmitBatch degrades to token-at-a-time.  Atomic because SubmitBatch
+  /// reads it before taking the latch.
+  std::atomic<bool> batchable_{true};
 };
 
 }  // namespace procsim::rete

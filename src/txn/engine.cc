@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "ivm/delta.h"
 #include "proc/cache_invalidate.h"
 #include "storage/disk.h"
 #include "util/logging.h"
@@ -131,7 +132,16 @@ Status TxnEngine::ApplyCommitted(TxnId txn,
                                  bool skip_invalidation) {
   CurrentTxnScope scope(txn);
   util::RankedLockGuard db_guard(db_latch_);
+  // Coalesce the transaction's mutations into one ordered change run, then
+  // notify each strategy once with the whole batch.  WAL record order (= the
+  // op order here) is the serialization order, and the batch preserves it
+  // change for change, so strategies see exactly the per-change stream they
+  // used to — a modification stays delete-old-then-insert-new.  Strategies
+  // never read R1 while being notified (i-locks, predicate tests and Rete
+  // stores are all driven by the passed tuples alone), so notifying after
+  // all ops are applied is equivalent to interleaving.
   bool notified = false;
+  ivm::ChangeBatch changes;
   for (const sim::WorkloadOp& op : ops) {
     Result<sim::MutationResult> mutation =
         sim::ApplyMutationOp(db_.get(), op, options_.mix, /*inline_rng=*/
@@ -140,20 +150,19 @@ Status TxnEngine::ApplyCommitted(TxnId txn,
     const sim::MutationResult& applied = mutation.ValueOrDie();
     if (!applied.applied || !applied.notify) continue;
     for (const auto& [old_tuple, new_tuple] : applied.changes) {
-      for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
-        if (skip_invalidation &&
-            strategy.get() == strategies_.cache_invalidate) {
-          continue;  // the planted recovery bug: a lost invalidation
-        }
-        if (old_tuple.has_value()) {
-          strategy->OnDelete(kMutatedRelation, *old_tuple);
-        }
-        if (new_tuple.has_value()) {
-          strategy->OnInsert(kMutatedRelation, *new_tuple);
-        }
-      }
+      if (old_tuple.has_value()) changes.AddDelete(*old_tuple);
+      if (new_tuple.has_value()) changes.AddInsert(*new_tuple);
     }
     notified = true;
+  }
+  if (!changes.empty()) {
+    for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {
+      if (skip_invalidation &&
+          strategy.get() == strategies_.cache_invalidate) {
+        continue;  // the planted recovery bug: a lost invalidation
+      }
+      strategy->OnBatch(kMutatedRelation, changes);
+    }
   }
   if (notified) {
     for (const std::unique_ptr<proc::Strategy>& strategy : strategies_.all) {

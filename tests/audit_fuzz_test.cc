@@ -122,5 +122,40 @@ TEST(AuditFuzzTest, SampledComparisonMode) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 }
 
+TEST(AuditFuzzTest, RowAndBatchNotificationPathsAreByteIdentical) {
+  // The row-vs-batch differential: one op stream replayed twice, once with
+  // per-change OnInsert/OnDelete notification and once coalescing each
+  // transaction into a single Strategy::OnBatch call (the vectorized
+  // maintenance path).  Both runs compare every access against the
+  // from-scratch oracle internally; on top of that, their access digests
+  // must match each other access-for-access.
+  CrossCheckOptions options;
+  options.params = SmallParams();
+  options.seed = 20260808;
+  options.steps = 250;
+  options.compare_sample = 1;
+  const std::vector<sim::WorkloadOp> ops = GenerateOpStream(options);
+
+  std::vector<std::string> row_digests;
+  Result<CrossCheckReport> row = RunOpStream(options, ops, &row_digests);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ASSERT_FALSE(row_digests.empty());
+
+  CrossCheckOptions batched = options;
+  batched.notify_in_batches = true;
+  std::vector<std::string> batch_digests;
+  Result<CrossCheckReport> batch = RunOpStream(batched, ops, &batch_digests);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  EXPECT_EQ(batch.ValueOrDie().update_transactions,
+            row.ValueOrDie().update_transactions);
+  EXPECT_EQ(batch.ValueOrDie().comparisons, row.ValueOrDie().comparisons);
+  ASSERT_EQ(batch_digests.size(), row_digests.size());
+  for (std::size_t i = 0; i < batch_digests.size(); ++i) {
+    ASSERT_EQ(batch_digests[i], row_digests[i])
+        << "access #" << i << " diverged between row and batch notification";
+  }
+}
+
 }  // namespace
 }  // namespace procsim::audit

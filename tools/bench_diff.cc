@@ -378,6 +378,10 @@ int main(int argc, char** argv) {
   // Operational metrics drift legitimately; only figure data is gated.
   golden.object_items.erase("metrics");
   candidate.object_items.erase("metrics");
+  // Wall-clock timings are machine-dependent; the deterministic cost
+  // scalars next to them are what the golden pins.
+  golden.object_items.erase("timings");
+  candidate.object_items.erase("timings");
 
   DiffContext ctx;
   ctx.tolerance = tolerance;

@@ -58,6 +58,7 @@ GOLDEN_BENCHES=(
   abl_yao_exact
   fig20_memory_pressure
   fig21_group_commit
+  micro_batch_vs_row
 )
 
 if [[ ! -x "${DIFF_BIN}" && "${UPDATE}" -eq 0 ]]; then
